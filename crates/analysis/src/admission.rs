@@ -1,0 +1,236 @@
+//! Admission control built on top of the holistic analysis.
+//!
+//! The paper's closing argument is that the holistic analysis "forms an
+//! admission controller": a network operator keeps the set of already
+//! accepted flows, and a new flow is accepted only if the holistic analysis
+//! of *accepted ∪ {candidate}* shows every frame of every flow (old and
+//! new) still meeting its deadline.  [`AdmissionController`] implements
+//! exactly that protocol.
+
+use crate::config::AnalysisConfig;
+use crate::error::AnalysisError;
+use crate::holistic::analyze;
+use crate::report::AnalysisReport;
+use gmf_model::{EncapsulationConfig, FlowId, GmfFlow};
+use gmf_net::{FlowSet, Priority, Route, Topology};
+use serde::{Deserialize, Serialize};
+
+/// The verdict of an admission request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionDecision {
+    /// The flow was admitted; it now has the given id in the accepted set.
+    Accepted {
+        /// Identifier of the admitted flow within the controller's flow set.
+        id: FlowId,
+        /// The analysis report of the accepted set including the new flow.
+        report: AnalysisReport,
+    },
+    /// The flow was rejected; the accepted set is unchanged.
+    Rejected {
+        /// Why the flow was rejected.
+        reason: String,
+        /// The analysis report of the trial set (accepted ∪ candidate).
+        report: AnalysisReport,
+    },
+}
+
+impl AdmissionDecision {
+    /// `true` if the flow was admitted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, AdmissionDecision::Accepted { .. })
+    }
+
+    /// The report of the analysed (trial) flow set.
+    pub fn report(&self) -> &AnalysisReport {
+        match self {
+            AdmissionDecision::Accepted { report, .. } => report,
+            AdmissionDecision::Rejected { report, .. } => report,
+        }
+    }
+}
+
+/// An admission controller for one operator-managed network.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    topology: Topology,
+    accepted: FlowSet,
+    config: AnalysisConfig,
+}
+
+impl AdmissionController {
+    /// Create a controller with no accepted flows.
+    pub fn new(topology: Topology, config: AnalysisConfig) -> Self {
+        AdmissionController {
+            topology,
+            accepted: FlowSet::new(),
+            config,
+        }
+    }
+
+    /// The currently accepted flow set.
+    pub fn accepted(&self) -> &FlowSet {
+        &self.accepted
+    }
+
+    /// The network the controller manages.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of accepted flows.
+    pub fn n_accepted(&self) -> usize {
+        self.accepted.len()
+    }
+
+    /// Ask to admit `flow` on `route` at `priority` with the default (plain
+    /// UDP) packetization.
+    pub fn request(
+        &mut self,
+        flow: GmfFlow,
+        route: Route,
+        priority: Priority,
+    ) -> Result<AdmissionDecision, AnalysisError> {
+        self.request_with_encapsulation(flow, route, priority, EncapsulationConfig::paper())
+    }
+
+    /// Ask to admit `flow` with an explicit packetization configuration.
+    pub fn request_with_encapsulation(
+        &mut self,
+        flow: GmfFlow,
+        route: Route,
+        priority: Priority,
+        encapsulation: EncapsulationConfig,
+    ) -> Result<AdmissionDecision, AnalysisError> {
+        // Validate the route against the topology up front so structural
+        // errors surface as errors, not rejections.
+        Route::new(&self.topology, route.nodes().to_vec())?;
+
+        let mut trial = self.accepted.clone();
+        let candidate_id =
+            trial.add_with_encapsulation(flow, route, priority, encapsulation);
+        let report = analyze(&self.topology, &trial, &self.config)?;
+
+        if report.schedulable {
+            self.accepted = trial;
+            Ok(AdmissionDecision::Accepted {
+                id: candidate_id,
+                report,
+            })
+        } else {
+            let reason = report
+                .failure
+                .clone()
+                .unwrap_or_else(|| "deadline miss".to_string());
+            Ok(AdmissionDecision::Rejected { reason, report })
+        }
+    }
+
+    /// Re-run the analysis of the currently accepted set (e.g. after the
+    /// operator changed the analysis configuration).
+    pub fn reanalyze(&self) -> Result<AnalysisReport, AnalysisError> {
+        analyze(&self.topology, &self.accepted, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmf_model::{paper_figure3_flow, voip_flow, Time, VoiceCodec};
+    use gmf_net::{paper_figure1, shortest_path};
+
+    fn controller() -> (AdmissionController, gmf_net::PaperNetwork) {
+        let (t, net) = paper_figure1();
+        (AdmissionController::new(t, AnalysisConfig::paper()), net)
+    }
+
+    #[test]
+    fn admits_feasible_flows_and_accumulates_them() {
+        let (mut ctl, net) = controller();
+        assert_eq!(ctl.n_accepted(), 0);
+
+        let route = shortest_path(ctl.topology(), net.hosts[1], net.hosts[3]).unwrap();
+        let voice = voip_flow("voice", VoiceCodec::G711, Time::from_millis(20.0), Time::from_millis(0.5));
+        let d = ctl.request(voice, route, Priority(7)).unwrap();
+        assert!(d.is_accepted());
+        assert_eq!(ctl.n_accepted(), 1);
+        assert!(d.report().schedulable);
+
+        let route = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
+        let video = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
+        let d = ctl.request(video, route, Priority(5)).unwrap();
+        assert!(d.is_accepted());
+        assert_eq!(ctl.n_accepted(), 2);
+
+        // Re-analysing the accepted set is still schedulable.
+        assert!(ctl.reanalyze().unwrap().schedulable);
+    }
+
+    #[test]
+    fn rejects_infeasible_flow_and_keeps_state() {
+        let (mut ctl, net) = controller();
+        // The voice call enters through host 1 so it does not share the
+        // (priority-blind) access link of the video source.
+        let voice_route = shortest_path(ctl.topology(), net.hosts[1], net.hosts[3]).unwrap();
+        let voice = voip_flow("voice", VoiceCodec::G711, Time::from_millis(20.0), Time::from_millis(0.5));
+        assert!(ctl.request(voice, voice_route, Priority(7)).unwrap().is_accepted());
+
+        let route = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
+        // A video flow with an impossible 2 ms deadline over two 10 Mbit/s
+        // access links is rejected...
+        let video = paper_figure3_flow("video", Time::from_millis(2.0), Time::from_millis(1.0));
+        let d = ctl.request(video, route.clone(), Priority(6)).unwrap();
+        assert!(!d.is_accepted());
+        match &d {
+            AdmissionDecision::Rejected { reason, report } => {
+                assert!(reason.contains("video") || reason.contains("overload"));
+                assert!(!report.schedulable);
+            }
+            _ => unreachable!(),
+        }
+        // ...and the accepted set is unchanged.
+        assert_eq!(ctl.n_accepted(), 1);
+        assert!(ctl.reanalyze().unwrap().schedulable);
+
+        // The same video flow with a realistic deadline is admitted.
+        let video = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
+        assert!(ctl.request(video, route, Priority(6)).unwrap().is_accepted());
+        assert_eq!(ctl.n_accepted(), 2);
+    }
+
+    #[test]
+    fn rejection_protects_already_admitted_flows() {
+        let (mut ctl, net) = controller();
+        // Admit a voice flow with a tight deadline on the shared 10 Mbit/s
+        // access link of host 0.
+        let route03 = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
+        let voice = voip_flow("voice", VoiceCodec::G711, Time::from_millis(4.0), Time::from_millis(0.5));
+        assert!(ctl.request(voice, route03.clone(), Priority(7)).unwrap().is_accepted());
+
+        // A big low-priority video flow sharing the same source link pushes
+        // the voice flow's first-hop (priority-blind) bound past 4 ms, so it
+        // must be rejected even though the *new* flow itself has a lax
+        // deadline.
+        let video = paper_figure3_flow("video", Time::from_millis(500.0), Time::from_millis(1.0));
+        let d = ctl.request(video, route03, Priority(1)).unwrap();
+        assert!(!d.is_accepted());
+        assert_eq!(ctl.n_accepted(), 1);
+    }
+
+    #[test]
+    fn invalid_route_is_an_error_not_a_rejection() {
+        let (mut ctl, _net) = controller();
+        // Build a route on a topology with a different shape; the node ids
+        // exist in the paper network but the links do not.
+        let (line_topology, a, b, _) = gmf_net::line(
+            2,
+            gmf_net::LinkProfile::ethernet_100m(),
+            gmf_net::LinkProfile::ethernet_100m(),
+            gmf_net::SwitchConfig::paper(),
+        );
+        let bogus = gmf_net::shortest_path(&line_topology, a, b).unwrap();
+        let voice = voip_flow("voice", VoiceCodec::G711, Time::from_millis(20.0), Time::ZERO);
+        let result = ctl.request(voice, bogus, Priority(7));
+        assert!(result.is_err());
+        assert_eq!(ctl.n_accepted(), 0);
+    }
+}

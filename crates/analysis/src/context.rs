@@ -1,0 +1,311 @@
+//! Shared state of an analysis run: cached per-link demands and the
+//! generalized-jitter map.
+//!
+//! The response-time equations repeatedly evaluate the request-bound
+//! functions of every flow on every link it traverses, so the per-link
+//! [`LinkDemand`]s are computed once per `(flow, link)` pair and cached in
+//! an [`AnalysisContext`].
+//!
+//! The *generalized-jitter map* holds `GJ_i^{k,resource}` — the jitter of
+//! frame `k` of flow `i` when it reaches `resource` — for every resource of
+//! every flow's route.  The map is what the holistic iteration (Section
+//! "Putting it all together") updates between rounds:
+//!
+//! * initially, the jitter on a flow's *first link* is its specified source
+//!   jitter and the jitter everywhere else is zero;
+//! * after analysing a flow with the Figure 6 algorithm, the map holds the
+//!   accumulated `JSUM` values of that flow at every resource;
+//! * the process repeats until the map stops changing.
+
+use crate::error::AnalysisError;
+use gmf_model::{FlowId, GmfFlow, LinkDemand, Time};
+use gmf_net::{FlowSet, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A resource along a flow's route, in the sense of holistic analysis: a
+/// place where the flow can be queued and therefore accumulates response
+/// time and jitter.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ResourceId {
+    /// The prioritized output queue and transmission on the directed link
+    /// `from → to` (also used for the source node's first link).
+    Link {
+        /// Transmitting node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+    },
+    /// The ingress processing of a switch: from reception of the Ethernet
+    /// frames at `node` to their enqueueing in the output priority queue.
+    SwitchIngress {
+        /// The switch doing the processing.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceId::Link { from, to } => write!(f, "link({},{})", from.0, to.0),
+            ResourceId::SwitchIngress { node } => write!(f, "in({})", node.0),
+        }
+    }
+}
+
+/// `GJ_i^{k,resource}` for every flow, frame and resource.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JitterMap {
+    values: BTreeMap<(FlowId, ResourceId), Vec<Time>>,
+}
+
+impl JitterMap {
+    /// The initial map of the holistic iteration for `flows`: source jitter
+    /// on each flow's first link, zero everywhere else (nothing stored).
+    pub fn initial(flows: &FlowSet) -> Self {
+        let mut map = JitterMap::default();
+        for binding in flows.bindings() {
+            let first_hop = binding
+                .route
+                .hops()
+                .next()
+                .expect("routes have at least one hop");
+            let resource = ResourceId::Link {
+                from: first_hop.from,
+                to: first_hop.to,
+            };
+            let jitters = binding.flow.frames().iter().map(|f| f.jitter).collect();
+            map.values.insert((binding.id, resource), jitters);
+        }
+        map
+    }
+
+    /// Set the jitter of frame `k` of `flow` at `resource`.
+    pub fn set(&mut self, flow: FlowId, resource: ResourceId, frame: usize, jitter: Time, n_frames: usize) {
+        let entry = self
+            .values
+            .entry((flow, resource))
+            .or_insert_with(|| vec![Time::ZERO; n_frames]);
+        if entry.len() < n_frames {
+            entry.resize(n_frames, Time::ZERO);
+        }
+        entry[frame] = jitter;
+    }
+
+    /// The jitter of frame `k` of `flow` at `resource` (zero if unknown).
+    pub fn get(&self, flow: FlowId, resource: ResourceId, frame: usize) -> Time {
+        self.values
+            .get(&(flow, resource))
+            .and_then(|v| v.get(frame).copied())
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// `extra_j(resource)`: the largest jitter of any frame of `flow` at
+    /// `resource` (zero if the flow has no recorded jitter there).  This is
+    /// the paper's `extra_j(N, i)` term.
+    pub fn max_jitter(&self, flow: FlowId, resource: ResourceId) -> Time {
+        self.values
+            .get(&(flow, resource))
+            .map(|v| v.iter().copied().fold(Time::ZERO, Time::max))
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// `true` if every entry of `self` equals the corresponding entry of
+    /// `other` within the convergence tolerance.  Entries missing from one
+    /// side are treated as zero.
+    pub fn approx_eq(&self, other: &JitterMap) -> bool {
+        let keys: std::collections::BTreeSet<_> =
+            self.values.keys().chain(other.values.keys()).collect();
+        for key in keys {
+            let empty = Vec::new();
+            let a = self.values.get(key).unwrap_or(&empty);
+            let b = other.values.get(key).unwrap_or(&empty);
+            let len = a.len().max(b.len());
+            for idx in 0..len {
+                let va = a.get(idx).copied().unwrap_or(Time::ZERO);
+                let vb = b.get(idx).copied().unwrap_or(Time::ZERO);
+                if !va.approx_eq(vb) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Iterate over all stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&(FlowId, ResourceId), &Vec<Time>)> {
+        self.values.iter()
+    }
+}
+
+/// Cached per-link demands and references to the topology and flow set.
+///
+/// The context is read-only during a single holistic round; the jitter map
+/// is threaded separately so that rounds are explicit.
+#[derive(Debug, Clone)]
+pub struct AnalysisContext<'a> {
+    topology: &'a Topology,
+    flows: &'a FlowSet,
+    demands: BTreeMap<(FlowId, NodeId, NodeId), LinkDemand>,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// Build the context, pre-computing the demand of every flow on every
+    /// link of its route.
+    pub fn new(topology: &'a Topology, flows: &'a FlowSet) -> Result<Self, AnalysisError> {
+        let mut demands = BTreeMap::new();
+        for binding in flows.bindings() {
+            for hop in binding.route.hops() {
+                let link = topology.link_between(hop.from, hop.to)?;
+                let demand = LinkDemand::new(&binding.flow, &binding.encapsulation, link.speed);
+                demands.insert((binding.id, hop.from, hop.to), demand);
+            }
+        }
+        Ok(AnalysisContext {
+            topology,
+            flows,
+            demands,
+        })
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// The flow set under analysis.
+    pub fn flows(&self) -> &FlowSet {
+        self.flows
+    }
+
+    /// The traffic specification of a flow.
+    pub fn flow(&self, id: FlowId) -> Result<&GmfFlow, AnalysisError> {
+        Ok(&self.flows.get(id)?.flow)
+    }
+
+    /// The cached demand of `flow` on the directed link `from → to`.
+    ///
+    /// The demand exists for every hop of every flow's route; asking for a
+    /// (flow, link) pair the flow does not traverse is a programming error
+    /// and panics.
+    pub fn demand(&self, flow: FlowId, from: NodeId, to: NodeId) -> &LinkDemand {
+        self.demands.get(&(flow, from, to)).unwrap_or_else(|| {
+            panic!("no cached demand for {flow} on link({},{})", from.0, to.0)
+        })
+    }
+
+    /// Sum of `CSUM/TSUM` over the given flows on the given link — the
+    /// left-hand side of the schedulability conditions (20), (34) and (35).
+    pub fn link_utilization(&self, flows: &[FlowId], from: NodeId, to: NodeId) -> f64 {
+        flows
+            .iter()
+            .map(|&j| self.demand(j, from, to).utilization())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmf_model::{cbr_flow, paper_figure3_flow};
+    use gmf_net::{paper_figure1, shortest_path, Priority};
+
+    fn setup() -> (Topology, FlowSet, Vec<NodeId>) {
+        let (t, net) = paper_figure1();
+        let mut fs = FlowSet::new();
+        let video = paper_figure3_flow("video", Time::from_millis(100.0), Time::from_millis(1.0));
+        let route = shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap();
+        fs.add(video, route, Priority(6));
+        let voice = cbr_flow("voice", 160, Time::from_millis(20.0), Time::from_millis(20.0), Time::ZERO);
+        let route = shortest_path(&t, net.hosts[1], net.hosts[3]).unwrap();
+        fs.add(voice, route, Priority(7));
+        let nodes = vec![net.hosts[0], net.hosts[1], net.switches[0], net.switches[2], net.hosts[3]];
+        (t, fs, nodes)
+    }
+
+    #[test]
+    fn resource_id_display_and_ordering() {
+        let a = ResourceId::Link { from: NodeId(0), to: NodeId(4) };
+        let b = ResourceId::SwitchIngress { node: NodeId(4) };
+        assert_eq!(a.to_string(), "link(0,4)");
+        assert_eq!(b.to_string(), "in(4)");
+        assert_ne!(a, b);
+        // Ord is derived; just check it is usable as a map key.
+        let mut m = BTreeMap::new();
+        m.insert(a, 1);
+        m.insert(b, 2);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn initial_jitter_map_has_source_jitter_on_first_link() {
+        let (_, fs, n) = setup();
+        let map = JitterMap::initial(&fs);
+        let first_link = ResourceId::Link { from: n[0], to: n[2] };
+        // The video flow has 1 ms jitter on every frame.
+        assert_eq!(map.max_jitter(FlowId(0), first_link), Time::from_millis(1.0));
+        assert_eq!(map.get(FlowId(0), first_link, 3), Time::from_millis(1.0));
+        // Downstream resources start at zero.
+        let downstream = ResourceId::Link { from: n[2], to: n[3] };
+        assert_eq!(map.max_jitter(FlowId(0), downstream), Time::ZERO);
+        // The voice flow declared no jitter.
+        let voice_first = ResourceId::Link { from: n[1], to: n[2] };
+        assert_eq!(map.max_jitter(FlowId(1), voice_first), Time::ZERO);
+    }
+
+    #[test]
+    fn jitter_map_set_get_and_compare() {
+        let (_, fs, n) = setup();
+        let mut map = JitterMap::initial(&fs);
+        let resource = ResourceId::SwitchIngress { node: n[2] };
+        map.set(FlowId(0), resource, 2, Time::from_millis(3.0), 9);
+        assert_eq!(map.get(FlowId(0), resource, 2), Time::from_millis(3.0));
+        assert_eq!(map.get(FlowId(0), resource, 1), Time::ZERO);
+        assert_eq!(map.max_jitter(FlowId(0), resource), Time::from_millis(3.0));
+        // Unknown entries read as zero.
+        assert_eq!(map.get(FlowId(1), resource, 0), Time::ZERO);
+
+        let map2 = map.clone();
+        assert!(map.approx_eq(&map2));
+        let mut map3 = map.clone();
+        map3.set(FlowId(0), resource, 2, Time::from_millis(4.0), 9);
+        assert!(!map.approx_eq(&map3));
+        // A map with an extra all-zero entry is still approx-equal.
+        let mut map4 = map.clone();
+        map4.set(FlowId(1), resource, 0, Time::ZERO, 1);
+        assert!(map.approx_eq(&map4));
+        assert!(map.iter().count() >= 2);
+    }
+
+    #[test]
+    fn context_caches_demands_for_every_hop() {
+        let (t, fs, n) = setup();
+        let ctx = AnalysisContext::new(&t, &fs).unwrap();
+        // Video flow route: host0 -> switch4 -> switch6 -> host3.
+        let d = ctx.demand(FlowId(0), n[0], n[2]);
+        assert_eq!(d.nsum(), 94);
+        // The backbone link is faster, so the same flow's CSUM is smaller.
+        let d_backbone = ctx.demand(FlowId(0), n[2], n[3]);
+        assert!(d_backbone.csum() < d.csum());
+        // Both flows share the final link towards host3.
+        let shared: Vec<FlowId> = fs.flows_on_link(n[3], n[4]);
+        assert_eq!(shared.len(), 2);
+        let u = ctx.link_utilization(&shared, n[3], n[4]);
+        assert!(u > 0.0 && u < 1.0);
+        assert_eq!(ctx.flows().len(), 2);
+        assert_eq!(ctx.flow(FlowId(0)).unwrap().n_frames(), 9);
+        assert_eq!(ctx.topology().n_nodes(), t.n_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "no cached demand")]
+    fn demand_for_untraversed_link_panics() {
+        let (t, fs, n) = setup();
+        let ctx = AnalysisContext::new(&t, &fs).unwrap();
+        // The video flow never transmits on the reverse access link.
+        let _ = ctx.demand(FlowId(0), n[2], n[0]);
+    }
+}

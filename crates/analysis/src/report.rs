@@ -1,0 +1,267 @@
+//! Structured results of the end-to-end analysis.
+
+use crate::context::ResourceId;
+use crate::error::StageKind;
+use gmf_model::{FlowId, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The response-time bound contributed by one resource of a flow's route.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HopBound {
+    /// The resource (link or switch-ingress stage).
+    pub resource: ResourceId,
+    /// Which of the three analyses produced the bound.
+    pub stage: StageKind,
+    /// The response-time bound on this resource.
+    pub response: Time,
+}
+
+impl StageKind {
+    /// Serde-friendly tag (StageKind itself lives in `error.rs` and is not
+    /// serializable there to keep error types lean).
+    fn as_str(self) -> &'static str {
+        match self {
+            StageKind::FirstHop => "first_hop",
+            StageKind::SwitchIngress => "switch_ingress",
+            StageKind::EgressLink => "egress_link",
+        }
+    }
+}
+
+impl Serialize for StageKind {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for StageKind {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        match s.as_str() {
+            "first_hop" => Ok(StageKind::FirstHop),
+            "switch_ingress" => Ok(StageKind::SwitchIngress),
+            "egress_link" => Ok(StageKind::EgressLink),
+            other => Err(serde::de::Error::custom(format!("unknown stage kind {other}"))),
+        }
+    }
+}
+
+/// End-to-end bound of one frame of one flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameBound {
+    /// The flow.
+    pub flow: FlowId,
+    /// The frame index within the flow's GMF cycle.
+    pub frame: usize,
+    /// The generalized jitter of the frame at the source (included in the
+    /// bound, following Figure 6 which initialises `RSUM := GJ_i^k`).
+    pub source_jitter: Time,
+    /// The end-to-end response-time bound, from arrival at the source until
+    /// reception of every Ethernet frame at the destination.
+    pub bound: Time,
+    /// The frame's relative deadline.
+    pub deadline: Time,
+    /// Per-resource breakdown of the bound, in route order.
+    pub hops: Vec<HopBound>,
+}
+
+impl FrameBound {
+    /// `true` if the bound does not exceed the deadline.
+    pub fn meets_deadline(&self) -> bool {
+        self.bound <= self.deadline
+    }
+
+    /// Slack (deadline − bound); negative when the deadline is missed.
+    pub fn slack(&self) -> Time {
+        self.deadline - self.bound
+    }
+}
+
+/// All frame bounds of one flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// The flow.
+    pub flow: FlowId,
+    /// The flow's name.
+    pub name: String,
+    /// Per-frame bounds (one entry per frame of the GMF cycle).
+    pub frames: Vec<FrameBound>,
+}
+
+impl FlowReport {
+    /// The largest end-to-end bound over all frames.
+    pub fn worst_bound(&self) -> Option<Time> {
+        self.frames.iter().map(|f| f.bound).max()
+    }
+
+    /// The smallest slack over all frames.
+    pub fn worst_slack(&self) -> Option<Time> {
+        self.frames.iter().map(|f| f.slack()).min()
+    }
+
+    /// `true` if every frame meets its deadline.
+    pub fn meets_all_deadlines(&self) -> bool {
+        self.frames.iter().all(|f| f.meets_deadline())
+    }
+}
+
+/// The result of a holistic analysis run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Per-flow results (may be partial if the analysis aborted because a
+    /// resource was found to be overloaded).
+    pub flows: Vec<FlowReport>,
+    /// `true` if the holistic jitter iteration reached a fixed point.
+    pub converged: bool,
+    /// Number of holistic (outer) iterations performed.
+    pub iterations: usize,
+    /// `true` if the iteration converged and every frame of every flow
+    /// meets its deadline.
+    pub schedulable: bool,
+    /// Why the flow set is not schedulable, when it is not.
+    pub failure: Option<String>,
+}
+
+impl AnalysisReport {
+    /// Look up the report of a flow.
+    pub fn flow(&self, id: FlowId) -> Option<&FlowReport> {
+        self.flows.iter().find(|f| f.flow == id)
+    }
+
+    /// The largest end-to-end bound of any frame of any flow.
+    pub fn worst_bound(&self) -> Option<Time> {
+        self.flows.iter().filter_map(|f| f.worst_bound()).max()
+    }
+
+    /// Total number of (flow, frame) bounds contained in the report.
+    pub fn n_frame_bounds(&self) -> usize {
+        self.flows.iter().map(|f| f.frames.len()).sum()
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "schedulable: {} (converged: {}, iterations: {})",
+            self.schedulable, self.converged, self.iterations
+        )?;
+        if let Some(reason) = &self.failure {
+            writeln!(f, "failure: {reason}")?;
+        }
+        for flow in &self.flows {
+            let worst = flow
+                .worst_bound()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let slack = flow
+                .worst_slack()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            writeln!(
+                f,
+                "  {:<24} worst bound {:<14} worst slack {:<14} deadlines {}",
+                flow.name,
+                worst,
+                slack,
+                if flow.meets_all_deadlines() { "met" } else { "MISSED" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmf_net::NodeId;
+
+    fn frame(bound_ms: f64, deadline_ms: f64) -> FrameBound {
+        FrameBound {
+            flow: FlowId(0),
+            frame: 0,
+            source_jitter: Time::from_millis(1.0),
+            bound: Time::from_millis(bound_ms),
+            deadline: Time::from_millis(deadline_ms),
+            hops: vec![HopBound {
+                resource: ResourceId::Link {
+                    from: NodeId(0),
+                    to: NodeId(4),
+                },
+                stage: StageKind::FirstHop,
+                response: Time::from_millis(bound_ms),
+            }],
+        }
+    }
+
+    #[test]
+    fn frame_bound_deadline_and_slack() {
+        let ok = frame(40.0, 100.0);
+        assert!(ok.meets_deadline());
+        assert!(ok.slack().approx_eq(Time::from_millis(60.0)));
+        let miss = frame(120.0, 100.0);
+        assert!(!miss.meets_deadline());
+        assert!(miss.slack().is_negative());
+    }
+
+    #[test]
+    fn flow_report_aggregates() {
+        let report = FlowReport {
+            flow: FlowId(0),
+            name: "video".into(),
+            frames: vec![frame(40.0, 100.0), frame(80.0, 100.0), frame(10.0, 100.0)],
+        };
+        assert_eq!(report.worst_bound(), Some(Time::from_millis(80.0)));
+        assert!(report.worst_slack().unwrap().approx_eq(Time::from_millis(20.0)));
+        assert!(report.meets_all_deadlines());
+        let empty = FlowReport {
+            flow: FlowId(1),
+            name: "x".into(),
+            frames: vec![],
+        };
+        assert_eq!(empty.worst_bound(), None);
+        assert!(empty.meets_all_deadlines());
+    }
+
+    #[test]
+    fn analysis_report_lookup_and_display() {
+        let report = AnalysisReport {
+            flows: vec![FlowReport {
+                flow: FlowId(0),
+                name: "video".into(),
+                frames: vec![frame(40.0, 100.0)],
+            }],
+            converged: true,
+            iterations: 3,
+            schedulable: true,
+            failure: None,
+        };
+        assert!(report.flow(FlowId(0)).is_some());
+        assert!(report.flow(FlowId(5)).is_none());
+        assert_eq!(report.worst_bound(), Some(Time::from_millis(40.0)));
+        assert_eq!(report.n_frame_bounds(), 1);
+        let text = report.to_string();
+        assert!(text.contains("schedulable: true"));
+        assert!(text.contains("video"));
+
+        let failed = AnalysisReport {
+            flows: vec![],
+            converged: false,
+            iterations: 100,
+            schedulable: false,
+            failure: Some("link(4,6) overloaded".into()),
+        };
+        assert!(failed.to_string().contains("overloaded"));
+    }
+
+    #[test]
+    fn stage_kind_serde_roundtrip() {
+        for kind in [StageKind::FirstHop, StageKind::SwitchIngress, StageKind::EgressLink] {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: StageKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(kind, back);
+        }
+        assert!(serde_json::from_str::<StageKind>("\"bogus\"").is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Common result type of the three per-resource response-time analyses.
+
+use gmf_model::Time;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of analysing one frame of one flow on one resource.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageResult {
+    /// The response-time upper bound on this resource, including the frame's
+    /// own transmission/processing and (for link stages) the propagation
+    /// delay.
+    pub response: Time,
+    /// The length of the busy period explored (`t_i^k` of the paper).
+    pub busy_period: Time,
+    /// The number of instances `Q_i^k` of the frame examined inside the
+    /// busy period.
+    pub instances: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_result_is_plain_data() {
+        let r = StageResult {
+            response: Time::from_millis(2.0),
+            busy_period: Time::from_millis(5.0),
+            instances: 3,
+        };
+        let r2 = r;
+        assert_eq!(r, r2);
+        assert_eq!(r.instances, 3);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("busy_period"));
+    }
+}

@@ -1,0 +1,32 @@
+//! B3 — cost of the full holistic analysis (admission-control latency) on
+//! the paper scenario and on larger synthetic flow sets.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmf_analysis::{analyze, AnalysisConfig};
+use gmf_workloads::{build_converging_flow_set, paper_scenario, random_flow_collection, SweepConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_holistic(c: &mut Criterion) {
+    let config = AnalysisConfig::paper();
+
+    let (scenario, _) = paper_scenario();
+    c.bench_function("holistic_paper_scenario", |b| {
+        b.iter(|| analyze(black_box(&scenario.topology), &scenario.flows, &config).unwrap())
+    });
+
+    let mut group = c.benchmark_group("holistic_synthetic");
+    for n_flows in [4usize, 8, 16] {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let sweep = SweepConfig::default();
+        let flows = random_flow_collection(&mut rng, n_flows, 0.4, &sweep.synthetic);
+        let (topology, set, _) = build_converging_flow_set(&mut rng, flows, &sweep);
+        group.bench_with_input(BenchmarkId::from_parameter(n_flows), &n_flows, |b, _| {
+            b.iter(|| analyze(black_box(&topology), &set, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_holistic);
+criterion_main!(benches);

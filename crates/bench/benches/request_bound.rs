@@ -1,0 +1,29 @@
+//! B1 — cost of evaluating the request-bound functions (CSUM/NSUM/MX/NX)
+//! that every fixed-point iteration of the analysis calls in its inner loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gmf_model::{paper_figure3_flow, BitRate, EncapsulationConfig, LinkDemand, Time};
+
+fn bench_request_bound(c: &mut Criterion) {
+    let flow = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
+    let cfg = EncapsulationConfig::paper();
+    let speed = BitRate::from_mbps(10.0);
+
+    c.bench_function("link_demand_build_paper_flow", |b| {
+        b.iter(|| LinkDemand::new(black_box(&flow), &cfg, speed))
+    });
+
+    let demand = LinkDemand::new(&flow, &cfg, speed);
+    c.bench_function("mx_sub_cycle_window", |b| {
+        b.iter(|| demand.mx(black_box(Time::from_millis(95.0))))
+    });
+    c.bench_function("mx_multi_cycle_window", |b| {
+        b.iter(|| demand.mx(black_box(Time::from_secs(3.0))))
+    });
+    c.bench_function("nx_multi_cycle_window", |b| {
+        b.iter(|| demand.nx(black_box(Time::from_secs(3.0))))
+    });
+}
+
+criterion_group!(benches, bench_request_bound);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! B4 — event throughput of the discrete-event switch simulator on the
+//! paper scenario.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gmf_model::Time;
+use gmf_workloads::paper_scenario;
+use switch_sim::{SimConfig, Simulator};
+
+fn bench_simulator(c: &mut Criterion) {
+    let (scenario, _) = paper_scenario();
+    let cfg = SimConfig {
+        horizon: Time::from_millis(300.0),
+        ..SimConfig::default()
+    };
+    c.bench_function("simulate_paper_scenario_300ms", |b| {
+        b.iter(|| {
+            Simulator::new(black_box(&scenario.topology), &scenario.flows, cfg)
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

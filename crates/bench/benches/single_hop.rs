@@ -1,0 +1,32 @@
+//! B2 — cost of the three per-resource response-time analyses on the paper
+//! scenario (one frame, one resource each).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gmf_analysis::{
+    egress_response, first_hop_response, ingress_response, AnalysisConfig, AnalysisContext,
+    JitterMap,
+};
+use gmf_model::FlowId;
+use gmf_net::NodeId;
+use gmf_workloads::paper_scenario;
+
+fn bench_single_hop(c: &mut Criterion) {
+    let (scenario, ids) = paper_scenario();
+    let ctx = AnalysisContext::new(&scenario.topology, &scenario.flows).unwrap();
+    let jitters = JitterMap::initial(&scenario.flows);
+    let config = AnalysisConfig::paper();
+    let video = FlowId(ids.video);
+
+    c.bench_function("first_hop_ip_frame", |b| {
+        b.iter(|| first_hop_response(&ctx, &jitters, &config, black_box(video), 0).unwrap())
+    });
+    c.bench_function("switch_ingress_ip_frame", |b| {
+        b.iter(|| ingress_response(&ctx, &jitters, &config, black_box(video), 0, NodeId(4)).unwrap())
+    });
+    c.bench_function("egress_link_ip_frame", |b| {
+        b.iter(|| egress_response(&ctx, &jitters, &config, black_box(video), 0, NodeId(4)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_single_hop);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E5 — Figure 6 and "Putting it all together": end-to-end response-time
+//! bounds and the admission verdict for the paper scenario.
+//!
+//! Runs the holistic analysis on the full paper scenario (MPEG video,
+//! two VoIP calls, a conference video on the Figure 1 network) and prints
+//! the per-hop breakdown of every frame of the video flow plus the
+//! per-flow summary the admission controller would act on.
+
+use gmf_analysis::{analyze, AnalysisConfig};
+use gmf_bench::{print_header, print_table};
+use gmf_model::FlowId;
+use gmf_workloads::paper_scenario;
+
+fn main() {
+    print_header(
+        "E5",
+        "Paper Figure 6: end-to-end response-time bounds on the example network",
+    );
+
+    let (scenario, ids) = paper_scenario();
+    let report = analyze(&scenario.topology, &scenario.flows, &AnalysisConfig::paper())
+        .expect("the paper scenario is structurally valid");
+
+    println!(
+        "holistic iterations: {}   converged: {}   schedulable: {}",
+        report.iterations, report.converged, report.schedulable
+    );
+    println!();
+
+    // Per-hop breakdown of the video flow (the Figure 2 route).
+    let video = report
+        .flow(FlowId(ids.video))
+        .expect("video flow was analysed");
+    println!("Per-hop bounds of '{}' (route 0 -> 4 -> 6 -> 3):", video.name);
+    let rows: Vec<Vec<String>> = video
+        .frames
+        .iter()
+        .map(|frame| {
+            let mut row = vec![
+                frame.frame.to_string(),
+                frame.source_jitter.to_string(),
+            ];
+            for hop in &frame.hops {
+                row.push(format!("{}={}", hop.resource, hop.response));
+            }
+            row.push(frame.bound.to_string());
+            row.push(frame.deadline.to_string());
+            row.push(if frame.meets_deadline() { "yes" } else { "NO" }.to_string());
+            row
+        })
+        .collect();
+    print_table(
+        &[
+            "frame", "GJ", "hop 1", "hop 2", "hop 3", "hop 4", "hop 5", "end-to-end", "deadline",
+            "met",
+        ],
+        &rows,
+    );
+
+    println!();
+    println!("Per-flow summary (the admission controller's view):");
+    let rows: Vec<Vec<String>> = report
+        .flows
+        .iter()
+        .map(|f| {
+            vec![
+                f.name.clone(),
+                f.frames.len().to_string(),
+                f.worst_bound().map(|t| t.to_string()).unwrap_or_default(),
+                f.worst_slack().map(|t| t.to_string()).unwrap_or_default(),
+                if f.meets_all_deadlines() { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["flow", "frames", "worst bound", "worst slack", "deadlines met"],
+        &rows,
+    );
+}

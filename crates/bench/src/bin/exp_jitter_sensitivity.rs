@@ -1,0 +1,81 @@
+//! E9 — sensitivity of the end-to-end bound to the source generalized
+//! jitter.
+//!
+//! The generalized jitter is the paper's main modelling addition to the
+//! GMF model; this experiment sweeps the video flow's source jitter from
+//! 0 to 20 ms on the paper scenario and reports the resulting worst
+//! end-to-end bounds of every flow.
+
+use gmf_analysis::{analyze, AnalysisConfig};
+use gmf_bench::{print_header, print_table};
+use gmf_model::{paper_figure3_flow, FlowId, Time};
+use gmf_net::{shortest_path, Priority};
+use gmf_workloads::paper_scenario;
+
+fn main() {
+    print_header("E9", "End-to-end bound vs source generalized jitter of the video flow");
+
+    let mut rows = Vec::new();
+    for jitter_ms in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0] {
+        // Rebuild the paper scenario but override the video flow's jitter.
+        let (scenario, ids) = paper_scenario();
+        let mut flows = gmf_net::FlowSet::new();
+        for binding in scenario.flows.bindings() {
+            if binding.id.0 == ids.video {
+                let video = paper_figure3_flow(
+                    "mpeg-video",
+                    Time::from_millis(150.0),
+                    Time::from_millis(jitter_ms),
+                );
+                let route = shortest_path(
+                    &scenario.topology,
+                    scenario.network.hosts[0],
+                    scenario.network.hosts[3],
+                )
+                .expect("connected");
+                flows.add(video, route, Priority(5));
+            } else {
+                flows.add_with_encapsulation(
+                    binding.flow.clone(),
+                    binding.route.clone(),
+                    binding.priority,
+                    binding.encapsulation,
+                );
+            }
+        }
+        let report = analyze(&scenario.topology, &flows, &AnalysisConfig::paper())
+            .expect("valid scenario");
+        let bound = |id: usize| {
+            report
+                .flow(FlowId(id))
+                .and_then(|f| f.worst_bound())
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".to_string())
+        };
+        rows.push(vec![
+            format!("{jitter_ms} ms"),
+            bound(ids.video),
+            bound(ids.voice_a),
+            bound(ids.voice_b),
+            bound(ids.conference),
+            report.schedulable.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "video source GJ",
+            "video bound",
+            "voice 1->3 bound",
+            "voice 2->0 bound",
+            "conference bound",
+            "schedulable",
+        ],
+        &rows,
+    );
+    println!();
+    println!(
+        "expected shape: the video bound grows one-for-one with its own source jitter (Figure 6 adds\n\
+         GJ to RSUM); flows that never compete with the video flow — or that outrank it on every\n\
+         shared output queue — are unaffected, which is exactly what the table shows."
+    );
+}

@@ -1,0 +1,43 @@
+//! E4 — Figure 5 and the worked CIRC example: the stride-scheduling round
+//! length of a software switch.
+//!
+//! Regenerates `CIRC(N) = NINTERFACES(N) × (CROUTE + CSEND)` for the
+//! paper's measured costs (2.7 µs and 1.0 µs) across interface counts,
+//! including the worked 4-interface value of 14.8 µs.
+
+use gmf_bench::{compare, print_header, print_table};
+use gmf_net::SwitchConfig;
+
+fn main() {
+    print_header("E4", "Paper Figure 5: software-switch service round CIRC(N)");
+
+    let cfg = SwitchConfig::paper();
+    println!(
+        "CROUTE = {} (dequeue + classify + enqueue), CSEND = {} (priority queue -> NIC)",
+        cfg.croute, cfg.csend
+    );
+    println!();
+
+    let rows: Vec<Vec<String>> = [2usize, 4, 8, 16, 24, 48]
+        .iter()
+        .map(|&ports| {
+            vec![
+                ports.to_string(),
+                cfg.circ(ports).to_string(),
+                SwitchConfig::fast().circ(ports).to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["interfaces", "CIRC (paper 2008 PC)", "CIRC (10x faster CPU)"],
+        &rows,
+    );
+
+    println!();
+    compare("CIRC for 4 interfaces (Figure 5 example)", "14.8 µs", &cfg.circ(4).to_string());
+    compare(
+        "per-interface service cost CROUTE+CSEND",
+        "3.7 µs",
+        &cfg.per_interface_cost().to_string(),
+    );
+}

@@ -1,0 +1,100 @@
+//! E6 — the conclusion's switch-dimensioning claims.
+//!
+//! The paper concludes that `CIRC(N)` "heavily influences the delay",
+//! that a 48-port switch built from a 16-processor network processor
+//! achieves `CIRC = 11.1 µs`, and that such a switch "can comfortably deal
+//! with links of speed 1 Gbit/s".  This experiment regenerates:
+//!
+//! 1. the CIRC table across port counts and processor counts,
+//! 2. the end-to-end video bound on the paper scenario as a function of
+//!    CIRC (processor speed sweep), and
+//! 3. the voice-flow bound on an all-gigabit network with the 48-port /
+//!    16-CPU switch parameters.
+
+use gmf_analysis::{analyze, AnalysisConfig};
+use gmf_bench::{compare, print_header, print_table};
+use gmf_model::{FlowId, Time};
+use gmf_net::{LinkProfile, PaperNetworkConfig, SwitchConfig};
+use gmf_workloads::{paper_scenario_with, PaperScenarioFlows, Scenario};
+
+fn video_bound(scenario: &Scenario, ids: &PaperScenarioFlows) -> Option<Time> {
+    analyze(&scenario.topology, &scenario.flows, &AnalysisConfig::paper())
+        .ok()
+        .and_then(|r| r.flow(FlowId(ids.video)).and_then(|f| f.worst_bound()))
+}
+
+fn main() {
+    print_header("E6", "Conclusion: switch dimensioning (CIRC vs ports, processors, link speed)");
+
+    // 1. CIRC table.
+    let rows: Vec<Vec<String>> = [(4usize, 1usize), (8, 1), (16, 1), (48, 1), (48, 4), (48, 16), (64, 16)]
+        .iter()
+        .map(|&(ports, cpus)| {
+            let cfg = SwitchConfig::paper().with_processors(cpus);
+            vec![ports.to_string(), cpus.to_string(), cfg.circ(ports).to_string()]
+        })
+        .collect();
+    print_table(&["ports", "processors", "CIRC"], &rows);
+    compare(
+        "CIRC for 48 ports / 16 processors",
+        "11.1 µs",
+        &SwitchConfig::paper().with_processors(16).circ(48).to_string(),
+    );
+    println!();
+
+    // 2. Video bound vs switch speed (CIRC sweep via CROUTE/CSEND scaling).
+    println!("End-to-end video bound on the paper scenario as the switch CPU gets faster:");
+    let rows: Vec<Vec<String>> = [1.0f64, 2.0, 4.0, 10.0, 100.0]
+        .iter()
+        .map(|&speedup| {
+            let switch = SwitchConfig {
+                croute: Time::from_micros(2.7 / speedup),
+                csend: Time::from_micros(1.0 / speedup),
+                processors: 1,
+            };
+            let (scenario, ids) = paper_scenario_with(PaperNetworkConfig {
+                switch,
+                ..Default::default()
+            });
+            let bound = video_bound(&scenario, &ids)
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "unschedulable".to_string());
+            vec![
+                format!("{speedup}x"),
+                switch.circ(4).to_string(),
+                bound,
+            ]
+        })
+        .collect();
+    print_table(&["CPU speed-up", "CIRC (4 ports)", "worst video bound"], &rows);
+    println!();
+
+    // 3. Gigabit feasibility with the 48-port / 16-CPU switch parameters.
+    println!("All-gigabit network with 16-processor switches (the conclusion's scenario):");
+    let gigabit = PaperNetworkConfig {
+        access: LinkProfile::ethernet_1g(),
+        backbone: LinkProfile::ethernet_1g(),
+        switch: SwitchConfig::paper().with_processors(16),
+    };
+    let (scenario, ids) = paper_scenario_with(gigabit);
+    let report = analyze(&scenario.topology, &scenario.flows, &AnalysisConfig::paper())
+        .expect("structurally valid");
+    let rows: Vec<Vec<String>> = report
+        .flows
+        .iter()
+        .map(|f| {
+            vec![
+                f.name.clone(),
+                f.worst_bound().map(|t| t.to_string()).unwrap_or_default(),
+                if f.meets_all_deadlines() { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["flow", "worst bound", "deadlines met"], &rows);
+    compare(
+        "1 Gbit/s links handled comfortably",
+        "claimed",
+        if report.schedulable { "yes (all deadlines met with large slack)" } else { "no" },
+    );
+    let _ = ids;
+}

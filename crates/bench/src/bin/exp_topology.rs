@@ -1,0 +1,71 @@
+//! E1 — Figures 1 and 2: the example network and the route 0 → 4 → 6 → 3.
+//!
+//! Regenerates the topology description (nodes, links, interface counts,
+//! per-switch `CIRC`) and the resource pipeline of the example route.
+
+use gmf_bench::{compare, print_header, print_table};
+use gmf_net::{paper_figure1, shortest_path};
+
+fn main() {
+    print_header("E1", "Paper Figures 1-2: example network and route");
+
+    let (topology, net) = paper_figure1();
+
+    let rows: Vec<Vec<String>> = topology
+        .nodes()
+        .iter()
+        .map(|node| {
+            let kind = match &node.kind {
+                gmf_net::NodeKind::EndHost => "IP end host".to_string(),
+                gmf_net::NodeKind::Router => "IP router".to_string(),
+                gmf_net::NodeKind::Switch(_) => "Ethernet switch".to_string(),
+            };
+            let circ = topology
+                .circ(node.id)
+                .map(|c| c.to_string())
+                .unwrap_or_else(|_| "-".to_string());
+            vec![
+                node.id.to_string(),
+                node.name.clone(),
+                kind,
+                topology.n_interfaces(node.id).to_string(),
+                circ,
+            ]
+        })
+        .collect();
+    print_table(&["node", "name", "kind", "interfaces", "CIRC"], &rows);
+
+    println!();
+    let rows: Vec<Vec<String>> = topology
+        .links()
+        .iter()
+        .map(|l| {
+            vec![
+                format!("link({},{})", l.src.0, l.dst.0),
+                l.speed.to_string(),
+                l.propagation.to_string(),
+                l.mft().to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["link", "speed", "propagation", "MFT"], &rows);
+
+    println!();
+    let route = shortest_path(&topology, net.hosts[0], net.hosts[3]).expect("connected");
+    println!("Figure 2 route (host 0 -> host 3): {route}");
+    println!("Resource pipeline of that route:");
+    println!("  1. first hop: output queue of host 0 + link(0,4)");
+    for &switch in route.switches() {
+        let succ = route.successor(switch).expect("on route");
+        println!("  -  switch ingress in({})", switch.0);
+        println!("  -  egress link({},{})", switch.0, succ.0);
+    }
+    println!();
+    compare("number of nodes", "8", &topology.n_nodes().to_string());
+    compare("hops on the Figure 2 route", "3", &route.n_hops().to_string());
+    compare(
+        "interfaces of switch 4 (Figure 5)",
+        "4",
+        &topology.n_interfaces(net.switches[0]).to_string(),
+    );
+}

@@ -1,0 +1,63 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! Every experiment binary (`src/bin/exp_*.rs`) regenerates one figure,
+//! worked example or claim of the paper (see DESIGN.md §5 and
+//! EXPERIMENTS.md) and prints it as an aligned text table plus, where a
+//! paper value exists, a `paper vs measured` line.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Print a named experiment header.
+pub fn print_header(id: &str, title: &str) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!("==================================================================");
+}
+
+/// Print an aligned table: `headers` first, then one row per entry.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Print a `paper vs measured` comparison line.
+pub fn compare(quantity: &str, paper: &str, measured: &str) {
+    println!("  {quantity:<42} paper: {paper:<16} measured: {measured}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_do_not_panic() {
+        print_header("E0", "smoke test");
+        print_table(
+            &["a", "bbb"],
+            &[
+                vec!["1".to_string(), "2".to_string()],
+                vec!["333".to_string(), "4".to_string()],
+            ],
+        );
+        compare("MFT", "1.2304 ms", "1.2304 ms");
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for the GMF traffic-model crate.
+
+use crate::units::Time;
+use std::fmt;
+
+/// Errors raised while constructing or validating GMF flows and their
+/// per-link demand descriptions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A flow was declared with zero frames (the GMF model requires `n >= 1`).
+    EmptyFlow,
+    /// A minimum inter-arrival time was not strictly positive.
+    NonPositiveInterArrival {
+        /// Index of the offending frame within the flow.
+        frame: usize,
+        /// The offending value.
+        value: Time,
+    },
+    /// A relative deadline was not strictly positive.
+    NonPositiveDeadline {
+        /// Index of the offending frame within the flow.
+        frame: usize,
+        /// The offending value.
+        value: Time,
+    },
+    /// A generalized jitter was negative.
+    NegativeJitter {
+        /// Index of the offending frame within the flow.
+        frame: usize,
+        /// The offending value.
+        value: Time,
+    },
+    /// A payload was empty; every GMF frame must transmit at least one byte.
+    EmptyPayload {
+        /// Index of the offending frame within the flow.
+        frame: usize,
+    },
+    /// A frame index was out of range for the flow.
+    FrameOutOfRange {
+        /// The requested frame index.
+        frame: usize,
+        /// The number of frames in the flow.
+        n_frames: usize,
+    },
+    /// A non-finite value was encountered.
+    NonFinite {
+        /// Human-readable description of which quantity was non-finite.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyFlow => write!(f, "a GMF flow must have at least one frame"),
+            ModelError::NonPositiveInterArrival { frame, value } => write!(
+                f,
+                "frame {frame}: minimum inter-arrival time must be > 0, got {value}"
+            ),
+            ModelError::NonPositiveDeadline { frame, value } => {
+                write!(f, "frame {frame}: relative deadline must be > 0, got {value}")
+            }
+            ModelError::NegativeJitter { frame, value } => {
+                write!(f, "frame {frame}: generalized jitter must be >= 0, got {value}")
+            }
+            ModelError::EmptyPayload { frame } => {
+                write!(f, "frame {frame}: payload must contain at least one byte")
+            }
+            ModelError::FrameOutOfRange { frame, n_frames } => {
+                write!(f, "frame index {frame} out of range for a flow with {n_frames} frames")
+            }
+            ModelError::NonFinite { what } => write!(f, "non-finite value for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::NonPositiveInterArrival {
+            frame: 3,
+            value: Time::ZERO,
+        };
+        let s = e.to_string();
+        assert!(s.contains("frame 3"));
+        assert!(s.contains("inter-arrival"));
+
+        assert!(ModelError::EmptyFlow.to_string().contains("at least one frame"));
+        assert!(ModelError::EmptyPayload { frame: 1 }.to_string().contains("frame 1"));
+        assert!(ModelError::FrameOutOfRange { frame: 9, n_frames: 3 }
+            .to_string()
+            .contains("out of range"));
+        assert!(ModelError::NonFinite { what: "deadline" }.to_string().contains("deadline"));
+        assert!(ModelError::NegativeJitter { frame: 0, value: Time::from_millis(-1.0) }
+            .to_string()
+            .contains("jitter"));
+        assert!(ModelError::NonPositiveDeadline { frame: 2, value: Time::ZERO }
+            .to_string()
+            .contains("deadline"));
+    }
+}

@@ -1,0 +1,621 @@
+//! Physical-quantity newtypes used throughout the workspace.
+//!
+//! The schedulability analysis in the paper manipulates three kinds of
+//! quantities: *time* (busy periods, response times, inter-arrival times,
+//! jitter), *data sizes* in bits (payloads, Ethernet frame sizes) and *link
+//! speeds* in bits per second.  Mixing these up is a classic source of silent
+//! errors (the paper itself switches between µs, ms and seconds), so each is
+//! wrapped in a dedicated newtype with only the physically meaningful
+//! arithmetic implemented.
+//!
+//! Times are stored as `f64` seconds.  The fixed-point iterations of the
+//! analysis converge to within fractions of a nanosecond for realistic
+//! parameters, far below the microsecond-scale quantities the paper deals
+//! with, so `f64` is ample; see `Time::approx_eq` for the tolerance used by
+//! convergence checks.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Relative tolerance used when comparing two [`Time`] values for
+/// fixed-point convergence.
+pub const TIME_RELATIVE_EPSILON: f64 = 1e-12;
+
+/// Absolute tolerance (seconds) used when comparing two [`Time`] values that
+/// are both very close to zero.
+pub const TIME_ABSOLUTE_EPSILON: f64 = 1e-15;
+
+/// A span of time, stored in seconds.
+///
+/// `Time` is used both for durations (transmission times, busy periods) and
+/// for instants on the simulator timeline (where the origin is the start of
+/// the simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Time(f64);
+
+impl Time {
+    /// The zero duration.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Construct a time from seconds.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        debug_assert!(secs.is_finite(), "Time must be finite, got {secs}");
+        Time(secs)
+    }
+
+    /// Construct a time from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Time::from_secs(ms * 1e-3)
+    }
+
+    /// Construct a time from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Time::from_secs(us * 1e-6)
+    }
+
+    /// Construct a time from nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Self {
+        Time::from_secs(ns * 1e-9)
+    }
+
+    /// The value in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The value in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The value in microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The value in nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// `true` if this time is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// `true` if this time is finite (not NaN / infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// `true` if this time is negative.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0.0
+    }
+
+    /// The larger of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// The smaller of `self` and `other`.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// Clamp a possibly-negative time at zero.
+    #[inline]
+    pub fn clamp_non_negative(self) -> Time {
+        if self.0 < 0.0 {
+            Time::ZERO
+        } else {
+            self
+        }
+    }
+
+    /// `true` if `self` and `other` are equal within the convergence
+    /// tolerance used by the busy-period fixed-point iterations.
+    #[inline]
+    pub fn approx_eq(self, other: Time) -> bool {
+        let diff = (self.0 - other.0).abs();
+        if diff <= TIME_ABSOLUTE_EPSILON {
+            return true;
+        }
+        let scale = self.0.abs().max(other.0.abs());
+        diff <= scale * TIME_RELATIVE_EPSILON
+    }
+
+    /// Integer division of `self` by a strictly positive period: `floor(self / period)`.
+    ///
+    /// Used by the interference functions `MX`/`NX` which splice whole GMF
+    /// cycles with a residual window.  Negative `self` returns 0 whole
+    /// periods (the analysis never needs negative windows).
+    ///
+    /// Quotients within a relative 1e-9 of a whole number are snapped to
+    /// that whole number so that windows which are *mathematically* an exact
+    /// multiple of the period (e.g. `t = TSUM`) are not perturbed by
+    /// floating-point round-off.
+    #[inline]
+    pub fn div_floor(self, period: Time) -> u64 {
+        assert!(
+            period.0 > 0.0,
+            "div_floor requires a strictly positive period, got {period:?}"
+        );
+        if self.0 <= 0.0 {
+            return 0;
+        }
+        let q = self.0 / period.0;
+        let nearest = q.round();
+        if (q - nearest).abs() <= nearest.abs().max(1.0) * 1e-9 {
+            nearest as u64
+        } else {
+            q.floor() as u64
+        }
+    }
+
+    /// Ceiling division of `self` by a strictly positive period, with the
+    /// same near-integer snapping as [`Time::div_floor`].
+    #[inline]
+    pub fn div_ceil(self, period: Time) -> u64 {
+        assert!(
+            period.0 > 0.0,
+            "div_ceil requires a strictly positive period, got {period:?}"
+        );
+        if self.0 <= 0.0 {
+            return 0;
+        }
+        let q = self.0 / period.0;
+        let nearest = q.round();
+        if (q - nearest).abs() <= nearest.abs().max(1.0) * 1e-9 {
+            nearest as u64
+        } else {
+            q.ceil() as u64
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0.abs();
+        if s == 0.0 {
+            write!(f, "0 s")
+        } else if s < 1e-6 {
+            write!(f, "{:.3} ns", self.as_nanos())
+        } else if s < 1e-3 {
+            write!(f, "{:.3} µs", self.as_micros())
+        } else if s < 1.0 {
+            write!(f, "{:.4} ms", self.as_millis())
+        } else {
+            write!(f, "{:.6} s", self.0)
+        }
+    }
+}
+
+impl Eq for Time {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Times are always finite (enforced by the constructors in debug
+        // builds and by construction in the analysis), so total ordering by
+        // partial_cmp is safe; NaN would indicate a bug and panics loudly.
+        self.0
+            .partial_cmp(&other.0)
+            .expect("Time comparison encountered NaN")
+    }
+}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    #[inline]
+    fn neg(self) -> Time {
+        Time(-self.0)
+    }
+}
+
+impl Mul<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: f64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs as f64)
+    }
+}
+
+impl Mul<Time> for f64 {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: Time) -> Time {
+        Time(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: f64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Div<Time> for Time {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Time) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, |acc, t| acc + t)
+    }
+}
+
+/// A data size in bits.
+///
+/// Exact integer arithmetic: payload sizes, header sizes and Ethernet frame
+/// sizes are all whole numbers of bits in the paper's model.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bits(u64);
+
+impl Bits {
+    /// Zero bits.
+    pub const ZERO: Bits = Bits(0);
+
+    /// Construct from a number of bits.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        Bits(bits)
+    }
+
+    /// Construct from a number of bytes.
+    #[inline]
+    pub const fn from_bytes(bytes: u64) -> Self {
+        Bits(bytes * 8)
+    }
+
+    /// The value in bits.
+    #[inline]
+    pub const fn as_bits(self) -> u64 {
+        self.0
+    }
+
+    /// The value in whole bytes, rounding up.
+    #[inline]
+    pub const fn as_bytes_ceil(self) -> u64 {
+        self.0.div_ceil(8)
+    }
+
+    /// `true` if zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Bits) -> Bits {
+        Bits(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The time needed to serialise this many bits on a link of the given
+    /// speed.
+    #[inline]
+    pub fn transmission_time(self, speed: BitRate) -> Time {
+        speed.transmission_time(self)
+    }
+
+    /// The larger of two sizes.
+    #[inline]
+    pub fn max(self, other: Bits) -> Bits {
+        Bits(self.0.max(other.0))
+    }
+
+    /// The smaller of two sizes.
+    #[inline]
+    pub fn min(self, other: Bits) -> Bits {
+        Bits(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % 8 == 0 {
+            write!(f, "{} B", self.0 / 8)
+        } else {
+            write!(f, "{} bit", self.0)
+        }
+    }
+}
+
+impl Add for Bits {
+    type Output = Bits;
+    #[inline]
+    fn add(self, rhs: Bits) -> Bits {
+        Bits(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bits {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bits) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bits {
+    type Output = Bits;
+    #[inline]
+    fn sub(self, rhs: Bits) -> Bits {
+        debug_assert!(self.0 >= rhs.0, "Bits subtraction underflow");
+        Bits(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Bits {
+    type Output = Bits;
+    #[inline]
+    fn mul(self, rhs: u64) -> Bits {
+        Bits(self.0 * rhs)
+    }
+}
+
+impl Sum for Bits {
+    fn sum<I: Iterator<Item = Bits>>(iter: I) -> Bits {
+        iter.fold(Bits::ZERO, |acc, b| acc + b)
+    }
+}
+
+/// A link bit rate in bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct BitRate(f64);
+
+impl BitRate {
+    /// Construct from bits per second.
+    #[inline]
+    pub fn from_bps(bps: f64) -> Self {
+        assert!(
+            bps.is_finite() && bps > 0.0,
+            "link speed must be a positive finite bit rate, got {bps}"
+        );
+        BitRate(bps)
+    }
+
+    /// Construct from kilobits per second (10^3 bit/s).
+    #[inline]
+    pub fn from_kbps(kbps: f64) -> Self {
+        BitRate::from_bps(kbps * 1e3)
+    }
+
+    /// Construct from megabits per second (10^6 bit/s).
+    #[inline]
+    pub fn from_mbps(mbps: f64) -> Self {
+        BitRate::from_bps(mbps * 1e6)
+    }
+
+    /// Construct from gigabits per second (10^9 bit/s).
+    #[inline]
+    pub fn from_gbps(gbps: f64) -> Self {
+        BitRate::from_bps(gbps * 1e9)
+    }
+
+    /// The value in bits per second.
+    #[inline]
+    pub fn as_bps(self) -> f64 {
+        self.0
+    }
+
+    /// The value in megabits per second.
+    #[inline]
+    pub fn as_mbps(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Time needed to serialise `bits` at this rate.
+    #[inline]
+    pub fn transmission_time(self, bits: Bits) -> Time {
+        Time::from_secs(bits.as_bits() as f64 / self.0)
+    }
+}
+
+impl fmt::Display for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e9 {
+            write!(f, "{} Gbit/s", self.0 / 1e9)
+        } else if self.0 >= 1e6 {
+            write!(f, "{} Mbit/s", self.0 / 1e6)
+        } else if self.0 >= 1e3 {
+            write!(f, "{} kbit/s", self.0 / 1e3)
+        } else {
+            write!(f, "{} bit/s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors_roundtrip() {
+        assert_eq!(Time::from_millis(30.0).as_secs(), 0.030);
+        assert_eq!(Time::from_micros(2.7).as_nanos().round(), 2700.0);
+        assert_eq!(Time::from_secs(1.5).as_millis(), 1500.0);
+        assert!((Time::from_nanos(250.0).as_micros() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let a = Time::from_millis(10.0);
+        let b = Time::from_millis(4.0);
+        assert!((a + b).approx_eq(Time::from_millis(14.0)));
+        assert!((a - b).approx_eq(Time::from_millis(6.0)));
+        assert!((a * 3.0).approx_eq(Time::from_millis(30.0)));
+        assert!((a / 2.0).approx_eq(Time::from_millis(5.0)));
+        assert!((a / b - 2.5).abs() < 1e-12);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn time_ordering_and_sum() {
+        let mut v = vec![
+            Time::from_millis(3.0),
+            Time::from_millis(1.0),
+            Time::from_millis(2.0),
+        ];
+        v.sort();
+        assert_eq!(v[0], Time::from_millis(1.0));
+        assert_eq!(v[2], Time::from_millis(3.0));
+        let total: Time = v.into_iter().sum();
+        assert!(total.approx_eq(Time::from_millis(6.0)));
+    }
+
+    #[test]
+    fn time_div_floor_and_ceil() {
+        let t = Time::from_millis(270.0);
+        let p = Time::from_millis(30.0);
+        assert_eq!(t.div_floor(p), 9);
+        assert_eq!(t.div_ceil(p), 9);
+        assert_eq!(Time::from_millis(271.0).div_floor(p), 9);
+        assert_eq!(Time::from_millis(271.0).div_ceil(p), 10);
+        assert_eq!(Time::ZERO.div_floor(p), 0);
+        assert_eq!(Time::ZERO.div_ceil(p), 0);
+        assert_eq!((-1.0 * p).div_floor(p), 0);
+    }
+
+    #[test]
+    fn time_approx_eq_tolerances() {
+        let a = Time::from_secs(1.0);
+        let b = Time::from_secs(1.0 + 1e-13);
+        assert!(a.approx_eq(b));
+        let c = Time::from_secs(1.0 + 1e-9);
+        assert!(!a.approx_eq(c));
+        assert!(Time::ZERO.approx_eq(Time::from_secs(1e-16)));
+    }
+
+    #[test]
+    fn time_clamp_non_negative() {
+        assert_eq!((-Time::from_millis(3.0)).clamp_non_negative(), Time::ZERO);
+        assert_eq!(
+            Time::from_millis(3.0).clamp_non_negative(),
+            Time::from_millis(3.0)
+        );
+    }
+
+    #[test]
+    fn time_display_scales() {
+        assert_eq!(format!("{}", Time::ZERO), "0 s");
+        assert!(format!("{}", Time::from_micros(2.7)).contains("µs"));
+        assert!(format!("{}", Time::from_millis(30.0)).contains("ms"));
+        assert!(format!("{}", Time::from_secs(2.0)).contains("s"));
+        assert!(format!("{}", Time::from_nanos(12.0)).contains("ns"));
+    }
+
+    #[test]
+    fn bits_conversions() {
+        assert_eq!(Bits::from_bytes(1500).as_bits(), 12000);
+        assert_eq!(Bits::from_bits(12).as_bytes_ceil(), 2);
+        assert_eq!(Bits::from_bits(16).as_bytes_ceil(), 2);
+        assert_eq!(Bits::from_bytes(8) + Bits::from_bits(4), Bits::from_bits(68));
+        assert_eq!(Bits::from_bytes(10) - Bits::from_bytes(4), Bits::from_bytes(6));
+        assert_eq!(Bits::from_bytes(2) * 3, Bits::from_bytes(6));
+        assert_eq!(
+            Bits::from_bytes(10).saturating_sub(Bits::from_bytes(20)),
+            Bits::ZERO
+        );
+    }
+
+    #[test]
+    fn bits_display() {
+        assert_eq!(format!("{}", Bits::from_bytes(1500)), "1500 B");
+        assert_eq!(format!("{}", Bits::from_bits(13)), "13 bit");
+    }
+
+    #[test]
+    fn bitrate_transmission_time() {
+        // The paper's MFT example: 12304 bits at 10^7 bit/s = 1.2304 ms.
+        let speed = BitRate::from_bps(1e7);
+        let mft = speed.transmission_time(Bits::from_bits(12304));
+        assert!(mft.approx_eq(Time::from_millis(1.2304)));
+        assert_eq!(BitRate::from_mbps(10.0).as_bps(), 1e7);
+        assert_eq!(BitRate::from_gbps(1.0).as_bps(), 1e9);
+        assert_eq!(BitRate::from_kbps(64.0).as_bps(), 64_000.0);
+    }
+
+    #[test]
+    fn bitrate_display() {
+        assert_eq!(format!("{}", BitRate::from_mbps(100.0)), "100 Mbit/s");
+        assert_eq!(format!("{}", BitRate::from_gbps(1.0)), "1 Gbit/s");
+        assert_eq!(format!("{}", BitRate::from_kbps(64.0)), "64 kbit/s");
+        assert_eq!(format!("{}", BitRate::from_bps(500.0)), "500 bit/s");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bitrate_rejects_zero() {
+        let _ = BitRate::from_bps(0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Voice-over-IP and constant-bit-rate flow builders.
+//!
+//! The paper's motivation is interactive multimedia at the edge of the
+//! Internet — Voice-over-IP and video conferencing.  Voice codecs emit a
+//! fixed-size packet at a fixed interval, so a VoIP stream is simply the
+//! degenerate GMF flow with a single frame.  These builders make the common
+//! codecs one-liners and are used by the example applications and the
+//! workload generators.
+
+use crate::flow::GmfFlow;
+use crate::units::{Bits, Time};
+use serde::{Deserialize, Serialize};
+
+/// Standard voice codecs (payload per packet and packet interval).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VoiceCodec {
+    /// G.711 (PCM, 64 kbit/s): 160-byte payload every 20 ms.
+    G711,
+    /// G.726 (ADPCM, 32 kbit/s): 80-byte payload every 20 ms.
+    G726,
+    /// G.729 (CS-ACELP, 8 kbit/s): 20-byte payload every 20 ms.
+    G729,
+    /// G.723.1 (6.3 kbit/s): 24-byte payload every 30 ms.
+    G7231,
+}
+
+impl VoiceCodec {
+    /// Payload of one packet.
+    pub fn payload(self) -> Bits {
+        match self {
+            VoiceCodec::G711 => Bits::from_bytes(160),
+            VoiceCodec::G726 => Bits::from_bytes(80),
+            VoiceCodec::G729 => Bits::from_bytes(20),
+            VoiceCodec::G7231 => Bits::from_bytes(24),
+        }
+    }
+
+    /// Time between two packets.
+    pub fn packet_interval(self) -> Time {
+        match self {
+            VoiceCodec::G711 | VoiceCodec::G726 | VoiceCodec::G729 => Time::from_millis(20.0),
+            VoiceCodec::G7231 => Time::from_millis(30.0),
+        }
+    }
+
+    /// Nominal codec bit rate (payload only), bits per second.
+    pub fn nominal_rate_bps(self) -> f64 {
+        self.payload().as_bits() as f64 / self.packet_interval().as_secs()
+    }
+}
+
+/// Build a VoIP flow for `codec` with the given end-to-end `deadline` and
+/// source generalized `jitter`.
+pub fn voip_flow(name: &str, codec: VoiceCodec, deadline: Time, jitter: Time) -> GmfFlow {
+    GmfFlow::sporadic(name, codec.payload(), codec.packet_interval(), deadline, jitter)
+        .expect("codec parameters are always valid")
+}
+
+/// Build a generic constant-bit-rate flow: `payload_bytes` every `interval`.
+pub fn cbr_flow(
+    name: &str,
+    payload_bytes: u64,
+    interval: Time,
+    deadline: Time,
+    jitter: Time,
+) -> GmfFlow {
+    GmfFlow::sporadic(name, Bits::from_bytes(payload_bytes), interval, deadline, jitter)
+        .expect("caller provides positive interval and payload")
+}
+
+/// Build an audio+video conferencing *pair* of flows sharing a name prefix:
+/// a G.711 voice flow and an MPEG-like video flow whose per-frame payloads
+/// alternate between a large "refresh" frame and smaller difference frames.
+///
+/// Returns `(audio, video)`.
+pub fn conference_flows(
+    name_prefix: &str,
+    video_big_bytes: u64,
+    video_small_bytes: u64,
+    video_period: Time,
+    deadline: Time,
+    jitter: Time,
+) -> (GmfFlow, GmfFlow) {
+    use crate::frame::FrameSpec;
+    let audio = voip_flow(&format!("{name_prefix}-audio"), VoiceCodec::G711, deadline, jitter);
+    let video = GmfFlow::new(
+        format!("{name_prefix}-video"),
+        vec![
+            FrameSpec {
+                payload: Bits::from_bytes(video_big_bytes),
+                min_interarrival: video_period,
+                deadline,
+                jitter,
+            },
+            FrameSpec {
+                payload: Bits::from_bytes(video_small_bytes),
+                min_interarrival: video_period,
+                deadline,
+                jitter,
+            },
+            FrameSpec {
+                payload: Bits::from_bytes(video_small_bytes),
+                min_interarrival: video_period,
+                deadline,
+                jitter,
+            },
+            FrameSpec {
+                payload: Bits::from_bytes(video_small_bytes),
+                min_interarrival: video_period,
+                deadline,
+                jitter,
+            },
+        ],
+    )
+    .expect("conference video parameters are always valid");
+    (audio, video)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_parameters() {
+        assert_eq!(VoiceCodec::G711.payload(), Bits::from_bytes(160));
+        assert_eq!(VoiceCodec::G711.packet_interval(), Time::from_millis(20.0));
+        assert!((VoiceCodec::G711.nominal_rate_bps() - 64_000.0).abs() < 1e-9);
+        assert!((VoiceCodec::G726.nominal_rate_bps() - 32_000.0).abs() < 1e-9);
+        assert!((VoiceCodec::G729.nominal_rate_bps() - 8_000.0).abs() < 1e-9);
+        assert!((VoiceCodec::G7231.nominal_rate_bps() - 6_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voip_flow_is_single_frame() {
+        let f = voip_flow("call", VoiceCodec::G711, Time::from_millis(10.0), Time::ZERO);
+        assert_eq!(f.n_frames(), 1);
+        assert_eq!(f.frame(0).unwrap().payload, Bits::from_bytes(160));
+        assert_eq!(f.tsum(), Time::from_millis(20.0));
+        assert_eq!(f.min_deadline(), Time::from_millis(10.0));
+    }
+
+    #[test]
+    fn cbr_flow_builder() {
+        let f = cbr_flow("cam", 5000, Time::from_millis(40.0), Time::from_millis(40.0), Time::ZERO);
+        assert_eq!(f.n_frames(), 1);
+        assert!((f.mean_payload_rate_bps() - 5000.0 * 8.0 / 0.040).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conference_pair() {
+        let (audio, video) = conference_flows(
+            "room1",
+            20_000,
+            4_000,
+            Time::from_millis(40.0),
+            Time::from_millis(80.0),
+            Time::from_millis(1.0),
+        );
+        assert_eq!(audio.name(), "room1-audio");
+        assert_eq!(video.name(), "room1-video");
+        assert_eq!(video.n_frames(), 4);
+        assert_eq!(video.max_payload(), Bits::from_bytes(20_000));
+        assert_eq!(video.tsum(), Time::from_millis(160.0));
+        assert_eq!(audio.max_jitter(), Time::from_millis(1.0));
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for the network-substrate crate.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// Errors raised while building topologies, routes and flow sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A node id was used that does not exist in the topology.
+    UnknownNode(NodeId),
+    /// No link exists between the two given nodes.
+    NoSuchLink(NodeId, NodeId),
+    /// A link between the two nodes already exists.
+    DuplicateLink(NodeId, NodeId),
+    /// A link was declared with the same node at both ends.
+    SelfLoop(NodeId),
+    /// A route is shorter than two nodes.
+    RouteTooShort,
+    /// A route visits the same node twice.
+    RouteRevisitsNode(NodeId),
+    /// A route traverses a node that cannot forward traffic (an end host or
+    /// IP router in the middle of the route).
+    RouteThroughNonSwitch(NodeId),
+    /// A route references a hop with no link in the topology.
+    RouteMissingLink(NodeId, NodeId),
+    /// The node is not on the given route.
+    NodeNotOnRoute(NodeId),
+    /// No route could be found between the two nodes.
+    NoRoute(NodeId, NodeId),
+    /// A flow id was used that does not exist in the flow set.
+    UnknownFlow(usize),
+    /// The underlying traffic model rejected a flow.
+    Model(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::NoSuchLink(a, b) => write!(f, "no link from {a} to {b}"),
+            NetError::DuplicateLink(a, b) => write!(f, "link from {a} to {b} already exists"),
+            NetError::SelfLoop(n) => write!(f, "link endpoints must differ, got {n} twice"),
+            NetError::RouteTooShort => write!(f, "a route must contain at least two nodes"),
+            NetError::RouteRevisitsNode(n) => write!(f, "route visits node {n} more than once"),
+            NetError::RouteThroughNonSwitch(n) => {
+                write!(f, "route traverses {n}, which is not an Ethernet switch")
+            }
+            NetError::RouteMissingLink(a, b) => {
+                write!(f, "route requires a link from {a} to {b}, which does not exist")
+            }
+            NetError::NodeNotOnRoute(n) => write!(f, "node {n} is not on the route"),
+            NetError::NoRoute(a, b) => write!(f, "no route exists from {a} to {b}"),
+            NetError::UnknownFlow(i) => write!(f, "unknown flow id {i}"),
+            NetError::Model(msg) => write!(f, "traffic model error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<gmf_model::ModelError> for NetError {
+    fn from(e: gmf_model::ModelError) -> Self {
+        NetError::Model(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(NetError::UnknownNode(NodeId(3)).to_string().contains("node3"));
+        assert!(NetError::NoSuchLink(NodeId(0), NodeId(4)).to_string().contains("node0"));
+        assert!(NetError::RouteTooShort.to_string().contains("two nodes"));
+        assert!(NetError::RouteThroughNonSwitch(NodeId(7)).to_string().contains("switch"));
+        assert!(NetError::NoRoute(NodeId(1), NodeId(2)).to_string().contains("no route"));
+        assert!(NetError::Model("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn model_error_converts() {
+        let e: NetError = gmf_model::ModelError::EmptyFlow.into();
+        assert!(matches!(e, NetError::Model(_)));
+    }
+}

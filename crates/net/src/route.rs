@@ -1,0 +1,259 @@
+//! Routes: the pre-specified node sequence a flow traverses.
+//!
+//! In the paper every flow is associated with a fixed route from its source
+//! (an end host or IP router) to its destination (an end host or IP
+//! router).  The route traverses only Ethernet switches in between —
+//! IP routers never forward inside the analysed network.  The analysis
+//! walks the route resource by resource, so the central helpers here are
+//! `succ(τ, N)` / `prec(τ, N)` (the successor / predecessor of a node on
+//! the route) and the [`Route::hops`] decomposition into the pipeline of
+//! resources of Figure 6.
+
+use crate::error::NetError;
+use crate::node::NodeId;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A loop-free path through the topology.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Route {
+    nodes: Vec<NodeId>,
+}
+
+/// One hop of a route: the directed link from `from` to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Hop {
+    /// Transmitting node of the hop.
+    pub from: NodeId,
+    /// Receiving node of the hop.
+    pub to: NodeId,
+}
+
+impl Route {
+    /// Build a route from an explicit node sequence, validating it against
+    /// the topology:
+    ///
+    /// * at least two nodes,
+    /// * no node visited twice,
+    /// * every consecutive pair connected by a directed link,
+    /// * every intermediate node is an Ethernet switch.
+    pub fn new(topology: &Topology, nodes: Vec<NodeId>) -> Result<Self, NetError> {
+        if nodes.len() < 2 {
+            return Err(NetError::RouteTooShort);
+        }
+        for (i, &n) in nodes.iter().enumerate() {
+            topology.node(n)?;
+            if nodes[..i].contains(&n) {
+                return Err(NetError::RouteRevisitsNode(n));
+            }
+        }
+        for pair in nodes.windows(2) {
+            if !topology.has_link(pair[0], pair[1]) {
+                return Err(NetError::RouteMissingLink(pair[0], pair[1]));
+            }
+        }
+        for &n in &nodes[1..nodes.len() - 1] {
+            if !topology.node(n)?.is_switch() {
+                return Err(NetError::RouteThroughNonSwitch(n));
+            }
+        }
+        Ok(Route { nodes })
+    }
+
+    /// Build a route without validation.  Intended for internal use by the
+    /// routing algorithms, which construct paths that are valid by
+    /// construction.
+    pub(crate) fn from_nodes_unchecked(nodes: Vec<NodeId>) -> Self {
+        Route { nodes }
+    }
+
+    /// The node sequence, source first.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The source node of the route.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The destination node of the route.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("routes have at least two nodes")
+    }
+
+    /// Number of links traversed.
+    pub fn n_hops(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The Ethernet switches traversed (all nodes except source and
+    /// destination).
+    pub fn switches(&self) -> &[NodeId] {
+        &self.nodes[1..self.nodes.len() - 1]
+    }
+
+    /// `succ(τ, node)`: the node after `node` on the route.
+    pub fn successor(&self, node: NodeId) -> Result<NodeId, NetError> {
+        let idx = self.index_of(node)?;
+        self.nodes
+            .get(idx + 1)
+            .copied()
+            .ok_or(NetError::NodeNotOnRoute(node))
+    }
+
+    /// `prec(τ, node)`: the node before `node` on the route.
+    pub fn predecessor(&self, node: NodeId) -> Result<NodeId, NetError> {
+        let idx = self.index_of(node)?;
+        if idx == 0 {
+            Err(NetError::NodeNotOnRoute(node))
+        } else {
+            Ok(self.nodes[idx - 1])
+        }
+    }
+
+    /// `true` if the route traverses (transmits on) the directed link
+    /// `from → to`.
+    pub fn uses_link(&self, from: NodeId, to: NodeId) -> bool {
+        self.nodes
+            .windows(2)
+            .any(|pair| pair[0] == from && pair[1] == to)
+    }
+
+    /// `true` if `node` lies anywhere on the route.
+    pub fn visits(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// The links traversed, in order.
+    pub fn hops(&self) -> impl Iterator<Item = Hop> + '_ {
+        self.nodes.windows(2).map(|pair| Hop {
+            from: pair[0],
+            to: pair[1],
+        })
+    }
+
+    fn index_of(&self, node: NodeId) -> Result<usize, NetError> {
+        self.nodes
+            .iter()
+            .position(|&n| n == node)
+            .ok_or(NetError::NodeNotOnRoute(node))
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for n in &self.nodes {
+            if !first {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{}", n.0)?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkProfile;
+    use crate::node::SwitchConfig;
+
+    /// h0 - sw1 - sw2 - h3, plus a stray host h4 attached to sw1.
+    fn topo() -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let h0 = t.add_end_host("h0");
+        let s1 = t.add_switch(SwitchConfig::paper(), "s1");
+        let s2 = t.add_switch(SwitchConfig::paper(), "s2");
+        let h3 = t.add_end_host("h3");
+        let h4 = t.add_end_host("h4");
+        t.add_duplex_link(h0, s1, LinkProfile::ethernet_10m()).unwrap();
+        t.add_duplex_link(s1, s2, LinkProfile::ethernet_100m()).unwrap();
+        t.add_duplex_link(s2, h3, LinkProfile::ethernet_100m()).unwrap();
+        t.add_duplex_link(s1, h4, LinkProfile::ethernet_10m()).unwrap();
+        (t, vec![h0, s1, s2, h3, h4])
+    }
+
+    #[test]
+    fn valid_route_accessors() {
+        let (t, n) = topo();
+        let r = Route::new(&t, vec![n[0], n[1], n[2], n[3]]).unwrap();
+        assert_eq!(r.source(), n[0]);
+        assert_eq!(r.destination(), n[3]);
+        assert_eq!(r.n_hops(), 3);
+        assert_eq!(r.switches(), &[n[1], n[2]]);
+        assert_eq!(r.successor(n[0]).unwrap(), n[1]);
+        assert_eq!(r.successor(n[2]).unwrap(), n[3]);
+        assert_eq!(r.predecessor(n[2]).unwrap(), n[1]);
+        assert!(r.uses_link(n[1], n[2]));
+        assert!(!r.uses_link(n[2], n[1]));
+        assert!(r.visits(n[1]));
+        assert!(!r.visits(n[4]));
+        let hops: Vec<Hop> = r.hops().collect();
+        assert_eq!(hops.len(), 3);
+        assert_eq!(hops[0], Hop { from: n[0], to: n[1] });
+        assert_eq!(r.to_string(), format!("{} -> {} -> {} -> {}", n[0].0, n[1].0, n[2].0, n[3].0));
+    }
+
+    #[test]
+    fn successor_predecessor_errors() {
+        let (t, n) = topo();
+        let r = Route::new(&t, vec![n[0], n[1], n[2], n[3]]).unwrap();
+        // Destination has no successor, source has no predecessor, and a
+        // node off the route has neither.
+        assert!(r.successor(n[3]).is_err());
+        assert!(r.predecessor(n[0]).is_err());
+        assert!(r.successor(n[4]).is_err());
+        assert!(r.predecessor(n[4]).is_err());
+    }
+
+    #[test]
+    fn rejects_short_route() {
+        let (t, n) = topo();
+        assert!(matches!(Route::new(&t, vec![n[0]]), Err(NetError::RouteTooShort)));
+        assert!(matches!(Route::new(&t, vec![]), Err(NetError::RouteTooShort)));
+    }
+
+    #[test]
+    fn rejects_missing_link() {
+        let (t, n) = topo();
+        assert!(matches!(
+            Route::new(&t, vec![n[0], n[2], n[3]]),
+            Err(NetError::RouteMissingLink(_, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_loop() {
+        let (t, n) = topo();
+        assert!(matches!(
+            Route::new(&t, vec![n[0], n[1], n[0]]),
+            Err(NetError::RouteRevisitsNode(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_forwarding_through_end_host() {
+        let (t, n) = topo();
+        // h4 is an end host: it may terminate a route but not forward.
+        assert!(matches!(
+            Route::new(&t, vec![n[0], n[1], n[4]]),
+            Ok(_)
+        ));
+        // Build h0 -> s1 -> h4 is fine (h4 is destination); but a route that
+        // tries to forward *through* h4 is rejected.  There is no link from
+        // h4 to anything except s1, so use h3's side: s2 -> h3 -> ... cannot
+        // even be expressed; instead check an end host in the middle.
+        let bad = Route::new(&t, vec![n[1], n[4], n[1]]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let (t, n) = topo();
+        assert!(Route::new(&t, vec![n[0], NodeId(99)]).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Route computation.
+//!
+//! The paper assumes the route of every flow is pre-specified by the
+//! operator; in practice routes in a switched Ethernet follow the spanning
+//! tree / shortest path between the endpoints.  This module offers two
+//! deterministic route generators:
+//!
+//! * [`shortest_path`] — minimum hop count (ties broken towards lower node
+//!   ids, so results are reproducible),
+//! * [`fastest_path`] — minimum sum of per-hop latency proxies
+//!   (propagation delay + one maximum-size-frame transmission time), which
+//!   prefers fast links when hop counts tie.
+//!
+//! Both only allow Ethernet switches as intermediate nodes, matching the
+//! paper's assumption that IP routers never forward inside the analysed
+//! network.
+
+use crate::error::NetError;
+use crate::node::NodeId;
+use crate::route::Route;
+use crate::topology::Topology;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Compute the route with the fewest hops from `src` to `dst`.
+///
+/// Intermediate nodes must be switches; `src` and `dst` may be any node
+/// kind.  Ties are broken deterministically by exploring lower-numbered
+/// neighbours first.
+pub fn shortest_path(topology: &Topology, src: NodeId, dst: NodeId) -> Result<Route, NetError> {
+    topology.node(src)?;
+    topology.node(dst)?;
+    if src == dst {
+        return Err(NetError::RouteTooShort);
+    }
+
+    let n = topology.n_nodes();
+    let mut predecessor: Vec<Option<NodeId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    visited[src.0] = true;
+    queue.push_back(src);
+
+    while let Some(current) = queue.pop_front() {
+        if current == dst {
+            break;
+        }
+        // Forwarding through a non-switch node is only allowed if that node
+        // is the source itself.
+        if current != src && !topology.node(current)?.is_switch() {
+            continue;
+        }
+        let mut neighbours: Vec<NodeId> = topology.out_neighbours(current).to_vec();
+        neighbours.sort_unstable();
+        for next in neighbours {
+            if !visited[next.0] {
+                visited[next.0] = true;
+                predecessor[next.0] = Some(current);
+                queue.push_back(next);
+            }
+        }
+    }
+
+    reconstruct(predecessor, src, dst)
+}
+
+/// Compute the route minimising the sum of per-hop latency proxies
+/// (propagation + MFT of each traversed link).
+pub fn fastest_path(topology: &Topology, src: NodeId, dst: NodeId) -> Result<Route, NetError> {
+    topology.node(src)?;
+    topology.node(dst)?;
+    if src == dst {
+        return Err(NetError::RouteTooShort);
+    }
+
+    #[derive(PartialEq)]
+    struct Entry {
+        cost: f64,
+        node: NodeId,
+    }
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for a min-heap; break ties on node id for determinism.
+            other
+                .cost
+                .partial_cmp(&self.cost)
+                .expect("link costs are finite")
+                .then_with(|| other.node.cmp(&self.node))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let n = topology.n_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut predecessor: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.0] = 0.0;
+    heap.push(Entry { cost: 0.0, node: src });
+
+    while let Some(Entry { cost, node }) = heap.pop() {
+        if cost > dist[node.0] {
+            continue;
+        }
+        if node == dst {
+            break;
+        }
+        if node != src && !topology.node(node)?.is_switch() {
+            continue;
+        }
+        for &next in topology.out_neighbours(node) {
+            let link = topology.link_between(node, next)?;
+            let hop_cost = link.propagation.as_secs() + link.mft().as_secs();
+            let candidate = cost + hop_cost;
+            if candidate < dist[next.0] {
+                dist[next.0] = candidate;
+                predecessor[next.0] = Some(node);
+                heap.push(Entry {
+                    cost: candidate,
+                    node: next,
+                });
+            }
+        }
+    }
+
+    reconstruct(predecessor, src, dst)
+}
+
+fn reconstruct(
+    predecessor: Vec<Option<NodeId>>,
+    src: NodeId,
+    dst: NodeId,
+) -> Result<Route, NetError> {
+    if predecessor[dst.0].is_none() {
+        return Err(NetError::NoRoute(src, dst));
+    }
+    let mut nodes = vec![dst];
+    let mut current = dst;
+    while current != src {
+        current = predecessor[current.0].ok_or(NetError::NoRoute(src, dst))?;
+        nodes.push(current);
+    }
+    nodes.reverse();
+    Ok(Route::from_nodes_unchecked(nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkProfile;
+    use crate::node::SwitchConfig;
+
+    /// A diamond: h0 - s1 - s3 - h4 and h0 - s2 - s3 - h4, where the upper
+    /// path (via s1) uses slow links and the lower (via s2) fast links.
+    /// Also an end host h5 hanging off s1 and an isolated host h6.
+    fn topo() -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let h0 = t.add_end_host("h0");
+        let s1 = t.add_switch(SwitchConfig::paper(), "s1");
+        let s2 = t.add_switch(SwitchConfig::paper(), "s2");
+        let s3 = t.add_switch(SwitchConfig::paper(), "s3");
+        let h4 = t.add_end_host("h4");
+        let h5 = t.add_end_host("h5");
+        let h6 = t.add_end_host("h6");
+        t.add_duplex_link(h0, s1, LinkProfile::ethernet_10m()).unwrap();
+        t.add_duplex_link(h0, s2, LinkProfile::ethernet_1g()).unwrap();
+        t.add_duplex_link(s1, s3, LinkProfile::ethernet_10m()).unwrap();
+        t.add_duplex_link(s2, s3, LinkProfile::ethernet_1g()).unwrap();
+        t.add_duplex_link(s3, h4, LinkProfile::ethernet_1g()).unwrap();
+        t.add_duplex_link(s1, h5, LinkProfile::ethernet_100m()).unwrap();
+        (t, vec![h0, s1, s2, s3, h4, h5, h6])
+    }
+
+    #[test]
+    fn shortest_path_finds_min_hops() {
+        let (t, n) = topo();
+        let r = shortest_path(&t, n[0], n[4]).unwrap();
+        assert_eq!(r.n_hops(), 3);
+        assert_eq!(r.source(), n[0]);
+        assert_eq!(r.destination(), n[4]);
+        // Deterministic tie-break: via the lower-numbered switch s1.
+        assert_eq!(r.nodes()[1], n[1]);
+    }
+
+    #[test]
+    fn fastest_path_prefers_fast_links() {
+        let (t, n) = topo();
+        let r = fastest_path(&t, n[0], n[4]).unwrap();
+        assert_eq!(r.n_hops(), 3);
+        // The gigabit path goes via s2.
+        assert_eq!(r.nodes()[1], n[2]);
+    }
+
+    #[test]
+    fn paths_do_not_forward_through_end_hosts() {
+        let (t, n) = topo();
+        // h5 is only reachable via s1; a path from h5 to h4 must not try to
+        // go "through" h0.
+        let r = shortest_path(&t, n[5], n[4]).unwrap();
+        assert!(r.nodes().iter().all(|&x| x != n[0]));
+        let r = fastest_path(&t, n[5], n[4]).unwrap();
+        assert!(r.nodes().iter().all(|&x| x != n[0]));
+    }
+
+    #[test]
+    fn unreachable_and_degenerate_cases() {
+        let (t, n) = topo();
+        assert!(matches!(shortest_path(&t, n[0], n[6]), Err(NetError::NoRoute(_, _))));
+        assert!(matches!(fastest_path(&t, n[0], n[6]), Err(NetError::NoRoute(_, _))));
+        assert!(matches!(shortest_path(&t, n[0], n[0]), Err(NetError::RouteTooShort)));
+        assert!(matches!(fastest_path(&t, n[0], n[0]), Err(NetError::RouteTooShort)));
+        assert!(shortest_path(&t, n[0], NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn produced_routes_validate() {
+        let (t, n) = topo();
+        for dst in [n[4], n[5]] {
+            let r = shortest_path(&t, n[0], dst).unwrap();
+            // Re-validating through the public constructor must succeed.
+            assert!(Route::new(&t, r.nodes().to_vec()).is_ok());
+            let r = fastest_path(&t, n[0], dst).unwrap();
+            assert!(Route::new(&t, r.nodes().to_vec()).is_ok());
+        }
+    }
+}

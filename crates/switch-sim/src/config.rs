@@ -1,0 +1,115 @@
+//! Simulation configuration.
+
+use gmf_model::Time;
+use serde::{Deserialize, Serialize};
+
+/// How the Ethernet frames of one UDP packet are spread over the packet's
+/// generalized-jitter window `[arrival, arrival + GJ)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum JitterSpread {
+    /// All Ethernet frames are released at the start of the window
+    /// (equivalent to no jitter).
+    AtStart,
+    /// Frames are spread uniformly over the window (the last one is released
+    /// just before `arrival + GJ`).
+    #[default]
+    Uniform,
+    /// All frames are released at the very end of the window — the
+    /// worst-case spread the generalized-jitter model permits.
+    AtEnd,
+}
+
+/// How packet inter-arrival times are chosen relative to the GMF minimums.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ArrivalPolicy {
+    /// Every frame arrives exactly its minimum inter-arrival time after the
+    /// previous one — the densest (worst-case) legal arrival pattern.
+    #[default]
+    Dense,
+    /// Each gap is stretched by a uniformly random factor in
+    /// `[1, 1 + slack]`; models sources that are not maximally bursty.
+    RandomSlack {
+        /// Maximum relative slack added to every inter-arrival gap.
+        slack: f64,
+    },
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulated time horizon; packet arrivals are generated up to this
+    /// time and the simulation drains all in-flight traffic afterwards.
+    pub horizon: Time,
+    /// How Ethernet frames are spread over each packet's jitter window.
+    pub jitter_spread: JitterSpread,
+    /// How packet inter-arrival times are generated.
+    pub arrival: ArrivalPolicy,
+    /// Per-flow initial phase: if `true`, every flow starts at time zero
+    /// (the critical-instant-like alignment); if `false`, each flow gets a
+    /// random initial phase within its first inter-arrival time.
+    pub aligned_start: bool,
+    /// CPU cost of offering a turn to a task that has nothing to do
+    /// (Click's cost of a task returning immediately).
+    pub idle_poll_cost: Time,
+    /// Seed for all randomness (arrival slack, jitter placement, phases).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon: Time::from_secs(2.0),
+            jitter_spread: JitterSpread::Uniform,
+            arrival: ArrivalPolicy::Dense,
+            aligned_start: true,
+            idle_poll_cost: Time::from_micros(0.1),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A short smoke-test configuration (200 ms horizon).
+    pub fn quick() -> Self {
+        SimConfig {
+            horizon: Time::from_millis(200.0),
+            ..SimConfig::default()
+        }
+    }
+
+    /// Override the horizon.
+    pub fn with_horizon(mut self, horizon: Time) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let c = SimConfig::default();
+        assert!(c.horizon >= Time::from_secs(1.0));
+        assert!(c.aligned_start);
+        assert_eq!(c.arrival, ArrivalPolicy::Dense);
+        assert_eq!(c.jitter_spread, JitterSpread::Uniform);
+        assert!(c.idle_poll_cost < Time::from_micros(1.0));
+    }
+
+    #[test]
+    fn builders() {
+        let c = SimConfig::quick()
+            .with_horizon(Time::from_millis(500.0))
+            .with_seed(42);
+        assert_eq!(c.horizon, Time::from_millis(500.0));
+        assert_eq!(c.seed, 42);
+    }
+}

@@ -1,0 +1,192 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by simulated time; ties are broken by a monotonically
+//! increasing insertion sequence number so that simulation runs are fully
+//! deterministic regardless of how the events were generated.
+
+use crate::packet::EthFrame;
+use gmf_model::Time;
+use gmf_net::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// An Ethernet frame of a packet is released by the application at its
+    /// source host (start of the frame's availability in the host's output
+    /// queue).
+    SourceFrameRelease {
+        /// The source host.
+        host: NodeId,
+        /// The next node on the frame's route (which output queue to use).
+        next_hop: NodeId,
+        /// The frame being released.
+        frame: EthFrame,
+    },
+    /// A host NIC finished serialising a frame onto the link.
+    HostTxComplete {
+        /// The transmitting host.
+        host: NodeId,
+        /// The receiving neighbour.
+        to: NodeId,
+    },
+    /// A frame has fully arrived at a node (after transmission and
+    /// propagation).
+    FrameArrival {
+        /// The receiving node.
+        node: NodeId,
+        /// The neighbour it came from.
+        from: NodeId,
+        /// The frame.
+        frame: EthFrame,
+    },
+    /// The CPU of a switch finished executing one task and dispatches the
+    /// next one.
+    CpuDispatch {
+        /// The switch whose CPU is dispatching.
+        switch: NodeId,
+    },
+    /// A switch NIC finished serialising a frame onto the link.
+    SwitchTxComplete {
+        /// The transmitting switch.
+        switch: NodeId,
+        /// The receiving neighbour.
+        to: NodeId,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// When the event fires.
+    pub time: Time,
+    /// Deterministic tie-breaker (insertion order).
+    pub sequence: u64,
+    /// What the event does.
+    pub kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event queue: a time-ordered priority queue with deterministic
+/// tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_sequence: u64,
+    scheduled: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` to fire at `time`.
+    pub fn schedule(&mut self, time: Time, kind: EventKind) {
+        debug_assert!(!time.is_negative(), "events cannot be scheduled in the past");
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.scheduled += 1;
+        self.heap.push(Event {
+            time,
+            sequence,
+            kind,
+        });
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events scheduled since creation.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dispatch(node: usize) -> EventKind {
+        EventKind::CpuDispatch {
+            switch: NodeId(node),
+        }
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_millis(3.0), dispatch(3));
+        q.schedule(Time::from_millis(1.0), dispatch(1));
+        q.schedule(Time::from_millis(2.0), dispatch(2));
+        let order: Vec<Time> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(
+            order,
+            vec![
+                Time::from_millis(1.0),
+                Time::from_millis(2.0),
+                Time::from_millis(3.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for node in 0..5 {
+            q.schedule(Time::from_millis(1.0), dispatch(node));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::CpuDispatch { switch } => switch.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bookkeeping() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Time::ZERO, dispatch(0));
+        q.schedule(Time::ZERO, dispatch(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_scheduled(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.total_scheduled(), 2);
+        assert!(!q.is_empty());
+    }
+}

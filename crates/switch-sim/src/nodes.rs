@@ -1,0 +1,307 @@
+//! Per-node simulation state: end hosts / routers and software switches.
+
+use crate::packet::EthFrame;
+use crate::stride::StrideScheduler;
+use gmf_model::Time;
+use gmf_net::{NodeId, Priority, SwitchConfig};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Number of 802.1p priority levels of an output queue.
+pub const N_PRIORITY_LEVELS: usize = 8;
+
+/// A prioritized output queue: one FIFO per 802.1p priority level.
+#[derive(Debug, Clone, Default)]
+pub struct PriorityQueue {
+    levels: [VecDeque<EthFrame>; N_PRIORITY_LEVELS],
+}
+
+impl PriorityQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        PriorityQueue::default()
+    }
+
+    /// Enqueue a frame at its priority level.
+    pub fn push(&mut self, frame: EthFrame) {
+        let level = (frame.priority.0 as usize).min(N_PRIORITY_LEVELS - 1);
+        self.levels[level].push_back(frame);
+    }
+
+    /// Dequeue the oldest frame of the highest non-empty priority level.
+    pub fn pop_highest(&mut self) -> Option<EthFrame> {
+        for level in (0..N_PRIORITY_LEVELS).rev() {
+            if let Some(frame) = self.levels[level].pop_front() {
+                return Some(frame);
+            }
+        }
+        None
+    }
+
+    /// Total number of queued frames.
+    pub fn len(&self) -> usize {
+        self.levels.iter().map(|q| q.len()).sum()
+    }
+
+    /// `true` if no frames are queued.
+    pub fn is_empty(&self) -> bool {
+        self.levels.iter().all(|q| q.is_empty())
+    }
+
+    /// Number of frames queued at priorities strictly above `priority`.
+    pub fn queued_above(&self, priority: Priority) -> usize {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(|(level, _)| *level > priority.0 as usize)
+            .map(|(_, q)| q.len())
+            .sum()
+    }
+}
+
+/// State of an end host or IP router (a traffic endpoint).
+#[derive(Debug, Clone, Default)]
+pub struct EndpointState {
+    /// Work-conserving FIFO output queue per outgoing neighbour.
+    pub out_queues: BTreeMap<NodeId, VecDeque<EthFrame>>,
+    /// Frame currently being serialised towards each neighbour.
+    pub tx_in_flight: BTreeMap<NodeId, Option<EthFrame>>,
+}
+
+impl EndpointState {
+    /// `true` if the NIC towards `to` is currently transmitting.
+    pub fn is_transmitting(&self, to: NodeId) -> bool {
+        matches!(self.tx_in_flight.get(&to), Some(Some(_)))
+    }
+}
+
+/// A task of the switch CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchTask {
+    /// The routing task of the input interface facing `from`.
+    Route {
+        /// The neighbour whose incoming frames this task processes.
+        from: NodeId,
+    },
+    /// The send task of the output interface facing `to`.
+    Send {
+        /// The neighbour this task feeds frames towards.
+        to: NodeId,
+    },
+}
+
+/// A deferred task effect that is applied when the task's execution
+/// completes (the CPU is non-preemptive, so effects become visible only at
+/// the end of the task's time slice).
+#[derive(Debug, Clone)]
+pub enum PendingCompletion {
+    /// A routing task finished classifying `frame`; it goes to the priority
+    /// queue of the interface facing `to`.
+    RouteDone {
+        /// Output interface.
+        to: NodeId,
+        /// The classified frame.
+        frame: EthFrame,
+    },
+    /// A send task finished handing `frame` to the NIC facing `to`;
+    /// transmission starts now.
+    SendDone {
+        /// Output interface.
+        to: NodeId,
+        /// The frame to transmit.
+        frame: EthFrame,
+    },
+}
+
+/// State of a software Ethernet switch.
+#[derive(Debug, Clone)]
+pub struct SwitchState {
+    /// Input FIFO of each interface, keyed by the neighbour it faces.
+    pub inputs: BTreeMap<NodeId, VecDeque<EthFrame>>,
+    /// Prioritized output queue of each interface.
+    pub outputs: BTreeMap<NodeId, PriorityQueue>,
+    /// Frame currently being serialised by each output NIC.
+    pub nic_in_flight: BTreeMap<NodeId, Option<EthFrame>>,
+    /// The stride scheduler over `tasks`.
+    pub scheduler: StrideScheduler,
+    /// Task table, index-aligned with the scheduler.
+    pub tasks: Vec<SwitchTask>,
+    /// Whether the CPU currently has a dispatch event in flight.
+    pub cpu_busy: bool,
+    /// Effect of the task whose execution ends at the next dispatch event.
+    pub pending: Option<PendingCompletion>,
+    /// `CROUTE(N)` of this switch.
+    pub croute: Time,
+    /// `CSEND(N)` of this switch.
+    pub csend: Time,
+}
+
+impl SwitchState {
+    /// Build the state of a switch with the given neighbours (interfaces).
+    ///
+    /// Task registration order follows the sorted neighbour list, one
+    /// routing task and one send task per interface — matching the paper's
+    /// `CIRC(N) = NINTERFACES × (CROUTE + CSEND)` round length when every
+    /// task is busy.
+    pub fn new(config: &SwitchConfig, neighbours: &[NodeId]) -> Self {
+        let mut sorted = neighbours.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+
+        let mut scheduler = StrideScheduler::new();
+        let mut tasks = Vec::new();
+        let mut inputs = BTreeMap::new();
+        let mut outputs = BTreeMap::new();
+        let mut nic_in_flight = BTreeMap::new();
+        for &n in &sorted {
+            scheduler.add_task(1);
+            tasks.push(SwitchTask::Route { from: n });
+            scheduler.add_task(1);
+            tasks.push(SwitchTask::Send { to: n });
+            inputs.insert(n, VecDeque::new());
+            outputs.insert(n, PriorityQueue::new());
+            nic_in_flight.insert(n, None);
+        }
+        SwitchState {
+            inputs,
+            outputs,
+            nic_in_flight,
+            scheduler,
+            tasks,
+            cpu_busy: false,
+            pending: None,
+            croute: config.croute,
+            csend: config.csend,
+        }
+    }
+
+    /// `true` if the NIC towards `to` is currently transmitting.
+    pub fn nic_busy(&self, to: NodeId) -> bool {
+        matches!(self.nic_in_flight.get(&to), Some(Some(_)))
+    }
+
+    /// `true` if the given task currently has useful work to do.
+    pub fn task_has_work(&self, task: SwitchTask) -> bool {
+        match task {
+            SwitchTask::Route { from } => {
+                self.inputs.get(&from).is_some_and(|q| !q.is_empty())
+            }
+            SwitchTask::Send { to } => {
+                !self.nic_busy(to) && self.outputs.get(&to).is_some_and(|q| !q.is_empty())
+            }
+        }
+    }
+
+    /// `true` if any task has useful work to do.
+    pub fn has_any_work(&self) -> bool {
+        self.tasks.iter().any(|&t| self.task_has_work(t))
+    }
+
+    /// Total number of frames buffered anywhere in the switch.
+    pub fn buffered_frames(&self) -> usize {
+        self.inputs.values().map(|q| q.len()).sum::<usize>()
+            + self.outputs.values().map(|q| q.len()).sum::<usize>()
+            + self
+                .nic_in_flight
+                .values()
+                .filter(|f| f.is_some())
+                .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketId;
+    use gmf_model::{Bits, FlowId};
+
+    fn frame(priority: u8, seq: u64) -> EthFrame {
+        EthFrame {
+            packet: PacketId {
+                flow: FlowId(0),
+                sequence: seq,
+            },
+            gmf_frame: 0,
+            fragment: 0,
+            n_fragments: 1,
+            wire_bits: Bits::from_bits(12304),
+            priority: Priority(priority),
+            packet_arrival: Time::ZERO,
+        }
+    }
+
+    #[test]
+    fn priority_queue_orders_by_priority_then_fifo() {
+        let mut q = PriorityQueue::new();
+        assert!(q.is_empty());
+        q.push(frame(1, 0));
+        q.push(frame(7, 1));
+        q.push(frame(1, 2));
+        q.push(frame(5, 3));
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.queued_above(Priority(4)), 2);
+        assert_eq!(q.queued_above(Priority(7)), 0);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_highest())
+            .map(|f| f.packet.sequence)
+            .collect();
+        // Highest priority first; equal priorities keep FIFO order.
+        assert_eq!(order, vec![1, 3, 0, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn priority_queue_clamps_out_of_range_priorities() {
+        let mut q = PriorityQueue::new();
+        q.push(frame(200, 0));
+        assert_eq!(q.queued_above(Priority(6)), 1);
+        assert!(q.pop_highest().is_some());
+    }
+
+    #[test]
+    fn switch_state_builds_tasks_per_interface() {
+        let cfg = SwitchConfig::paper();
+        let neighbours = vec![NodeId(3), NodeId(1), NodeId(5), NodeId(1)];
+        let s = SwitchState::new(&cfg, &neighbours);
+        // Duplicates removed: 3 interfaces => 6 tasks.
+        assert_eq!(s.tasks.len(), 6);
+        assert_eq!(s.scheduler.n_tasks(), 6);
+        assert_eq!(s.inputs.len(), 3);
+        assert_eq!(s.outputs.len(), 3);
+        assert!(!s.cpu_busy);
+        assert!(!s.has_any_work());
+        assert_eq!(s.buffered_frames(), 0);
+        // Interfaces come in sorted order, route task before send task.
+        assert_eq!(s.tasks[0], SwitchTask::Route { from: NodeId(1) });
+        assert_eq!(s.tasks[1], SwitchTask::Send { to: NodeId(1) });
+        assert_eq!(s.tasks[4], SwitchTask::Route { from: NodeId(5) });
+    }
+
+    #[test]
+    fn task_work_detection() {
+        let cfg = SwitchConfig::paper();
+        let mut s = SwitchState::new(&cfg, &[NodeId(1), NodeId(2)]);
+        assert!(!s.task_has_work(SwitchTask::Route { from: NodeId(1) }));
+        s.inputs.get_mut(&NodeId(1)).unwrap().push_back(frame(5, 0));
+        assert!(s.task_has_work(SwitchTask::Route { from: NodeId(1) }));
+        assert!(s.has_any_work());
+        assert_eq!(s.buffered_frames(), 1);
+
+        assert!(!s.task_has_work(SwitchTask::Send { to: NodeId(2) }));
+        s.outputs.get_mut(&NodeId(2)).unwrap().push(frame(5, 1));
+        assert!(s.task_has_work(SwitchTask::Send { to: NodeId(2) }));
+        // A busy NIC suppresses the send task's work.
+        *s.nic_in_flight.get_mut(&NodeId(2)).unwrap() = Some(frame(5, 2));
+        assert!(!s.task_has_work(SwitchTask::Send { to: NodeId(2) }));
+        assert!(s.nic_busy(NodeId(2)));
+        assert_eq!(s.buffered_frames(), 3);
+    }
+
+    #[test]
+    fn endpoint_state_transmission_flag() {
+        let mut e = EndpointState::default();
+        assert!(!e.is_transmitting(NodeId(1)));
+        e.tx_in_flight.insert(NodeId(1), Some(frame(5, 0)));
+        assert!(e.is_transmitting(NodeId(1)));
+        e.tx_in_flight.insert(NodeId(1), None);
+        assert!(!e.is_transmitting(NodeId(1)));
+    }
+}

@@ -1,0 +1,78 @@
+//! Packets and Ethernet frames as they travel through the simulator.
+
+use gmf_model::{Bits, FlowId, Time};
+use gmf_net::Priority;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one UDP packet instance: the flow it belongs to and its
+/// sequence number within the flow's arrival trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PacketId {
+    /// The flow the packet belongs to.
+    pub flow: FlowId,
+    /// Sequence number of the packet within the flow (0, 1, 2, …).
+    pub sequence: u64,
+}
+
+/// One Ethernet frame in flight.
+///
+/// The simulator clones frames as they move between queues; they are small
+/// plain-old-data values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EthFrame {
+    /// The UDP packet this frame is a fragment of.
+    pub packet: PacketId,
+    /// Index of the GMF frame (of the flow's cycle) the packet instantiates.
+    pub gmf_frame: usize,
+    /// Fragment index within the packet (0-based).
+    pub fragment: usize,
+    /// Total number of fragments of the packet.
+    pub n_fragments: usize,
+    /// Size on the wire (including all per-frame overhead).
+    pub wire_bits: Bits,
+    /// 802.1p priority of the flow.
+    pub priority: Priority,
+    /// Time at which the UDP packet arrived (was enqueued) at the source —
+    /// the reference point for its response time and deadline.
+    pub packet_arrival: Time,
+}
+
+impl EthFrame {
+    /// `true` if this is the last fragment of its packet.
+    pub fn is_last_fragment(&self) -> bool {
+        self.fragment + 1 == self.n_fragments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_id_ordering() {
+        let a = PacketId { flow: FlowId(0), sequence: 1 };
+        let b = PacketId { flow: FlowId(0), sequence: 2 };
+        let c = PacketId { flow: FlowId(1), sequence: 0 };
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(a, a);
+    }
+
+    #[test]
+    fn last_fragment_detection() {
+        let mut f = EthFrame {
+            packet: PacketId { flow: FlowId(3), sequence: 7 },
+            gmf_frame: 2,
+            fragment: 0,
+            n_fragments: 3,
+            wire_bits: Bits::from_bits(12304),
+            priority: Priority(5),
+            packet_arrival: Time::from_millis(10.0),
+        };
+        assert!(!f.is_last_fragment());
+        f.fragment = 2;
+        assert!(f.is_last_fragment());
+    }
+}

@@ -1,0 +1,204 @@
+//! Response-time statistics collected by the simulator.
+
+use gmf_model::{FlowId, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One completed packet observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketSample {
+    /// The flow the packet belongs to.
+    pub flow: FlowId,
+    /// Sequence number within the flow.
+    pub sequence: u64,
+    /// GMF frame index the packet instantiates.
+    pub gmf_frame: usize,
+    /// Arrival time of the packet at its source.
+    pub arrival: Time,
+    /// Time at which the last Ethernet frame of the packet reached the
+    /// destination.
+    pub completion: Time,
+}
+
+impl PacketSample {
+    /// End-to-end response time of the packet.
+    pub fn response_time(&self) -> Time {
+        self.completion - self.arrival
+    }
+}
+
+/// Aggregated statistics of one (flow, GMF frame index) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResponseStats {
+    /// Number of completed packets observed.
+    pub count: u64,
+    /// Largest observed response time.
+    pub max: Time,
+    /// Smallest observed response time.
+    pub min: Time,
+    /// Sum of response times (for the mean).
+    sum: Time,
+}
+
+impl ResponseStats {
+    fn record(&mut self, response: Time) {
+        if self.count == 0 {
+            self.min = response;
+            self.max = response;
+        } else {
+            self.min = self.min.min(response);
+            self.max = self.max.max(response);
+        }
+        self.sum += response;
+        self.count += 1;
+    }
+
+    /// Mean observed response time (zero if nothing was observed).
+    pub fn mean(&self) -> Time {
+        if self.count == 0 {
+            Time::ZERO
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// All statistics of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Per (flow, GMF frame index) aggregates.
+    per_frame: BTreeMap<(FlowId, usize), ResponseStats>,
+    /// Raw samples (kept only when sample recording is enabled).
+    samples: Vec<PacketSample>,
+    /// Whether raw samples are retained.
+    keep_samples: bool,
+    /// Number of packets released at sources.
+    pub packets_released: u64,
+    /// Number of packets fully received at their destinations.
+    pub packets_completed: u64,
+    /// Number of Ethernet frames that traversed at least one link.
+    pub frames_transmitted: u64,
+}
+
+impl SimStats {
+    /// Create an empty statistics collector.
+    pub fn new(keep_samples: bool) -> Self {
+        SimStats {
+            keep_samples,
+            ..SimStats::default()
+        }
+    }
+
+    /// Record a completed packet.
+    pub fn record(&mut self, sample: PacketSample) {
+        self.packets_completed += 1;
+        self.per_frame
+            .entry((sample.flow, sample.gmf_frame))
+            .or_default()
+            .record(sample.response_time());
+        if self.keep_samples {
+            self.samples.push(sample);
+        }
+    }
+
+    /// Aggregates of a specific (flow, GMF frame) pair.
+    pub fn frame_stats(&self, flow: FlowId, gmf_frame: usize) -> Option<&ResponseStats> {
+        self.per_frame.get(&(flow, gmf_frame))
+    }
+
+    /// The worst observed response time of any frame of `flow`.
+    pub fn worst_response(&self, flow: FlowId) -> Option<Time> {
+        self.per_frame
+            .iter()
+            .filter(|((f, _), _)| *f == flow)
+            .map(|(_, s)| s.max)
+            .max()
+    }
+
+    /// The worst observed response time of a specific GMF frame of `flow`.
+    pub fn worst_frame_response(&self, flow: FlowId, gmf_frame: usize) -> Option<Time> {
+        self.frame_stats(flow, gmf_frame).map(|s| s.max)
+    }
+
+    /// Number of completed packets of `flow`.
+    pub fn completed_of_flow(&self, flow: FlowId) -> u64 {
+        self.per_frame
+            .iter()
+            .filter(|((f, _), _)| *f == flow)
+            .map(|(_, s)| s.count)
+            .sum()
+    }
+
+    /// All per-(flow, frame) aggregates.
+    pub fn per_frame(&self) -> impl Iterator<Item = (&(FlowId, usize), &ResponseStats)> {
+        self.per_frame.iter()
+    }
+
+    /// Raw samples (empty unless sample recording was enabled).
+    pub fn samples(&self) -> &[PacketSample] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(flow: usize, seq: u64, frame: usize, arrival_ms: f64, completion_ms: f64) -> PacketSample {
+        PacketSample {
+            flow: FlowId(flow),
+            sequence: seq,
+            gmf_frame: frame,
+            arrival: Time::from_millis(arrival_ms),
+            completion: Time::from_millis(completion_ms),
+        }
+    }
+
+    #[test]
+    fn response_time_is_completion_minus_arrival() {
+        let s = sample(0, 0, 0, 10.0, 14.5);
+        assert!(s.response_time().approx_eq(Time::from_millis(4.5)));
+    }
+
+    #[test]
+    fn aggregates_track_min_max_mean() {
+        let mut stats = SimStats::new(true);
+        stats.record(sample(0, 0, 0, 0.0, 2.0));
+        stats.record(sample(0, 1, 0, 10.0, 16.0));
+        stats.record(sample(0, 2, 0, 20.0, 21.0));
+        let agg = stats.frame_stats(FlowId(0), 0).unwrap();
+        assert_eq!(agg.count, 3);
+        assert!(agg.max.approx_eq(Time::from_millis(6.0)));
+        assert!(agg.min.approx_eq(Time::from_millis(1.0)));
+        assert!(agg.mean().approx_eq(Time::from_millis(3.0)));
+        assert_eq!(stats.samples().len(), 3);
+        assert_eq!(stats.packets_completed, 3);
+    }
+
+    #[test]
+    fn per_flow_queries() {
+        let mut stats = SimStats::new(false);
+        stats.record(sample(0, 0, 0, 0.0, 5.0));
+        stats.record(sample(0, 1, 1, 30.0, 32.0));
+        stats.record(sample(1, 0, 0, 0.0, 1.0));
+        assert!(stats.worst_response(FlowId(0)).unwrap().approx_eq(Time::from_millis(5.0)));
+        assert!(stats
+            .worst_frame_response(FlowId(0), 1)
+            .unwrap()
+            .approx_eq(Time::from_millis(2.0)));
+        assert_eq!(stats.worst_frame_response(FlowId(0), 7), None);
+        assert_eq!(stats.completed_of_flow(FlowId(0)), 2);
+        assert_eq!(stats.completed_of_flow(FlowId(2)), 0);
+        assert_eq!(stats.worst_response(FlowId(9)), None);
+        // Samples were not kept.
+        assert!(stats.samples().is_empty());
+        assert_eq!(stats.per_frame().count(), 3);
+    }
+
+    #[test]
+    fn empty_stats_mean_is_zero() {
+        let s = ResponseStats::default();
+        assert_eq!(s.mean(), Time::ZERO);
+        assert_eq!(s.count, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Stride scheduling (Waldspurger & Weihl), as used by Click to schedule
+//! the software tasks inside an Ethernet switch.
+//!
+//! Each task has a number of *tickets*; its *stride* is a large constant
+//! divided by its tickets, and its *pass* counter starts at its stride.
+//! The dispatcher always runs the task with the smallest pass and then
+//! advances that task's pass by its stride, so a task with twice the
+//! tickets is dispatched twice as often.  With one ticket per task the
+//! policy degenerates to round-robin, which is Click's default and the
+//! configuration assumed by the paper's analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// The large constant whose quotient by the ticket count gives the stride.
+pub const STRIDE1: u64 = 1 << 20;
+
+/// One schedulable task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct TaskState {
+    tickets: u64,
+    stride: u64,
+    pass: u64,
+}
+
+/// A stride scheduler over a fixed set of tasks, identified by their index
+/// at registration time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StrideScheduler {
+    tasks: Vec<TaskState>,
+}
+
+impl StrideScheduler {
+    /// Create an empty scheduler.
+    pub fn new() -> Self {
+        StrideScheduler { tasks: Vec::new() }
+    }
+
+    /// Create a round-robin scheduler over `n` tasks (one ticket each).
+    pub fn round_robin(n: usize) -> Self {
+        let mut s = StrideScheduler::new();
+        for _ in 0..n {
+            s.add_task(1);
+        }
+        s
+    }
+
+    /// Register a task with the given ticket count; returns its index.
+    pub fn add_task(&mut self, tickets: u64) -> usize {
+        assert!(tickets >= 1, "a task needs at least one ticket");
+        let stride = STRIDE1 / tickets;
+        self.tasks.push(TaskState {
+            tickets,
+            stride,
+            // The paper: "when the system boots, the pass of a task is
+            // initialized to its stride".
+            pass: stride,
+        });
+        self.tasks.len() - 1
+    }
+
+    /// Number of registered tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The ticket count of a task.
+    pub fn tickets(&self, task: usize) -> u64 {
+        self.tasks[task].tickets
+    }
+
+    /// Index of the task that would be dispatched next (smallest pass, ties
+    /// broken towards the lowest index), without advancing it.
+    pub fn peek(&self) -> Option<usize> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .min_by_key(|(idx, t)| (t.pass, *idx))
+            .map(|(idx, _)| idx)
+    }
+
+    /// Dispatch the next task: returns its index and advances its pass by
+    /// its stride.
+    pub fn dispatch(&mut self) -> Option<usize> {
+        let idx = self.peek()?;
+        let task = &mut self.tasks[idx];
+        task.pass += task.stride;
+        Some(idx)
+    }
+
+    /// Dispatch repeatedly until a task satisfying `wanted` is selected, or
+    /// every task has been offered one turn in this round.  Returns the
+    /// sequence of task indices dispatched (the last one, if any, satisfies
+    /// the predicate).  Useful for skipping idle tasks cheaply while still
+    /// consuming their turns.
+    pub fn dispatch_until(&mut self, mut wanted: impl FnMut(usize) -> bool) -> Vec<usize> {
+        let mut dispatched = Vec::new();
+        for _ in 0..self.tasks.len() {
+            match self.dispatch() {
+                Some(idx) => {
+                    dispatched.push(idx);
+                    if wanted(idx) {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        dispatched
+    }
+}
+
+impl Default for StrideScheduler {
+    fn default() -> Self {
+        StrideScheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_through_all_tasks() {
+        let mut s = StrideScheduler::round_robin(4);
+        assert_eq!(s.n_tasks(), 4);
+        let order: Vec<usize> = (0..8).map(|_| s.dispatch().unwrap()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut s = StrideScheduler::round_robin(2);
+        assert_eq!(s.peek(), Some(0));
+        assert_eq!(s.peek(), Some(0));
+        assert_eq!(s.dispatch(), Some(0));
+        assert_eq!(s.peek(), Some(1));
+    }
+
+    #[test]
+    fn tickets_bias_dispatch_frequency() {
+        // A task with 2 tickets runs twice as often as tasks with 1.
+        let mut s = StrideScheduler::new();
+        let heavy = s.add_task(2);
+        let light = s.add_task(1);
+        let mut counts = [0usize; 2];
+        for _ in 0..300 {
+            let idx = s.dispatch().unwrap();
+            counts[idx] += 1;
+        }
+        assert_eq!(s.tickets(heavy), 2);
+        assert_eq!(s.tickets(light), 1);
+        let ratio = counts[heavy] as f64 / counts[light] as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_scheduler_dispatches_nothing() {
+        let mut s = StrideScheduler::new();
+        assert_eq!(s.peek(), None);
+        assert_eq!(s.dispatch(), None);
+        assert!(s.dispatch_until(|_| true).is_empty());
+    }
+
+    #[test]
+    fn dispatch_until_skips_unwanted_tasks_but_consumes_their_turn() {
+        let mut s = StrideScheduler::round_robin(3);
+        // Only task 2 is "wanted" (has work).
+        let dispatched = s.dispatch_until(|idx| idx == 2);
+        assert_eq!(dispatched, vec![0, 1, 2]);
+        // The next dispatch continues the round-robin cycle after task 2.
+        assert_eq!(s.dispatch(), Some(0));
+    }
+
+    #[test]
+    fn dispatch_until_gives_up_after_one_full_round() {
+        let mut s = StrideScheduler::round_robin(3);
+        let dispatched = s.dispatch_until(|_| false);
+        assert_eq!(dispatched.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_tickets_rejected() {
+        let mut s = StrideScheduler::new();
+        s.add_task(0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # gmf-workloads
+//!
+//! Workload generators, canonical scenarios and parameter sweeps for the
+//! GMF multihop schedulability experiments:
+//!
+//! * [`paper`] — the paper's worked example (Figure 1 network, Figure 2
+//!   route, Figure 3/4 MPEG flow) plus the interactive traffic its
+//!   introduction motivates;
+//! * [`synthetic`] — random GMF flow sets with a controlled offered
+//!   utilization (UUniFast split, video-style burstiness);
+//! * [`sweep`] — acceptance-ratio sweeps comparing the GMF analysis with
+//!   the sporadic-collapse baseline and the utilization-only necessary
+//!   test;
+//! * [`scenario`] — JSON scenario files for saving / re-running exact
+//!   experiment inputs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod paper;
+pub mod scenario;
+pub mod sweep;
+pub mod synthetic;
+
+pub use paper::{
+    conference_video, paper_scenario, paper_scenario_with, paper_video_only_scenario,
+    PaperScenarioFlows, Scenario,
+};
+pub use scenario::ScenarioFile;
+pub use sweep::{acceptance_sweep, build_converging_flow_set, AcceptancePoint, SweepConfig};
+pub use synthetic::{random_flow_collection, random_gmf_flow, uunifast, SyntheticConfig};
+
+/// Convenient glob import of the most frequently used items.
+pub mod prelude {
+    pub use crate::paper::{paper_scenario, paper_video_only_scenario, Scenario};
+    pub use crate::scenario::ScenarioFile;
+    pub use crate::sweep::{acceptance_sweep, AcceptancePoint, SweepConfig};
+    pub use crate::synthetic::{random_flow_collection, random_gmf_flow, SyntheticConfig};
+}

@@ -1,0 +1,207 @@
+//! The paper's worked example, packaged as a ready-to-analyse scenario.
+//!
+//! The scenario combines the Figure 1 network, the Figure 2 route and the
+//! Figure 3/4 MPEG flow, plus the kind of background traffic the paper's
+//! introduction motivates (Voice-over-IP calls and a video-conference).
+//! Every experiment that reproduces a worked number of the paper starts
+//! from [`paper_scenario`] or its single-flow variant
+//! [`paper_video_only_scenario`].
+
+use gmf_model::{paper_figure3_flow, voip_flow, GmfFlow, Time, VoiceCodec};
+use gmf_net::{
+    paper_figure1, paper_figure1_with, shortest_path, FlowSet, PaperNetwork, PaperNetworkConfig,
+    Priority, Topology,
+};
+use serde::{Deserialize, Serialize};
+
+/// Identifier constants for the flows of the full paper scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaperScenarioFlows {
+    /// Index of the MPEG video flow (host 0 → host 3).
+    pub video: usize,
+    /// Index of the first voice call (host 1 → host 3).
+    pub voice_a: usize,
+    /// Index of the second voice call (host 2 → host 0).
+    pub voice_b: usize,
+    /// Index of the conference video flow (host 2 → host 1).
+    pub conference: usize,
+}
+
+/// A complete scenario: topology, node map and flow set.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The network.
+    pub topology: Topology,
+    /// The node map of the paper network.
+    pub network: PaperNetwork,
+    /// The offered flows.
+    pub flows: FlowSet,
+}
+
+/// The single-flow scenario of Figures 2–4: only the MPEG stream from
+/// host 0 to host 3, with the given deadline and generalized jitter
+/// (the paper's Figure 4 uses 1 ms of jitter).
+pub fn paper_video_only_scenario(deadline: Time, jitter: Time) -> Scenario {
+    let (topology, network) = paper_figure1();
+    let mut flows = FlowSet::new();
+    let video = paper_figure3_flow("mpeg-video", deadline, jitter);
+    let route = shortest_path(&topology, network.hosts[0], network.hosts[3])
+        .expect("the paper network is connected");
+    flows.add(video, route, Priority(5));
+    Scenario {
+        topology,
+        network,
+        flows,
+    }
+}
+
+/// The full paper scenario: the MPEG stream plus interactive traffic.
+///
+/// * MPEG video, host 0 → host 3, priority 5, 150 ms deadline, 1 ms jitter
+///   (the Figure 3/4 flow);
+/// * a G.711 voice call, host 1 → host 3, priority 7, 20 ms deadline;
+/// * a G.711 voice call, host 2 → host 0, priority 7, 20 ms deadline;
+/// * a small conference video, host 2 → host 1, priority 6, 80 ms deadline.
+pub fn paper_scenario() -> (Scenario, PaperScenarioFlows) {
+    paper_scenario_with(PaperNetworkConfig::default())
+}
+
+/// [`paper_scenario`] on a network with explicit link speeds / switch
+/// parameters (used by the sensitivity experiments).
+pub fn paper_scenario_with(config: PaperNetworkConfig) -> (Scenario, PaperScenarioFlows) {
+    let (topology, network) = paper_figure1_with(config);
+    let mut flows = FlowSet::new();
+
+    let route = |from: usize, to: usize| {
+        shortest_path(&topology, network.hosts[from], network.hosts[to])
+            .expect("the paper network is connected")
+    };
+
+    let video = paper_figure3_flow(
+        "mpeg-video",
+        Time::from_millis(150.0),
+        Time::from_millis(1.0),
+    );
+    let video_id = flows.add(video, route(0, 3), Priority(5)).0;
+
+    let voice_a = voip_flow(
+        "voip-1-to-3",
+        VoiceCodec::G711,
+        Time::from_millis(20.0),
+        Time::from_millis(0.5),
+    );
+    let voice_a_id = flows.add(voice_a, route(1, 3), Priority(7)).0;
+
+    let voice_b = voip_flow(
+        "voip-2-to-0",
+        VoiceCodec::G711,
+        Time::from_millis(20.0),
+        Time::from_millis(0.5),
+    );
+    let voice_b_id = flows.add(voice_b, route(2, 0), Priority(7)).0;
+
+    let conference = conference_video("conf-2-to-1", Time::from_millis(80.0));
+    let conference_id = flows.add(conference, route(2, 1), Priority(6)).0;
+
+    (
+        Scenario {
+            topology,
+            network,
+            flows,
+        },
+        PaperScenarioFlows {
+            video: video_id,
+            voice_a: voice_a_id,
+            voice_b: voice_b_id,
+            conference: conference_id,
+        },
+    )
+}
+
+/// A small two-frame conference video flow (~1.3 Mbit/s): a 10 kB refresh
+/// frame followed by three 4 kB difference frames every 40 ms.
+pub fn conference_video(name: &str, deadline: Time) -> GmfFlow {
+    use gmf_model::{Bits, FrameSpec};
+    GmfFlow::new(
+        name,
+        vec![
+            FrameSpec {
+                payload: Bits::from_bytes(10_000),
+                min_interarrival: Time::from_millis(40.0),
+                deadline,
+                jitter: Time::from_millis(1.0),
+            },
+            FrameSpec {
+                payload: Bits::from_bytes(4_000),
+                min_interarrival: Time::from_millis(40.0),
+                deadline,
+                jitter: Time::from_millis(1.0),
+            },
+            FrameSpec {
+                payload: Bits::from_bytes(4_000),
+                min_interarrival: Time::from_millis(40.0),
+                deadline,
+                jitter: Time::from_millis(1.0),
+            },
+            FrameSpec {
+                payload: Bits::from_bytes(4_000),
+                min_interarrival: Time::from_millis(40.0),
+                deadline,
+                jitter: Time::from_millis(1.0),
+            },
+        ],
+    )
+    .expect("conference video parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmf_analysis::{analyze, AnalysisConfig};
+
+    #[test]
+    fn video_only_scenario_matches_figure2_route() {
+        let s = paper_video_only_scenario(Time::from_millis(100.0), Time::from_millis(1.0));
+        assert_eq!(s.flows.len(), 1);
+        let binding = &s.flows.bindings()[0];
+        assert_eq!(binding.route.source(), s.network.hosts[0]);
+        assert_eq!(binding.route.destination(), s.network.hosts[3]);
+        assert_eq!(binding.route.n_hops(), 3);
+        assert_eq!(binding.flow.n_frames(), 9);
+        s.flows.validate_against(&s.topology).unwrap();
+    }
+
+    #[test]
+    fn full_scenario_has_four_flows_and_is_schedulable() {
+        let (s, ids) = paper_scenario();
+        assert_eq!(s.flows.len(), 4);
+        assert_eq!(ids.video, 0);
+        assert_eq!(ids.conference, 3);
+        s.flows.validate_against(&s.topology).unwrap();
+        let report = analyze(&s.topology, &s.flows, &AnalysisConfig::paper()).unwrap();
+        assert!(report.schedulable, "{report}");
+    }
+
+    #[test]
+    fn scenario_with_faster_network_has_smaller_bounds() {
+        let (slow, _) = paper_scenario();
+        let fast_cfg = PaperNetworkConfig {
+            access: gmf_net::LinkProfile::ethernet_100m(),
+            backbone: gmf_net::LinkProfile::ethernet_1g(),
+            ..Default::default()
+        };
+        let (fast, _) = paper_scenario_with(fast_cfg);
+        let cfg = AnalysisConfig::paper();
+        let slow_report = analyze(&slow.topology, &slow.flows, &cfg).unwrap();
+        let fast_report = analyze(&fast.topology, &fast.flows, &cfg).unwrap();
+        assert!(fast_report.worst_bound().unwrap() < slow_report.worst_bound().unwrap());
+    }
+
+    #[test]
+    fn conference_video_structure() {
+        let v = conference_video("c", Time::from_millis(80.0));
+        assert_eq!(v.n_frames(), 4);
+        assert_eq!(v.tsum(), Time::from_millis(160.0));
+        assert!(v.mean_payload_rate_bps() > 1.0e6);
+    }
+}

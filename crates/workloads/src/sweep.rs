@@ -1,0 +1,224 @@
+//! Parameter sweeps: the machinery behind the acceptance-ratio and
+//! sensitivity experiments.
+//!
+//! [`acceptance_sweep`] regenerates the classic "acceptance ratio vs
+//! offered utilization" curve (experiment E8): at each utilization level it
+//! draws many random flow sets, routes them across a bottleneck link of a
+//! star network, and records which admission tests accept them —
+//!
+//! * the GMF holistic response-time analysis (the paper's contribution),
+//! * the same analysis on the sporadic collapse of every flow (the
+//!   pre-existing state of the art), and
+//! * the utilization-only necessary condition (an upper bound on what any
+//!   analysis could accept).
+
+use crate::synthetic::{random_flow_collection, SyntheticConfig};
+use gmf_analysis::{analyze, analyze_sporadic_baseline, utilization_check, AnalysisConfig};
+use gmf_net::{
+    shortest_path, star, FlowSet, LinkProfile, NodeId, Priority, PriorityPolicy, SwitchConfig,
+    Topology,
+};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One point of the acceptance-ratio curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceptancePoint {
+    /// Offered utilization of the bottleneck link.
+    pub utilization: f64,
+    /// Number of random flow sets evaluated.
+    pub trials: usize,
+    /// Fraction accepted by the GMF holistic analysis.
+    pub gmf_accepted: f64,
+    /// Fraction accepted by the sporadic-collapse baseline.
+    pub sporadic_accepted: f64,
+    /// Fraction passing the utilization-only necessary test.
+    pub utilization_feasible: f64,
+}
+
+/// Configuration of the acceptance sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Number of flows per random set.
+    pub flows_per_set: usize,
+    /// Number of random sets per utilization point.
+    pub sets_per_point: usize,
+    /// Number of source hosts on the star (all flows converge on one sink).
+    pub n_sources: usize,
+    /// Speed of every link of the star.
+    pub link: LinkProfile,
+    /// Switch CPU parameters.
+    pub switch: SwitchConfig,
+    /// Flow-structure generator configuration.
+    pub synthetic: SyntheticConfig,
+    /// Number of 802.1p priority levels available.
+    pub priority_levels: u8,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        let link = LinkProfile::ethernet_100m();
+        SweepConfig {
+            flows_per_set: 8,
+            sets_per_point: 20,
+            n_sources: 4,
+            link,
+            switch: SwitchConfig::paper(),
+            synthetic: SyntheticConfig {
+                reference_speed_bps: link.speed.as_bps(),
+                ..SyntheticConfig::default()
+            },
+            priority_levels: 8,
+        }
+    }
+}
+
+/// Build the star topology and route a collection of flows from random
+/// source hosts to the common sink (host 0), assigning deadline-monotonic
+/// priorities.  Returns `(topology, flow set, sink)`.
+pub fn build_converging_flow_set<R: Rng>(
+    rng: &mut R,
+    flows: Vec<gmf_model::GmfFlow>,
+    config: &SweepConfig,
+) -> (Topology, FlowSet, NodeId) {
+    let (topology, _switch, hosts) = star(config.n_sources + 1, config.link, config.switch);
+    let sink = hosts[0];
+    let sources = &hosts[1..];
+    let mut set = FlowSet::new();
+    for flow in flows {
+        let source = sources[rng.gen_range(0..sources.len())];
+        let route = shortest_path(&topology, source, sink).expect("star is connected");
+        set.add(flow, route, Priority(0));
+    }
+    set.assign_priorities(PriorityPolicy::DeadlineMonotonic {
+        levels: config.priority_levels,
+    });
+    (topology, set, sink)
+}
+
+/// Run the acceptance sweep over the given utilization levels.
+pub fn acceptance_sweep<R: Rng>(
+    rng: &mut R,
+    utilizations: &[f64],
+    config: &SweepConfig,
+    analysis: &AnalysisConfig,
+) -> Vec<AcceptancePoint> {
+    utilizations
+        .iter()
+        .map(|&utilization| {
+            let mut gmf = 0usize;
+            let mut sporadic = 0usize;
+            let mut feasible = 0usize;
+            for _ in 0..config.sets_per_point {
+                let flows = random_flow_collection(
+                    rng,
+                    config.flows_per_set,
+                    utilization,
+                    &config.synthetic,
+                );
+                let (topology, set, _) = build_converging_flow_set(rng, flows, config);
+
+                if analyze(&topology, &set, analysis)
+                    .map(|r| r.schedulable)
+                    .unwrap_or(false)
+                {
+                    gmf += 1;
+                }
+                if analyze_sporadic_baseline(&topology, &set, analysis)
+                    .map(|r| r.schedulable)
+                    .unwrap_or(false)
+                {
+                    sporadic += 1;
+                }
+                if utilization_check(&topology, &set)
+                    .map(|c| c.feasible)
+                    .unwrap_or(false)
+                {
+                    feasible += 1;
+                }
+            }
+            let denom = config.sets_per_point as f64;
+            AcceptancePoint {
+                utilization,
+                trials: config.sets_per_point,
+                gmf_accepted: gmf as f64 / denom,
+                sporadic_accepted: sporadic as f64 / denom,
+                utilization_feasible: feasible as f64 / denom,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_config() -> SweepConfig {
+        SweepConfig {
+            flows_per_set: 4,
+            sets_per_point: 5,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn converging_flow_set_routes_everything_to_the_sink() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let config = small_config();
+        let flows = random_flow_collection(&mut rng, 4, 0.3, &config.synthetic);
+        let (topology, set, sink) = build_converging_flow_set(&mut rng, flows, &config);
+        assert_eq!(set.len(), 4);
+        set.validate_against(&topology).unwrap();
+        for binding in set.bindings() {
+            assert_eq!(binding.route.destination(), sink);
+            assert_ne!(binding.route.source(), sink);
+        }
+        // Deadline-monotonic priorities were assigned (not all zero unless
+        // all deadlines are in the same quantile).
+        assert!(set.bindings().iter().any(|b| b.priority.0 > 0));
+    }
+
+    #[test]
+    fn acceptance_decreases_with_utilization_and_gmf_dominates_sporadic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let config = small_config();
+        let points = acceptance_sweep(
+            &mut rng,
+            &[0.10, 0.95],
+            &config,
+            &AnalysisConfig::paper(),
+        );
+        assert_eq!(points.len(), 2);
+        let low = &points[0];
+        let high = &points[1];
+        // At 10% utilization (almost) everything is accepted; at 95% the
+        // necessary condition already rejects many sets and the sufficient
+        // analyses accept no more than it.
+        assert!(low.gmf_accepted >= 0.8, "low point: {low:?}");
+        assert!(high.gmf_accepted <= low.gmf_accepted);
+        for p in &points {
+            assert!(p.gmf_accepted >= p.sporadic_accepted - 1e-9, "{p:?}");
+            assert_eq!(p.trials, config.sets_per_point);
+        }
+    }
+
+    #[test]
+    fn sweep_is_reproducible_for_a_seed() {
+        let config = small_config();
+        let a = acceptance_sweep(
+            &mut ChaCha8Rng::seed_from_u64(3),
+            &[0.3],
+            &config,
+            &AnalysisConfig::paper(),
+        );
+        let b = acceptance_sweep(
+            &mut ChaCha8Rng::seed_from_u64(3),
+            &[0.3],
+            &config,
+            &AnalysisConfig::paper(),
+        );
+        assert_eq!(a, b);
+    }
+}

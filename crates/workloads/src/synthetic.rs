@@ -1,0 +1,229 @@
+//! Synthetic GMF workload generation for the evaluation experiments.
+//!
+//! The acceptance-ratio experiments (E8) need many random flow sets with a
+//! controlled *offered utilization* of a bottleneck link.  The generator
+//! follows the standard recipe of the schedulability-analysis literature:
+//!
+//! 1. split the target utilization among `n` flows with the UUniFast
+//!    algorithm (unbiased uniform sampling of the utilization simplex);
+//! 2. for each flow, draw a GMF structure (number of frames, per-frame
+//!    minimum inter-arrival times, a size profile that makes one frame much
+//!    larger than the others, video-style);
+//! 3. scale the payloads so the flow's long-run wire utilization of the
+//!    reference link matches its share;
+//! 4. draw a relative deadline as a multiple of the per-frame inter-arrival
+//!    time.
+
+use gmf_model::{Bits, FrameSpec, GmfFlow, Time};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic GMF flow generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Minimum number of frames per GMF cycle.
+    pub min_frames: usize,
+    /// Maximum number of frames per GMF cycle.
+    pub max_frames: usize,
+    /// Minimum per-frame inter-arrival time.
+    pub min_interarrival: Time,
+    /// Maximum per-frame inter-arrival time.
+    pub max_interarrival: Time,
+    /// Weight of the largest frame relative to the others (video-style
+    /// burstiness); 1.0 makes all frames equal.
+    pub burstiness: f64,
+    /// Deadline of a frame = this factor × its inter-arrival time
+    /// (drawn uniformly from the range).
+    pub deadline_factor: (f64, f64),
+    /// Generalized jitter assigned to every frame.
+    pub jitter: Time,
+    /// Reference link speed (bit/s) used to convert utilization shares into
+    /// payload sizes.
+    pub reference_speed_bps: f64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            min_frames: 1,
+            max_frames: 10,
+            min_interarrival: Time::from_millis(10.0),
+            max_interarrival: Time::from_millis(100.0),
+            burstiness: 6.0,
+            deadline_factor: (2.0, 10.0),
+            jitter: Time::from_millis(0.5),
+            reference_speed_bps: 100.0e6,
+        }
+    }
+}
+
+/// UUniFast: split `total` into `n` non-negative shares whose sum is
+/// `total`, uniformly over the simplex.
+pub fn uunifast<R: Rng>(rng: &mut R, n: usize, total: f64) -> Vec<f64> {
+    assert!(n >= 1);
+    let mut shares = Vec::with_capacity(n);
+    let mut remaining = total;
+    for i in 1..n {
+        let next = remaining * rng.gen_range(0.0f64..1.0).powf(1.0 / (n - i) as f64);
+        shares.push(remaining - next);
+        remaining = next;
+    }
+    shares.push(remaining);
+    shares
+}
+
+/// Generate one random GMF flow whose long-run utilization of the reference
+/// link is (approximately) `utilization`.
+pub fn random_gmf_flow<R: Rng>(
+    rng: &mut R,
+    name: &str,
+    utilization: f64,
+    config: &SyntheticConfig,
+) -> GmfFlow {
+    assert!(utilization > 0.0, "utilization must be positive");
+    let n_frames = rng.gen_range(config.min_frames..=config.max_frames.max(config.min_frames));
+
+    // Inter-arrival times and the per-frame size weights.
+    let mut interarrivals = Vec::with_capacity(n_frames);
+    let mut weights = Vec::with_capacity(n_frames);
+    for k in 0..n_frames {
+        let t = rng.gen_range(
+            config.min_interarrival.as_secs()..=config.max_interarrival.as_secs(),
+        );
+        interarrivals.push(Time::from_secs(t));
+        weights.push(if k == 0 { config.burstiness.max(1.0) } else { 1.0 });
+    }
+    let tsum: Time = interarrivals.iter().copied().sum();
+    let total_weight: f64 = weights.iter().sum();
+
+    // Total payload bits per cycle so that (roughly, ignoring header
+    // overhead) payload / TSUM = utilization × reference speed.
+    let total_payload_bits = utilization * config.reference_speed_bps * tsum.as_secs();
+
+    let frames = (0..n_frames)
+        .map(|k| {
+            let share = weights[k] / total_weight;
+            let payload_bits = (total_payload_bits * share).max(64.0);
+            let deadline_factor = rng.gen_range(config.deadline_factor.0..=config.deadline_factor.1);
+            FrameSpec {
+                payload: Bits::from_bytes((payload_bits / 8.0).ceil().max(8.0) as u64),
+                min_interarrival: interarrivals[k],
+                deadline: interarrivals[k] * deadline_factor,
+                jitter: config.jitter,
+            }
+        })
+        .collect();
+
+    GmfFlow::new(name, frames).expect("generated parameters are always valid")
+}
+
+/// Generate `n_flows` random flows whose utilizations of the reference link
+/// sum to `total_utilization`.
+pub fn random_flow_collection<R: Rng>(
+    rng: &mut R,
+    n_flows: usize,
+    total_utilization: f64,
+    config: &SyntheticConfig,
+) -> Vec<GmfFlow> {
+    let shares = uunifast(rng, n_flows, total_utilization);
+    shares
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| random_gmf_flow(rng, &format!("synthetic{i}"), u.max(1e-4), config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmf_model::{EncapsulationConfig, LinkDemand};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uunifast_shares_sum_to_total_and_are_non_negative() {
+        let mut r = rng();
+        for n in [1, 2, 5, 20] {
+            for total in [0.1, 0.5, 0.9] {
+                let shares = uunifast(&mut r, n, total);
+                assert_eq!(shares.len(), n);
+                assert!(shares.iter().all(|&s| s >= 0.0));
+                let sum: f64 = shares.iter().sum();
+                assert!((sum - total).abs() < 1e-9, "sum {sum} != {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_flow_respects_structure_bounds() {
+        let mut r = rng();
+        let config = SyntheticConfig::default();
+        for i in 0..50 {
+            let flow = random_gmf_flow(&mut r, &format!("f{i}"), 0.1, &config);
+            assert!(flow.n_frames() >= config.min_frames);
+            assert!(flow.n_frames() <= config.max_frames);
+            for spec in flow.frames() {
+                assert!(spec.min_interarrival >= config.min_interarrival);
+                assert!(spec.min_interarrival <= config.max_interarrival);
+                assert!(spec.deadline >= spec.min_interarrival * config.deadline_factor.0 * 0.999);
+                assert!(spec.jitter == config.jitter);
+                assert!(!spec.payload.is_zero());
+            }
+            // The first frame carries the burst.
+            assert_eq!(flow.max_payload(), flow.frame(0).unwrap().payload);
+        }
+    }
+
+    #[test]
+    fn generated_utilization_tracks_the_target() {
+        let mut r = rng();
+        let config = SyntheticConfig::default();
+        // Payload utilization targets the reference speed; the wire
+        // utilization (with headers) is slightly larger but within ~15%.
+        for &target in &[0.05, 0.2, 0.4] {
+            let flow = random_gmf_flow(&mut r, "f", target, &config);
+            let demand = LinkDemand::new(
+                &flow,
+                &EncapsulationConfig::paper(),
+                gmf_model::BitRate::from_bps(config.reference_speed_bps),
+            );
+            let measured = demand.utilization();
+            assert!(
+                measured >= target * 0.95 && measured <= target * 1.25,
+                "target {target}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn collection_utilization_sums_to_target() {
+        let mut r = rng();
+        let config = SyntheticConfig::default();
+        let flows = random_flow_collection(&mut r, 8, 0.6, &config);
+        assert_eq!(flows.len(), 8);
+        let total: f64 = flows
+            .iter()
+            .map(|f| {
+                LinkDemand::new(
+                    f,
+                    &EncapsulationConfig::paper(),
+                    gmf_model::BitRate::from_bps(config.reference_speed_bps),
+                )
+                .utilization()
+            })
+            .sum();
+        assert!(total > 0.55 && total < 0.80, "total {total}");
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let config = SyntheticConfig::default();
+        let a = random_flow_collection(&mut rng(), 5, 0.5, &config);
+        let b = random_flow_collection(&mut rng(), 5, 0.5, &config);
+        assert_eq!(a, b);
+    }
+}

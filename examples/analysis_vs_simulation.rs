@@ -1,0 +1,78 @@
+//! Comparing the analytical bound with simulated behaviour.
+//!
+//! Runs the paper scenario (on 100 Mbit/s access links) both through the
+//! holistic analysis and through the discrete-event switch simulator, and
+//! prints, for every frame of the MPEG flow, the worst simulated response
+//! time next to the analytical bound — the picture a practitioner needs in
+//! order to trust (and to gauge the pessimism of) the admission
+//! controller.
+//!
+//! Run with `cargo run --release --example analysis_vs_simulation`.
+
+use gmfnet::prelude::*;
+use gmf_model::FlowId;
+
+fn main() {
+    let netcfg = PaperNetworkConfig {
+        access: LinkProfile::ethernet_100m(),
+        ..Default::default()
+    };
+    let (scenario, ids) = gmf_workloads::paper_scenario_with(netcfg);
+
+    // Analytical bounds (conservative configuration: both documented
+    // refinements enabled, see DESIGN.md §4).
+    let report = analyze(
+        &scenario.topology,
+        &scenario.flows,
+        &AnalysisConfig::conservative(),
+    )
+    .unwrap();
+    assert!(report.schedulable);
+
+    // Simulated worst case over a 2 s horizon with dense (worst-case legal)
+    // arrivals.
+    let sim_config = SimConfig {
+        horizon: Time::from_secs(2.0),
+        ..SimConfig::default()
+    };
+    let result = Simulator::new(&scenario.topology, &scenario.flows, sim_config)
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let video = FlowId(ids.video);
+    let video_report = report.flow(video).unwrap();
+    println!("MPEG video flow, frame by frame (simulated worst vs analytical bound):");
+    println!("frame  simulated worst   analytical bound   obs/bound");
+    for (k, frame) in video_report.frames.iter().enumerate() {
+        let observed = result
+            .stats
+            .worst_frame_response(video, k)
+            .unwrap_or(Time::ZERO);
+        println!(
+            "{k:>5}  {observed:<16}  {:<17}  {:.2}",
+            frame.bound,
+            observed / frame.bound
+        );
+        assert!(observed <= frame.bound, "the bound must dominate the simulation");
+    }
+
+    println!();
+    println!("all flows:");
+    for binding in scenario.flows.bindings() {
+        let bound = report.flow(binding.id).unwrap().worst_bound().unwrap();
+        let observed = result.stats.worst_response(binding.id).unwrap();
+        println!(
+            "  {:<14} simulated worst {:<14} bound {:<14} packets observed {}",
+            binding.flow.name(),
+            observed,
+            bound,
+            result.stats.completed_of_flow(binding.id)
+        );
+    }
+    println!();
+    println!(
+        "simulator processed {} events over {} of simulated time",
+        result.events_processed, result.final_time
+    );
+}

@@ -1,0 +1,74 @@
+//! Dimensioning a video-conferencing deployment.
+//!
+//! The paper's introduction motivates the analysis with interactive
+//! multimedia (video conferencing) at the edge of the Internet.  This
+//! example provisions a small office: every employee host runs a
+//! conference client that sends one audio flow (G.711) and one video flow
+//! (a two-rate GMF stream) to a conference bridge host.  The operator
+//! wants to know how many participants fit on a single software switch at
+//! 100 Mbit/s, and how the answer changes with a gigabit uplink to the
+//! bridge.
+//!
+//! Run with `cargo run --example video_conferencing`.
+
+use gmfnet::prelude::*;
+use gmf_model::conference_flows;
+
+/// Try to fit `participants` conference clients on a star network whose
+/// links all run at `link` speed; returns the analysis report.
+fn provision(participants: usize, link: LinkProfile) -> (bool, Option<Time>) {
+    let (topology, _switch, hosts) = star(participants + 1, link, SwitchConfig::paper());
+    let bridge = hosts[0];
+    let mut flows = FlowSet::new();
+
+    for (i, &host) in hosts[1..].iter().enumerate() {
+        let (audio, video) = conference_flows(
+            &format!("client{i}"),
+            20_000, // refresh frame bytes
+            4_000,  // difference frame bytes
+            Time::from_millis(40.0),
+            Time::from_millis(80.0),
+            Time::from_millis(1.0),
+        );
+        let route = shortest_path(&topology, host, bridge).unwrap();
+        flows.add(audio, route.clone(), Priority(7));
+        flows.add(video, route, Priority(5));
+    }
+
+    let report = analyze(&topology, &flows, &AnalysisConfig::paper()).unwrap();
+    (report.schedulable, report.worst_bound())
+}
+
+fn main() {
+    println!("participants  100 Mbit/s star          1 Gbit/s star");
+    println!("------------  ----------------------  ----------------------");
+    let mut capacity_fast_ethernet = 0usize;
+    let mut capacity_gigabit = 0usize;
+    for participants in [1usize, 2, 4, 8, 12, 16, 24, 32, 48] {
+        let (ok100, bound100) = provision(participants, LinkProfile::ethernet_100m());
+        let (ok1000, bound1000) = provision(participants, LinkProfile::ethernet_1g());
+        if ok100 {
+            capacity_fast_ethernet = participants;
+        }
+        if ok1000 {
+            capacity_gigabit = participants;
+        }
+        let fmt = |ok: bool, bound: Option<Time>| {
+            if ok {
+                format!("fits ({} worst)", bound.unwrap())
+            } else {
+                "does not fit".to_string()
+            }
+        };
+        println!(
+            "{participants:>12}  {:<22}  {:<22}",
+            fmt(ok100, bound100),
+            fmt(ok1000, bound1000)
+        );
+    }
+    println!();
+    println!(
+        "capacity with guaranteed 80 ms video / 80 ms audio deadlines: \
+         {capacity_fast_ethernet} participants at 100 Mbit/s, {capacity_gigabit}+ at 1 Gbit/s"
+    );
+}

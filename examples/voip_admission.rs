@@ -1,0 +1,76 @@
+//! A network operator admitting Voice-over-IP calls one by one.
+//!
+//! This is the paper's closing use case ("this forms an admission
+//! controller"): the operator owns the edge network and is asked to give
+//! delay guarantees to VoIP calls.  Calls are requested one after another;
+//! each is admitted only if the holistic analysis shows that *all* already
+//! accepted calls and the new one still meet their deadlines.
+//!
+//! The example keeps admitting calls between random host pairs of the
+//! paper network until the first rejection, then prints the capacity found
+//! and the reason for the rejection.
+//!
+//! Run with `cargo run --example voip_admission`.
+
+use gmfnet::prelude::*;
+use gmfnet::analysis::AdmissionDecision;
+
+fn main() {
+    let (topology, net) = paper_figure1();
+    let mut controller = AdmissionController::new(topology, AnalysisConfig::paper());
+
+    // Calls alternate between host pairs so that every access link fills up
+    // gradually; each call is one G.711 stream with a 10 ms one-way
+    // deadline and 0.5 ms of source jitter.
+    let pairs = [(0usize, 3usize), (1, 2), (2, 0), (3, 1)];
+    let mut admitted = 0usize;
+
+    for call in 0..200 {
+        let (from, to) = pairs[call % pairs.len()];
+        let flow = voip_flow(
+            &format!("call-{call}-{from}to{to}"),
+            VoiceCodec::G711,
+            Time::from_millis(10.0),
+            Time::from_micros(500.0),
+        );
+        let route = shortest_path(
+            controller.topology(),
+            net.hosts[from],
+            net.hosts[to],
+        )
+        .unwrap();
+        match controller.request(flow, route, Priority::HIGHEST).unwrap() {
+            AdmissionDecision::Accepted { report, .. } => {
+                admitted += 1;
+                if admitted % 20 == 0 {
+                    println!(
+                        "{admitted:>4} calls admitted, worst bound so far {}",
+                        report.worst_bound().unwrap()
+                    );
+                }
+            }
+            AdmissionDecision::Rejected { reason, report } => {
+                println!();
+                println!("call #{call} ({from} -> {to}) REJECTED after {admitted} admitted calls");
+                println!("reason: {reason}");
+                println!(
+                    "worst bound in the trial set: {}",
+                    report.worst_bound().unwrap()
+                );
+                break;
+            }
+        }
+    }
+
+    println!();
+    println!(
+        "capacity of the paper network for 10 ms-deadline G.711 calls: {admitted} simultaneous calls"
+    );
+    let final_report = controller.reanalyze().unwrap();
+    assert!(final_report.schedulable);
+    println!(
+        "final accepted set re-verified: schedulable = {}, {} flows",
+        final_report.schedulable,
+        controller.n_accepted()
+    );
+}

@@ -1,0 +1,51 @@
+//! # gmfnet
+//!
+//! Facade crate of the **gmfnet** workspace — a reproduction of
+//!
+//! > B. Andersson, *"Schedulability Analysis of Generalized Multiframe
+//! > Traffic on Multihop-Networks Comprising Software-Implemented
+//! > Ethernet-Switches"*, IPP-HURRAY TR-080201 / IPPS 2008.
+//!
+//! The workspace is organised as one crate per subsystem; this crate simply
+//! re-exports them so downstream users can depend on a single package:
+//!
+//! | Re-export | Contents |
+//! |-----------|----------|
+//! | [`model`] (`gmf-model`) | GMF flows, generalized jitter, Ethernet packetization, request-bound functions |
+//! | [`net`] (`gmf-net`) | topologies, links, routes, flow sets, 802.1p priorities |
+//! | [`analysis`] (`gmf-analysis`) | per-resource and holistic response-time analysis, admission control, baselines |
+//! | [`sim`] (`switch-sim`) | discrete-event simulator of Click-style software switches |
+//! | [`workloads`] (`gmf-workloads`) | canonical scenarios, synthetic workload generators, parameter sweeps |
+//!
+//! ```
+//! use gmfnet::prelude::*;
+//!
+//! // Reproduce the paper's worked example end to end.
+//! let (scenario, _) = paper_scenario();
+//! let report = analyze(&scenario.topology, &scenario.flows, &AnalysisConfig::paper()).unwrap();
+//! assert!(report.schedulable);
+//! ```
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the paper-vs-measured record; the runnable
+//! examples live in `examples/` and the experiment binaries in
+//! `crates/bench/src/bin/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use gmf_analysis as analysis;
+pub use gmf_model as model;
+pub use gmf_net as net;
+pub use gmf_workloads as workloads;
+pub use switch_sim as sim;
+
+/// One-stop import for applications: the preludes of every crate plus the
+/// most common workload entry points.
+pub mod prelude {
+    pub use gmf_analysis::prelude::*;
+    pub use gmf_model::prelude::*;
+    pub use gmf_net::prelude::*;
+    pub use gmf_workloads::prelude::*;
+    pub use switch_sim::prelude::*;
+}

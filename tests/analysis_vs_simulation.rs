@@ -1,0 +1,167 @@
+//! Integration tests validating the analytical bounds against the
+//! discrete-event simulator (experiment E7 as an enforced test).
+//!
+//! The validation scenarios keep every frame's transmission within its
+//! minimum inter-arrival time on every traversed link — the regime the
+//! published per-frame equations are intended for (see DESIGN.md §4).
+
+use gmfnet::prelude::*;
+use gmfnet::model::FlowId;
+use gmfnet::sim::{ArrivalPolicy, JitterSpread};
+
+/// Check that the conservative analytical bound dominates every simulated
+/// response time, for every flow and frame, under the given simulation
+/// configuration.
+fn assert_bounds_dominate(
+    topology: &Topology,
+    flows: &FlowSet,
+    sim_config: SimConfig,
+    label: &str,
+) {
+    let report = analyze(topology, flows, &AnalysisConfig::conservative()).unwrap();
+    assert!(report.schedulable, "{label}: scenario must be schedulable");
+    let result = Simulator::new(topology, flows, sim_config)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(
+        result.stats.packets_completed > 0,
+        "{label}: the simulation must observe traffic"
+    );
+    for binding in flows.bindings() {
+        let flow_report = report.flow(binding.id).unwrap();
+        for (k, frame) in flow_report.frames.iter().enumerate() {
+            if let Some(observed) = result.stats.worst_frame_response(binding.id, k) {
+                assert!(
+                    observed <= frame.bound,
+                    "{label}: flow {} frame {k}: simulated {} exceeds bound {}",
+                    binding.flow.name(),
+                    observed,
+                    frame.bound
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_scenario_on_fast_access_links() {
+    let netcfg = PaperNetworkConfig {
+        access: LinkProfile::ethernet_100m(),
+        ..Default::default()
+    };
+    let (scenario, _) = gmf_workloads::paper_scenario_with(netcfg);
+    assert_bounds_dominate(
+        &scenario.topology,
+        &scenario.flows,
+        SimConfig {
+            horizon: Time::from_millis(800.0),
+            ..SimConfig::default()
+        },
+        "paper scenario, dense arrivals",
+    );
+}
+
+#[test]
+fn paper_scenario_with_randomised_arrivals() {
+    let netcfg = PaperNetworkConfig {
+        access: LinkProfile::ethernet_100m(),
+        ..Default::default()
+    };
+    let (scenario, _) = gmf_workloads::paper_scenario_with(netcfg);
+    for seed in [3u64, 17, 91] {
+        assert_bounds_dominate(
+            &scenario.topology,
+            &scenario.flows,
+            SimConfig {
+                horizon: Time::from_millis(600.0),
+                arrival: ArrivalPolicy::RandomSlack { slack: 0.4 },
+                jitter_spread: JitterSpread::AtEnd,
+                aligned_start: false,
+                seed,
+                ..SimConfig::default()
+            },
+            &format!("paper scenario, randomised arrivals, seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn conference_star_scenario() {
+    // Eight conference clients feeding a bridge through one software
+    // switch at 100 Mbit/s — the motivating deployment of the example
+    // applications.
+    let (topology, _switch, hosts) = star(9, LinkProfile::ethernet_100m(), SwitchConfig::paper());
+    let bridge = hosts[0];
+    let mut flows = FlowSet::new();
+    for (i, &host) in hosts[1..].iter().enumerate() {
+        let (audio, video) = gmfnet::model::conference_flows(
+            &format!("client{i}"),
+            20_000,
+            4_000,
+            Time::from_millis(40.0),
+            Time::from_millis(120.0),
+            Time::from_millis(1.0),
+        );
+        let route = shortest_path(&topology, host, bridge).unwrap();
+        flows.add(audio, route.clone(), Priority(7));
+        flows.add(video, route, Priority(5));
+    }
+    assert_bounds_dominate(
+        &topology,
+        &flows,
+        SimConfig {
+            horizon: Time::from_millis(500.0),
+            ..SimConfig::default()
+        },
+        "conference star",
+    );
+}
+
+/// The simulator itself behaves like a static-priority network: when two
+/// flows congest one output link, the higher-priority one observes smaller
+/// worst-case responses, and the analysis ranks them the same way.
+#[test]
+fn simulation_and_analysis_agree_on_priority_ordering() {
+    let (topology, _switch, hosts) = star(4, LinkProfile::ethernet_10m(), SwitchConfig::paper());
+    let mut flows = FlowSet::new();
+    let mk = |name: &str| {
+        cbr_flow(
+            name,
+            15_000,
+            Time::from_millis(25.0),
+            Time::from_millis(200.0),
+            Time::from_millis(1.0),
+        )
+    };
+    flows.add(
+        mk("hi"),
+        shortest_path(&topology, hosts[0], hosts[3]).unwrap(),
+        Priority(7),
+    );
+    flows.add(
+        mk("lo"),
+        shortest_path(&topology, hosts[1], hosts[3]).unwrap(),
+        Priority(1),
+    );
+
+    let report = analyze(&topology, &flows, &AnalysisConfig::paper()).unwrap();
+    let hi_bound = report.flow(FlowId(0)).unwrap().worst_bound().unwrap();
+    let lo_bound = report.flow(FlowId(1)).unwrap().worst_bound().unwrap();
+    assert!(hi_bound < lo_bound);
+
+    let result = Simulator::new(
+        &topology,
+        &flows,
+        SimConfig {
+            horizon: Time::from_millis(500.0),
+            ..SimConfig::default()
+        },
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    let hi_obs = result.stats.worst_response(FlowId(0)).unwrap();
+    let lo_obs = result.stats.worst_response(FlowId(1)).unwrap();
+    assert!(hi_obs < lo_obs);
+}
