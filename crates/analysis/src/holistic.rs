@@ -20,9 +20,10 @@
 //! divergence horizon, in which case a per-resource analysis reports
 //! overload / horizon excess and the flow set is declared unschedulable.
 //!
-//! Within one round the flows are analysed independently (Jacobi-style,
-//! parallelised with Rayon); this keeps every round deterministic
-//! regardless of thread scheduling.
+//! Within one round the flows are analysed independently against the
+//! *previous* round's jitters (Jacobi-style), so every round is
+//! deterministic and the per-flow analyses could be parallelised without
+//! changing any result.
 
 use crate::config::AnalysisConfig;
 use crate::context::{AnalysisContext, JitterMap};
@@ -30,7 +31,6 @@ use crate::error::AnalysisError;
 use crate::pipeline::analyze_flow;
 use crate::report::{AnalysisReport, FlowReport};
 use gmf_net::{FlowSet, Topology};
-use rayon::prelude::*;
 
 /// Run the holistic analysis of `flows` on `topology`.
 ///
@@ -60,29 +60,16 @@ pub fn analyze(
 
     for iteration in 1..=config.max_holistic_iterations {
         // Analyse every flow against the previous round's jitters.
-        let results: Vec<Result<(FlowReport, Vec<_>), AnalysisError>> = flows
-            .bindings()
-            .par_iter()
-            .map(|binding| {
-                let (bounds, assignments) = analyze_flow(&ctx, &jitters, config, binding.id)?;
-                Ok((
-                    FlowReport {
+        let mut reports = Vec::with_capacity(flows.len());
+        let mut all_assignments = Vec::with_capacity(flows.len());
+        for binding in flows.bindings() {
+            match analyze_flow(&ctx, &jitters, config, binding.id) {
+                Ok((bounds, assignments)) => {
+                    reports.push(FlowReport {
                         flow: binding.id,
                         name: binding.flow.name().to_string(),
                         frames: bounds,
-                    },
-                    assignments,
-                ))
-            })
-            .collect();
-
-        // Split successes from failures.
-        let mut reports = Vec::with_capacity(results.len());
-        let mut all_assignments = Vec::with_capacity(results.len());
-        for result in results {
-            match result {
-                Ok((report, assignments)) => {
-                    reports.push(report);
+                    });
                     all_assignments.push(assignments);
                 }
                 Err(err) if err.is_unschedulable() => {

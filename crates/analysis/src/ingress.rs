@@ -336,9 +336,11 @@ mod tests {
         let (t, net) = paper_figure1();
         // Rebuild with gigabit access links so the wire itself is not the
         // bottleneck.
-        let mut cfgnet = gmf_net::PaperNetworkConfig::default();
-        cfgnet.access = gmf_net::LinkProfile::ethernet_1g();
-        cfgnet.backbone = gmf_net::LinkProfile::ethernet_1g();
+        let cfgnet = gmf_net::PaperNetworkConfig {
+            access: gmf_net::LinkProfile::ethernet_1g(),
+            backbone: gmf_net::LinkProfile::ethernet_1g(),
+            ..Default::default()
+        };
         let (t2, net2) = gmf_net::paper_figure1_with(cfgnet);
         drop((t, net));
         let mut fs = FlowSet::new();

@@ -382,7 +382,7 @@ impl Bits {
 
 impl fmt::Display for Bits {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 8 == 0 {
+        if self.0.is_multiple_of(8) {
             write!(f, "{} B", self.0 / 8)
         } else {
             write!(f, "{} bit", self.0)

@@ -42,7 +42,7 @@ fn main() {
         match controller.request(flow, route, Priority::HIGHEST).unwrap() {
             AdmissionDecision::Accepted { report, .. } => {
                 admitted += 1;
-                if admitted % 20 == 0 {
+                if admitted.is_multiple_of(20) {
                     println!(
                         "{admitted:>4} calls admitted, worst bound so far {}",
                         report.worst_bound().unwrap()

@@ -1,0 +1,314 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses:
+//! the [`Strategy`] trait with range / tuple / collection strategies and
+//! `prop_map`, plus the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros and [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate, chosen deliberately for an offline
+//! reproduction workspace:
+//!
+//! * **No shrinking** — a failing case reports its seed and iteration
+//!   instead of a minimized input.
+//! * Failures panic immediately (`prop_assert!` behaves like `assert!`),
+//!   which is what `cargo test` needs to mark the test failed.
+//! * Case generation is deterministic: a fixed base seed is perturbed per
+//!   iteration, so failures reproduce without a persistence file.
+//!
+//! The `PROPTEST_CASES` environment variable overrides the configured
+//! number of cases, exactly like the real crate — CI uses it to pin the
+//! test budget.
+
+#![forbid(unsafe_code)]
+
+use rand::SeedableRng;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Configuration of a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Effective case count: `PROPTEST_CASES` overrides the configured
+    /// value when set.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through a function.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+/// A strategy producing one constant value (useful with `prop_map`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// The `prop::` namespace mirroring the real crate's module layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// A length range for [`vec`]: built from `a..b` or `a..=b`.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi_inclusive: usize,
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+            }
+        }
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                let (lo, hi) = r.into_inner();
+                assert!(lo <= hi, "empty size range");
+                SizeRange { lo, hi_inclusive: hi }
+            }
+        }
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi_inclusive: n }
+            }
+        }
+
+        /// Strategy for `Vec<T>` with a random length in the given range.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rand::Rng::gen_range(rng, self.size.lo..=self.size.hi_inclusive);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Base seed for case generation; perturbed per iteration.
+pub const BASE_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Build the RNG for one test case. Public because the [`proptest!`]
+/// expansion calls it.
+pub fn case_rng(case_index: u32) -> TestRng {
+    TestRng::seed_from_u64(BASE_SEED ^ (u64::from(case_index).wrapping_mul(0xd134_2543_de82_ef95)))
+}
+
+/// Define property tests: a config header plus `fn name(x in strategy)`
+/// items, mirroring the real `proptest!` macro.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __cases = __config.effective_cases();
+                for __case in 0..__cases {
+                    let mut __rng = $crate::case_rng(__case);
+                    $(let $arg = $crate::Strategy::generate(&$strategy, &mut __rng);)+
+                    // The body runs once per case; prop_assert! panics on
+                    // failure, which fails the #[test].
+                    { $body }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Assert a condition inside a property (panics on failure, like
+/// `assert!`, so `cargo test` reports the case as failed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_generate_in_bounds(x in 1u64..100, (a, b) in (0.0f64..1.0, 5usize..=9)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!((5..=9).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in prop::collection::vec((1u32..10, 0.0f64..1.0), 1..=5).prop_map(|pairs| {
+            pairs.into_iter().map(|(n, f)| n as f64 + f).collect::<Vec<f64>>()
+        })) {
+            prop_assert!(!v.is_empty() && v.len() <= 5);
+            for x in &v {
+                prop_assert!((1.0..11.0).contains(x));
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let mut a = crate::case_rng(3);
+        let mut b = crate::case_rng(3);
+        assert_eq!((0u64..1000).generate(&mut a), (0u64..1000).generate(&mut b));
+    }
+}

@@ -1,0 +1,297 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace builds without network access, so the real crates.io
+//! `serde` cannot be fetched. This crate provides the same *surface* —
+//! `Serialize` / `Deserialize` traits, `#[derive(Serialize, Deserialize)]`
+//! (including `#[serde(from = "...", into = "...")]` container attributes),
+//! `serde::Serializer` / `serde::Deserializer` bounds and
+//! `serde::de::Error::custom` — over a deliberately simplified data model:
+//! the only consumer is the sibling `serde_json` stand-in, so the
+//! `Deserializer` trait is direct-access (no visitor indirection).
+//!
+//! Everything the repository's code and tests exercise (struct / newtype /
+//! enum round-trips through JSON, manual trait impls) behaves identically
+//! to the real crate.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser {
+    //! Serialization half of the data model.
+    use std::fmt::Display;
+
+    /// Error raised by a serializer.
+    pub trait Error: Sized + std::error::Error {
+        /// Build an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A serializable type.
+    pub trait Serialize {
+        /// Serialize `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// A data-format serializer (implemented by `serde_json`).
+    pub trait Serializer: Sized {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Serialization error.
+        type Error: Error;
+        /// Sequence sub-serializer.
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        /// Map sub-serializer.
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+        /// Struct sub-serializer.
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Struct-variant sub-serializer.
+        type SerializeStructVariant: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Serialize a `bool`.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a signed integer.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        /// Serialize an unsigned integer.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a float.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a char.
+        fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a string slice.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a unit value.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        /// Serialize `None`.
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        /// Serialize `Some(value)`.
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a unit struct.
+        fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a unit enum variant.
+        fn serialize_unit_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a newtype struct as its inner value.
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a newtype enum variant.
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Begin a sequence.
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        /// Begin a tuple (serialized as a sequence).
+        fn serialize_tuple(self, len: usize) -> Result<Self::SerializeSeq, Self::Error> {
+            self.serialize_seq(Some(len))
+        }
+        /// Begin a map.
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+        /// Begin a struct.
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+        /// Begin a struct enum variant.
+        fn serialize_struct_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStructVariant, Self::Error>;
+    }
+
+    /// Incremental sequence serialization.
+    pub trait SerializeSeq {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Serialization error.
+        type Error: Error;
+        /// Append one element.
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T)
+            -> Result<(), Self::Error>;
+        /// Finish the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Incremental map serialization.
+    pub trait SerializeMap {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Serialization error.
+        type Error: Error;
+        /// Append one key/value entry.
+        fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+            &mut self,
+            key: &K,
+            value: &V,
+        ) -> Result<(), Self::Error>;
+        /// Finish the map.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Incremental struct serialization (also used for struct variants).
+    pub trait SerializeStruct {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Serialization error.
+        type Error: Error;
+        /// Append one named field.
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finish the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the data model.
+    use std::fmt::Display;
+
+    /// Error raised by a deserializer.
+    pub trait Error: Sized + std::error::Error {
+        /// Build an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A deserializable type.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserialize a value from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// A data-format deserializer (implemented by `serde_json`).
+    ///
+    /// Unlike the real serde this is a direct-access API (no visitors): the
+    /// only data format in the workspace is self-describing JSON.
+    pub trait Deserializer<'de>: Sized {
+        /// Deserialization error.
+        type Error: Error;
+        /// Sequence accessor.
+        type SeqAccess: SeqAccess<'de, Error = Self::Error>;
+        /// Map accessor.
+        type MapAccess: MapAccess<'de, Error = Self::Error>;
+        /// Struct accessor.
+        type StructAccess: StructAccess<'de, Error = Self::Error>;
+        /// Enum variant accessor.
+        type VariantAccess: VariantAccess<'de, Error = Self::Error>;
+
+        /// Expect a `bool`.
+        fn deserialize_bool(self) -> Result<bool, Self::Error>;
+        /// Expect a signed integer.
+        fn deserialize_i64(self) -> Result<i64, Self::Error>;
+        /// Expect an unsigned integer.
+        fn deserialize_u64(self) -> Result<u64, Self::Error>;
+        /// Expect a float.
+        fn deserialize_f64(self) -> Result<f64, Self::Error>;
+        /// Expect a char.
+        fn deserialize_char(self) -> Result<char, Self::Error>;
+        /// Expect a string.
+        fn deserialize_string(self) -> Result<String, Self::Error>;
+        /// Expect a unit value.
+        fn deserialize_unit(self) -> Result<(), Self::Error>;
+        /// Expect an optional value.
+        fn deserialize_option<T: Deserialize<'de>>(self) -> Result<Option<T>, Self::Error>;
+        /// Expect a newtype struct (represented as its inner value).
+        fn deserialize_newtype_struct<T: Deserialize<'de>>(
+            self,
+            name: &'static str,
+        ) -> Result<T, Self::Error>;
+        /// Expect a sequence.
+        fn deserialize_seq(self) -> Result<Self::SeqAccess, Self::Error>;
+        /// Expect a map.
+        fn deserialize_map(self) -> Result<Self::MapAccess, Self::Error>;
+        /// Expect a struct with the given fields.
+        fn deserialize_struct(
+            self,
+            name: &'static str,
+            fields: &'static [&'static str],
+        ) -> Result<Self::StructAccess, Self::Error>;
+        /// Expect an enum; returns the variant name and a payload accessor.
+        fn deserialize_enum(
+            self,
+            name: &'static str,
+            variants: &'static [&'static str],
+        ) -> Result<(String, Self::VariantAccess), Self::Error>;
+    }
+
+    /// Streaming access to a sequence.
+    pub trait SeqAccess<'de> {
+        /// Deserialization error.
+        type Error: Error;
+        /// Next element, or `None` at the end.
+        fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+        /// Number of remaining elements, if known.
+        fn size_hint(&self) -> Option<usize> {
+            None
+        }
+    }
+
+    /// Streaming access to a map.
+    pub trait MapAccess<'de> {
+        /// Deserialization error.
+        type Error: Error;
+        /// Next entry, or `None` at the end.
+        fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+            &mut self,
+        ) -> Result<Option<(K, V)>, Self::Error>;
+        /// Number of remaining entries, if known.
+        fn size_hint(&self) -> Option<usize> {
+            None
+        }
+    }
+
+    /// Named-field access to a struct (or struct variant).
+    pub trait StructAccess<'de> {
+        /// Deserialization error.
+        type Error: Error;
+        /// Extract and deserialize the named field.
+        fn field<T: Deserialize<'de>>(&mut self, name: &'static str) -> Result<T, Self::Error>;
+    }
+
+    /// Access to the payload of an enum variant.
+    pub trait VariantAccess<'de>: Sized {
+        /// Deserialization error.
+        type Error: Error;
+        /// Struct accessor for struct variants.
+        type StructAccess: StructAccess<'de, Error = Self::Error>;
+        /// Expect a unit variant.
+        fn unit(self) -> Result<(), Self::Error>;
+        /// Expect a newtype variant payload.
+        fn newtype<T: Deserialize<'de>>(self) -> Result<T, Self::Error>;
+        /// Expect a struct variant payload with the given fields.
+        fn struct_variant(
+            self,
+            fields: &'static [&'static str],
+        ) -> Result<Self::StructAccess, Self::Error>;
+    }
+}
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+
+// The trait and the derive macro share one name, exactly like the real
+// crate: `serde::Serialize` resolves to the trait in type position and to
+// the macro in derive position.
+mod trait_reexports {
+    pub use crate::de::Deserialize;
+    pub use crate::ser::Serialize;
+}
+pub use trait_reexports::{Deserialize, Serialize};
+
+mod impls;

@@ -1,0 +1,519 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the workspace's
+//! offline `serde` stand-in.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (the registry crates
+//! `syn`/`quote` are unavailable offline), which restricts the supported
+//! input shapes to exactly what this repository uses:
+//!
+//! * non-generic structs with named fields;
+//! * non-generic tuple structs with one field (newtypes);
+//! * non-generic enums with unit, one-field tuple ("newtype") and
+//!   named-field ("struct") variants;
+//! * the container attribute `#[serde(from = "Type", into = "Type")]`.
+//!
+//! Anything else produces a `compile_error!` naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// `struct Name { a: A, b: B }`
+    NamedStruct { fields: Vec<String> },
+    /// `struct Name(Inner);`
+    Newtype,
+    /// `struct Name;`
+    UnitStruct,
+    /// `enum Name { ... }`
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct { fields: Vec<String> },
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+    /// `#[serde(from = "T")]`
+    from: Option<String>,
+    /// `#[serde(into = "T")]`
+    into: Option<String>,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&parsed),
+        Mode::Deserialize => gen_deserialize(&parsed),
+    };
+    match code {
+        Ok(c) => c.parse().unwrap_or_else(|e| {
+            compile_error(&format!("serde_derive generated invalid code: {e}"))
+        }),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let (from, into) = parse_outer_attrs(&tokens, &mut pos)?;
+
+    // Visibility: `pub`, optionally followed by `(...)`.
+    if matches!(&tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        pos += 1;
+        if matches!(&tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            pos += 1;
+        }
+    }
+
+    let keyword = ident_at(&tokens, pos).ok_or("expected `struct` or `enum`")?;
+    pos += 1;
+    let name = ident_at(&tokens, pos).ok_or("expected type name")?;
+    pos += 1;
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generic type `{name}`"
+        ));
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct {
+                    fields: parse_named_fields(g.stream())?,
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                if n == 1 {
+                    Shape::Newtype
+                } else {
+                    return Err(format!(
+                        "serde stand-in derive supports tuple structs with exactly one \
+                         field; `{name}` has {n}"
+                    ));
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            _ => return Err(format!("unrecognised struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                variants: parse_variants(g.stream())?,
+            },
+            _ => return Err(format!("unrecognised enum body for `{name}`")),
+        },
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+
+    Ok(Parsed {
+        name,
+        shape,
+        from,
+        into,
+    })
+}
+
+fn ident_at(tokens: &[TokenTree], pos: usize) -> Option<String> {
+    match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Consume leading `#[...]` attributes; extract `from`/`into` out of any
+/// `#[serde(...)]` among them.
+fn parse_outer_attrs(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+) -> Result<(Option<String>, Option<String>), String> {
+    let mut from = None;
+    let mut into = None;
+    while matches!(&tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) else {
+            return Err("malformed attribute".into());
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(&inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                parse_serde_attr(args.stream(), &mut from, &mut into)?;
+            }
+        }
+        *pos += 2;
+    }
+    Ok((from, into))
+}
+
+/// Parse `from = "T", into = "T"` inside `#[serde(...)]`.
+fn parse_serde_attr(
+    stream: TokenStream,
+    from: &mut Option<String>,
+    into: &mut Option<String>,
+) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => return Err(format!("unsupported #[serde] attribute token `{other}`")),
+        };
+        match key.as_str() {
+            "from" | "into" => {
+                if !matches!(&tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    return Err(format!("expected `=` after `{key}` in #[serde]"));
+                }
+                let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) else {
+                    return Err(format!("expected string literal after `{key} =` in #[serde]"));
+                };
+                let raw = lit.to_string();
+                let ty = raw.trim_matches('"').to_string();
+                if key == "from" {
+                    *from = Some(ty);
+                } else {
+                    *into = Some(ty);
+                }
+                i += 3;
+            }
+            other => {
+                return Err(format!(
+                    "the serde stand-in derive only supports #[serde(from, into)]; \
+                     `{other}` is not implemented"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parse `a: A, b: B, ...` — attribute- and visibility-tolerant, type
+/// tokens skipped (the generated code never names field types).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and doc comments.
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Skip visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let TokenTree::Ident(id) = &tokens[i] else {
+            return Err(format!("expected field name, found `{}`", tokens[i]));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        if !matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{}`", fields.last().unwrap()));
+        }
+        i += 1;
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Count top-level fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not introduce a new field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip variant attributes (doc comments, #[default], ...).
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(id) = &tokens[i] else {
+            return Err(format!("expected variant name, found `{}`", tokens[i]));
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct {
+                    fields: parse_named_fields(g.stream())?,
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                if n != 1 {
+                    return Err(format!(
+                        "serde stand-in derive supports tuple variants with exactly one \
+                         field; `{name}` has {n}"
+                    ));
+                }
+                i += 1;
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "serde stand-in derive does not support explicit discriminants (variant `{name}`)"
+            ));
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ----------------------------------------------------------- generation
+
+fn quoted_list(items: &[String]) -> String {
+    items
+        .iter()
+        .map(|f| format!("{f:?}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_serialize(p: &Parsed) -> Result<String, String> {
+    let name = &p.name;
+    let body = if let Some(into) = &p.into {
+        format!(
+            "let __proxy: {into} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::ser::Serialize::serialize(&__proxy, __serializer)"
+        )
+    } else {
+        match &p.shape {
+            Shape::NamedStruct { fields } => {
+                let mut s = format!(
+                    "let mut __st = ::serde::ser::Serializer::serialize_struct(__serializer, \
+                     {name:?}, {})?;\n",
+                    fields.len()
+                );
+                for f in fields {
+                    s.push_str(&format!(
+                        "::serde::ser::SerializeStruct::serialize_field(&mut __st, {f:?}, \
+                         &self.{f})?;\n"
+                    ));
+                }
+                s.push_str("::serde::ser::SerializeStruct::end(__st)");
+                s
+            }
+            Shape::Newtype => format!(
+                "::serde::ser::Serializer::serialize_newtype_struct(__serializer, {name:?}, \
+                 &self.0)"
+            ),
+            Shape::UnitStruct => format!(
+                "::serde::ser::Serializer::serialize_unit_struct(__serializer, {name:?})"
+            ),
+            Shape::Enum { variants } => {
+                let mut arms = String::new();
+                for (idx, v) in variants.iter().enumerate() {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::ser::Serializer::serialize_unit_variant(\
+                             __serializer, {name:?}, {idx}u32, {vn:?}),\n"
+                        )),
+                        VariantKind::Newtype => arms.push_str(&format!(
+                            "{name}::{vn}(__f0) => \
+                             ::serde::ser::Serializer::serialize_newtype_variant(__serializer, \
+                             {name:?}, {idx}u32, {vn:?}, __f0),\n"
+                        )),
+                        VariantKind::Struct { fields } => {
+                            let bindings = fields.join(", ");
+                            let mut arm = format!(
+                                "{name}::{vn} {{ {bindings} }} => {{\nlet mut __sv = \
+                                 ::serde::ser::Serializer::serialize_struct_variant(__serializer, \
+                                 {name:?}, {idx}u32, {vn:?}, {})?;\n",
+                                fields.len()
+                            );
+                            for f in fields {
+                                arm.push_str(&format!(
+                                    "::serde::ser::SerializeStruct::serialize_field(&mut __sv, \
+                                     {f:?}, {f})?;\n"
+                                ));
+                            }
+                            arm.push_str("::serde::ser::SerializeStruct::end(__sv)\n},\n");
+                            arms.push_str(&arm);
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    ))
+}
+
+fn gen_deserialize(p: &Parsed) -> Result<String, String> {
+    let name = &p.name;
+    let body = if let Some(from) = &p.from {
+        format!(
+            "let __proxy: {from} = ::serde::de::Deserialize::deserialize(__deserializer)?;\n\
+             ::std::result::Result::Ok(::std::convert::From::from(__proxy))"
+        )
+    } else {
+        match &p.shape {
+            Shape::NamedStruct { fields } => {
+                let list = quoted_list(fields.as_slice());
+                let mut s = format!(
+                    "let mut __sa = ::serde::de::Deserializer::deserialize_struct(\
+                     __deserializer, {name:?}, &[{list}])?;\n\
+                     ::std::result::Result::Ok({name} {{\n"
+                );
+                for f in fields {
+                    s.push_str(&format!(
+                        "{f}: ::serde::de::StructAccess::field(&mut __sa, {f:?})?,\n"
+                    ));
+                }
+                s.push_str("})");
+                s
+            }
+            Shape::Newtype => format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::de::Deserializer::deserialize_newtype_struct(__deserializer, \
+                 {name:?})?))"
+            ),
+            Shape::UnitStruct => format!(
+                "::serde::de::Deserializer::deserialize_unit(__deserializer)?;\n\
+                 ::std::result::Result::Ok({name})"
+            ),
+            Shape::Enum { variants } => {
+                let vlist = quoted_list(&variants.iter().map(|v| v.name.clone()).collect::<Vec<_>>());
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => arms.push_str(&format!(
+                            "{vn:?} => {{ ::serde::de::VariantAccess::unit(__access)?; \
+                             ::std::result::Result::Ok({name}::{vn}) }}\n"
+                        )),
+                        VariantKind::Newtype => arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::de::VariantAccess::newtype(__access)?)),\n"
+                        )),
+                        VariantKind::Struct { fields } => {
+                            let list = quoted_list(fields.as_slice());
+                            let mut arm = format!(
+                                "{vn:?} => {{\nlet mut __sa = \
+                                 ::serde::de::VariantAccess::struct_variant(__access, \
+                                 &[{list}])?;\n::std::result::Result::Ok({name}::{vn} {{\n"
+                            );
+                            for f in fields {
+                                arm.push_str(&format!(
+                                    "{f}: ::serde::de::StructAccess::field(&mut __sa, {f:?})?,\n"
+                                ));
+                            }
+                            arm.push_str("})\n}\n");
+                            arms.push_str(&arm);
+                        }
+                    }
+                }
+                format!(
+                    "let (__variant, __access) = \
+                     ::serde::de::Deserializer::deserialize_enum(__deserializer, {name:?}, \
+                     &[{vlist}])?;\n\
+                     match __variant.as_str() {{\n{arms}\
+                     __other => ::std::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                     \"unknown variant `{{}}` of enum `{name}`\", __other))),\n}}"
+                )
+            }
+        }
+    };
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    ))
+}

@@ -1,0 +1,225 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`Value`], [`Error`]
+//! and [`Result`].
+//!
+//! JSON representation conventions match the real crate: structs are
+//! objects, newtype structs are their inner value, unit enum variants are
+//! strings, newtype/struct enum variants are single-key objects, `None`
+//! is `null`. One deliberate extension: map keys that are not strings
+//! (e.g. tuple keys) are encoded as the compact JSON text of the key —
+//! the real crate rejects them — so every serializable type in the
+//! workspace round-trips.
+
+#![forbid(unsafe_code)]
+
+use serde::de::{self, Deserialize};
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+mod parse;
+mod print;
+mod value_de;
+mod value_ser;
+
+pub use value_de::ValueDeserializer;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers are exact up to 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Alias of `Result` with [`Error`] as the error type.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize a value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    value.serialize(value_ser::ValueSerializer)
+}
+
+/// Deserialize a value out of a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(print::compact(&to_value(value)?))
+}
+
+/// Serialize to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(print::pretty(&to_value(value)?))
+}
+
+/// Parse JSON text and deserialize it.
+pub fn from_str<'de, T: Deserialize<'de>>(s: &'de str) -> Result<T> {
+    from_value(parse::parse(s)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: f64,
+        y: f64,
+        label: String,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrapper(u64);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Dot,
+        Circle(f64),
+        Rect { w: f64, h: f64 },
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        let p = Point {
+            x: 1.5,
+            y: -2.25,
+            label: "a \"b\"\nc".to_string(),
+        };
+        let json = to_string(&p).unwrap();
+        let back: Point = from_str(&json).unwrap();
+        assert_eq!(p, back);
+        let pretty = to_string_pretty(&p).unwrap();
+        let back2: Point = from_str(&pretty).unwrap();
+        assert_eq!(p, back2);
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(to_string(&Wrapper(7)).unwrap(), "7");
+        assert_eq!(from_str::<Wrapper>("7").unwrap(), Wrapper(7));
+    }
+
+    #[test]
+    fn enum_conventions_match_serde() {
+        assert_eq!(to_string(&Shape::Dot).unwrap(), "\"Dot\"");
+        assert_eq!(to_string(&Shape::Circle(2.0)).unwrap(), "{\"Circle\":2}");
+        assert_eq!(
+            to_string(&Shape::Rect { w: 1.0, h: 2.0 }).unwrap(),
+            "{\"Rect\":{\"w\":1,\"h\":2}}"
+        );
+        for v in [Shape::Dot, Shape::Circle(2.5), Shape::Rect { w: 1.0, h: 2.0 }] {
+            let json = to_string(&v).unwrap();
+            assert_eq!(from_str::<Shape>(&json).unwrap(), v);
+        }
+        assert!(from_str::<Shape>("\"Nope\"").is_err());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,null,3]");
+        assert_eq!(from_str::<Vec<Option<u32>>>(&json).unwrap(), v);
+
+        let mut m: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        m.insert("a".into(), vec![1, 2]);
+        m.insert("b".into(), vec![]);
+        let json = to_string(&m).unwrap();
+        assert_eq!(from_str::<BTreeMap<String, Vec<u8>>>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn non_string_map_keys_roundtrip() {
+        let mut m: BTreeMap<(u32, u32), String> = BTreeMap::new();
+        m.insert((1, 2), "a".into());
+        m.insert((3, 4), "b".into());
+        let json = to_string(&m).unwrap();
+        assert_eq!(from_str::<BTreeMap<(u32, u32), String>>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for x in [0.1, 1.0 / 3.0, 1.2304e-3, 6.02e23, -0.0, 12_345.678_901] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(x, back, "{json}");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<Point>("{not json").is_err());
+        assert!(from_str::<Point>("").is_err());
+        assert!(from_str::<Point>("{\"x\":1}").is_err());
+        assert!(from_str::<u32>("-5").is_err());
+        assert!(from_str::<Vec<u8>>("[1,2,").is_err());
+        assert!(from_str::<Point>("{\"x\":1,\"y\":2,\"label\":\"l\"} trailing").is_err());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "tab\t nl\n quote\" back\\ unicode \u{1F600} nul\u{0}";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        // \uXXXX escapes (incl. surrogate pairs) parse too.
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "\u{1F600}");
+    }
+}

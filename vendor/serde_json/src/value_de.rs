@@ -1,0 +1,275 @@
+//! `serde::Deserializer` reading out of a [`Value`] tree.
+
+use crate::{parse, Error, Result, Value};
+use serde::de::{
+    Deserialize, Deserializer, Error as _, MapAccess, SeqAccess, StructAccess, VariantAccess,
+};
+
+/// Deserializer over an owned [`Value`].
+#[derive(Debug)]
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wrap a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+
+    fn mismatch(&self, expected: &str) -> Error {
+        Error::custom(format!("expected {expected}, found {}", self.value.kind()))
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+    type SeqAccess = ValueSeqAccess;
+    type MapAccess = ValueMapAccess;
+    type StructAccess = ValueStructAccess;
+    type VariantAccess = ValueVariantAccess;
+
+    fn deserialize_bool(self) -> Result<bool> {
+        match self.value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(self.mismatch("boolean")),
+        }
+    }
+
+    fn deserialize_i64(self) -> Result<i64> {
+        match self.value {
+            Value::Number(n) if n.fract() == 0.0 && n.abs() <= 9.007_199_254_740_992e15 => {
+                Ok(n as i64)
+            }
+            _ => Err(self.mismatch("integer")),
+        }
+    }
+
+    fn deserialize_u64(self) -> Result<u64> {
+        match self.value {
+            Value::Number(n)
+                if n.fract() == 0.0 && (0.0..=9.007_199_254_740_992e15).contains(&n) =>
+            {
+                Ok(n as u64)
+            }
+            _ => Err(self.mismatch("unsigned integer")),
+        }
+    }
+
+    fn deserialize_f64(self) -> Result<f64> {
+        match self.value {
+            Value::Number(n) => Ok(n),
+            // Round-trip of non-finite floats (serialized as null).
+            Value::Null => Ok(f64::NAN),
+            _ => Err(self.mismatch("number")),
+        }
+    }
+
+    fn deserialize_char(self) -> Result<char> {
+        match &self.value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(self.mismatch("single-character string")),
+        }
+    }
+
+    fn deserialize_string(self) -> Result<String> {
+        match self.value {
+            Value::String(s) => Ok(s),
+            _ => Err(self.mismatch("string")),
+        }
+    }
+
+    fn deserialize_unit(self) -> Result<()> {
+        match self.value {
+            Value::Null => Ok(()),
+            _ => Err(self.mismatch("null")),
+        }
+    }
+
+    fn deserialize_option<T: Deserialize<'de>>(self) -> Result<Option<T>> {
+        match self.value {
+            Value::Null => Ok(None),
+            other => T::deserialize(ValueDeserializer::new(other)).map(Some),
+        }
+    }
+
+    fn deserialize_newtype_struct<T: Deserialize<'de>>(self, _name: &'static str) -> Result<T> {
+        T::deserialize(self)
+    }
+
+    fn deserialize_seq(self) -> Result<ValueSeqAccess> {
+        match self.value {
+            Value::Array(items) => Ok(ValueSeqAccess {
+                items: items.into_iter(),
+            }),
+            _ => Err(self.mismatch("array")),
+        }
+    }
+
+    fn deserialize_map(self) -> Result<ValueMapAccess> {
+        match self.value {
+            Value::Object(entries) => Ok(ValueMapAccess {
+                entries: entries.into_iter(),
+            }),
+            _ => Err(self.mismatch("object")),
+        }
+    }
+
+    fn deserialize_struct(
+        self,
+        name: &'static str,
+        _fields: &'static [&'static str],
+    ) -> Result<ValueStructAccess> {
+        match self.value {
+            Value::Object(entries) => Ok(ValueStructAccess {
+                type_name: name,
+                entries,
+            }),
+            _ => Err(self.mismatch("object")),
+        }
+    }
+
+    fn deserialize_enum(
+        self,
+        name: &'static str,
+        _variants: &'static [&'static str],
+    ) -> Result<(String, ValueVariantAccess)> {
+        match self.value {
+            Value::String(variant) => Ok((variant, ValueVariantAccess { payload: None })),
+            Value::Object(mut entries) => {
+                if entries.len() != 1 {
+                    return Err(Error::custom(format!(
+                        "enum `{name}` expects a single-key object, found {} keys",
+                        entries.len()
+                    )));
+                }
+                let (variant, payload) = entries.remove(0);
+                Ok((
+                    variant,
+                    ValueVariantAccess {
+                        payload: Some(payload),
+                    },
+                ))
+            }
+            other => Err(Error::custom(format!(
+                "expected enum `{name}` as string or single-key object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Sequence access over an array.
+pub struct ValueSeqAccess {
+    items: std::vec::IntoIter<Value>,
+}
+
+impl<'de> SeqAccess<'de> for ValueSeqAccess {
+    type Error = Error;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>> {
+        match self.items.next() {
+            Some(v) => T::deserialize(ValueDeserializer::new(v)).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.items.len())
+    }
+}
+
+/// Map access over an object; non-string keys were serialized as compact
+/// JSON text, so deserialize the key from the raw string first and fall
+/// back to parsing it as JSON.
+pub struct ValueMapAccess {
+    entries: std::vec::IntoIter<(String, Value)>,
+}
+
+impl<'de> MapAccess<'de> for ValueMapAccess {
+    type Error = Error;
+
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(&mut self) -> Result<Option<(K, V)>> {
+        let Some((key, value)) = self.entries.next() else {
+            return Ok(None);
+        };
+        let k = match K::deserialize(ValueDeserializer::new(Value::String(key.clone()))) {
+            Ok(k) => k,
+            Err(_) => {
+                let parsed = parse::parse(&key)
+                    .map_err(|e| Error::custom(format!("invalid map key `{key}`: {e}")))?;
+                K::deserialize(ValueDeserializer::new(parsed))?
+            }
+        };
+        let v = V::deserialize(ValueDeserializer::new(value))?;
+        Ok(Some((k, v)))
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.entries.len())
+    }
+}
+
+/// Named-field access over an object.
+pub struct ValueStructAccess {
+    type_name: &'static str,
+    entries: Vec<(String, Value)>,
+}
+
+impl<'de> StructAccess<'de> for ValueStructAccess {
+    type Error = Error;
+
+    fn field<T: Deserialize<'de>>(&mut self, name: &'static str) -> Result<T> {
+        match self.entries.iter().position(|(k, _)| k == name) {
+            Some(idx) => {
+                let (_, value) = self.entries.swap_remove(idx);
+                T::deserialize(ValueDeserializer::new(value))
+            }
+            None => Err(Error::custom(format!(
+                "missing field `{name}` of `{}`",
+                self.type_name
+            ))),
+        }
+    }
+}
+
+/// Payload access for one enum variant.
+pub struct ValueVariantAccess {
+    payload: Option<Value>,
+}
+
+impl<'de> VariantAccess<'de> for ValueVariantAccess {
+    type Error = Error;
+    type StructAccess = ValueStructAccess;
+
+    fn unit(self) -> Result<()> {
+        match self.payload {
+            None | Some(Value::Null) => Ok(()),
+            Some(other) => Err(Error::custom(format!(
+                "unit variant carries unexpected {} payload",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn newtype<T: Deserialize<'de>>(self) -> Result<T> {
+        match self.payload {
+            Some(v) => T::deserialize(ValueDeserializer::new(v)),
+            None => Err(Error::custom("newtype variant is missing its payload")),
+        }
+    }
+
+    fn struct_variant(self, _fields: &'static [&'static str]) -> Result<ValueStructAccess> {
+        match self.payload {
+            Some(Value::Object(entries)) => Ok(ValueStructAccess {
+                type_name: "struct variant",
+                entries,
+            }),
+            Some(other) => Err(Error::custom(format!(
+                "struct variant expects an object payload, found {}",
+                other.kind()
+            ))),
+            None => Err(Error::custom("struct variant is missing its payload")),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! `serde::Serializer` producing a [`Value`] tree.
+
+use crate::{print, Error, Result, Value};
+use serde::ser::{Serialize, SerializeMap, SerializeSeq, SerializeStruct, Serializer};
+
+/// Serializer whose output is a [`Value`].
+pub(crate) struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqCollector;
+    type SerializeMap = MapCollector;
+    type SerializeStruct = StructCollector;
+    type SerializeStructVariant = VariantCollector;
+
+    fn serialize_bool(self, v: bool) -> Result<Value> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value> {
+        Ok(Value::Number(v as f64))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value> {
+        Ok(Value::Number(v as f64))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value> {
+        Ok(Value::Number(v))
+    }
+    fn serialize_char(self, v: char) -> Result<Value> {
+        Ok(Value::String(v.to_string()))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value> {
+        Ok(Value::String(v.to_string()))
+    }
+    fn serialize_unit(self) -> Result<Value> {
+        Ok(Value::Null)
+    }
+    fn serialize_none(self) -> Result<Value> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Value> {
+        value.serialize(ValueSerializer)
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<Value> {
+        Ok(Value::Null)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value> {
+        Ok(Value::String(variant.to_string()))
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Value> {
+        value.serialize(ValueSerializer)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value> {
+        Ok(Value::Object(vec![(
+            variant.to_string(),
+            value.serialize(ValueSerializer)?,
+        )]))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqCollector> {
+        Ok(SeqCollector {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<MapCollector> {
+        Ok(MapCollector {
+            entries: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<StructCollector> {
+        Ok(StructCollector {
+            fields: Vec::with_capacity(len),
+        })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<VariantCollector> {
+        Ok(VariantCollector {
+            variant,
+            fields: Vec::with_capacity(len),
+        })
+    }
+}
+
+/// Collects array elements.
+pub(crate) struct SeqCollector {
+    items: Vec<Value>,
+}
+
+impl SerializeSeq for SeqCollector {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value> {
+        Ok(Value::Array(self.items))
+    }
+}
+
+/// Collects map entries, stringifying non-string keys as compact JSON.
+pub(crate) struct MapCollector {
+    entries: Vec<(String, Value)>,
+}
+
+impl SerializeMap for MapCollector {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<()> {
+        let key = match key.serialize(ValueSerializer)? {
+            Value::String(s) => s,
+            other => print::compact(&other),
+        };
+        self.entries.push((key, value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value> {
+        Ok(Value::Object(self.entries))
+    }
+}
+
+/// Collects struct fields.
+pub(crate) struct StructCollector {
+    fields: Vec<(String, Value)>,
+}
+
+impl SerializeStruct for StructCollector {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.fields
+            .push((name.to_string(), value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value> {
+        Ok(Value::Object(self.fields))
+    }
+}
+
+/// Collects struct-variant fields; ends as `{"Variant": {...}}`.
+pub(crate) struct VariantCollector {
+    variant: &'static str,
+    fields: Vec<(String, Value)>,
+}
+
+impl SerializeStruct for VariantCollector {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.fields
+            .push((name.to_string(), value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value> {
+        Ok(Value::Object(vec![(
+            self.variant.to_string(),
+            Value::Object(self.fields),
+        )]))
+    }
+}
