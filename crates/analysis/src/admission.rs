@@ -9,6 +9,7 @@
 
 use crate::config::AnalysisConfig;
 use crate::error::AnalysisError;
+use crate::fixed_point::ConvergenceTrace;
 use crate::holistic::analyze;
 use crate::report::AnalysisReport;
 use gmf_model::{EncapsulationConfig, FlowId, GmfFlow};
@@ -46,6 +47,17 @@ impl AdmissionDecision {
             AdmissionDecision::Accepted { report, .. } => report,
             AdmissionDecision::Rejected { report, .. } => report,
         }
+    }
+
+    /// How many holistic rounds the trial analysis behind this decision
+    /// took — the per-request cost an operator dashboard would track.
+    pub fn iterations(&self) -> usize {
+        self.report().iterations
+    }
+
+    /// The per-round convergence trace of the trial analysis.
+    pub fn trace(&self) -> &ConvergenceTrace {
+        &self.report().trace
     }
 }
 
@@ -106,8 +118,7 @@ impl AdmissionController {
         Route::new(&self.topology, route.nodes().to_vec())?;
 
         let mut trial = self.accepted.clone();
-        let candidate_id =
-            trial.add_with_encapsulation(flow, route, priority, encapsulation);
+        let candidate_id = trial.add_with_encapsulation(flow, route, priority, encapsulation);
         let report = analyze(&self.topology, &trial, &self.config)?;
 
         if report.schedulable {
@@ -149,11 +160,20 @@ mod tests {
         assert_eq!(ctl.n_accepted(), 0);
 
         let route = shortest_path(ctl.topology(), net.hosts[1], net.hosts[3]).unwrap();
-        let voice = voip_flow("voice", VoiceCodec::G711, Time::from_millis(20.0), Time::from_millis(0.5));
+        let voice = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(20.0),
+            Time::from_millis(0.5),
+        );
         let d = ctl.request(voice, route, Priority(7)).unwrap();
         assert!(d.is_accepted());
         assert_eq!(ctl.n_accepted(), 1);
         assert!(d.report().schedulable);
+        // The decision exposes the cost of the trial analysis: how many
+        // holistic rounds it took, with one trace entry per round.
+        assert!(d.iterations() >= 1);
+        assert_eq!(d.trace().len(), d.iterations());
 
         let route = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
         let video = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
@@ -171,8 +191,16 @@ mod tests {
         // The voice call enters through host 1 so it does not share the
         // (priority-blind) access link of the video source.
         let voice_route = shortest_path(ctl.topology(), net.hosts[1], net.hosts[3]).unwrap();
-        let voice = voip_flow("voice", VoiceCodec::G711, Time::from_millis(20.0), Time::from_millis(0.5));
-        assert!(ctl.request(voice, voice_route, Priority(7)).unwrap().is_accepted());
+        let voice = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(20.0),
+            Time::from_millis(0.5),
+        );
+        assert!(ctl
+            .request(voice, voice_route, Priority(7))
+            .unwrap()
+            .is_accepted());
 
         let route = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
         // A video flow with an impossible 2 ms deadline over two 10 Mbit/s
@@ -193,7 +221,10 @@ mod tests {
 
         // The same video flow with a realistic deadline is admitted.
         let video = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
-        assert!(ctl.request(video, route, Priority(6)).unwrap().is_accepted());
+        assert!(ctl
+            .request(video, route, Priority(6))
+            .unwrap()
+            .is_accepted());
         assert_eq!(ctl.n_accepted(), 2);
     }
 
@@ -203,8 +234,16 @@ mod tests {
         // Admit a voice flow with a tight deadline on the shared 10 Mbit/s
         // access link of host 0.
         let route03 = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
-        let voice = voip_flow("voice", VoiceCodec::G711, Time::from_millis(4.0), Time::from_millis(0.5));
-        assert!(ctl.request(voice, route03.clone(), Priority(7)).unwrap().is_accepted());
+        let voice = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(4.0),
+            Time::from_millis(0.5),
+        );
+        assert!(ctl
+            .request(voice, route03.clone(), Priority(7))
+            .unwrap()
+            .is_accepted());
 
         // A big low-priority video flow sharing the same source link pushes
         // the voice flow's first-hop (priority-blind) bound past 4 ms, so it
@@ -228,7 +267,12 @@ mod tests {
             gmf_net::SwitchConfig::paper(),
         );
         let bogus = gmf_net::shortest_path(&line_topology, a, b).unwrap();
-        let voice = voip_flow("voice", VoiceCodec::G711, Time::from_millis(20.0), Time::ZERO);
+        let voice = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(20.0),
+            Time::ZERO,
+        );
         let result = ctl.request(voice, bogus, Priority(7));
         assert!(result.is_err());
         assert_eq!(ctl.n_accepted(), 0);

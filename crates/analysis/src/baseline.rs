@@ -139,7 +139,12 @@ mod tests {
             shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap(),
             Priority(5),
         );
-        let voice = voip_flow("voice", VoiceCodec::G711, Time::from_millis(20.0), Time::from_millis(0.5));
+        let voice = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(20.0),
+            Time::from_millis(0.5),
+        );
         fs.add(
             voice,
             shortest_path(&t, net.hosts[1], net.hosts[3]).unwrap(),
@@ -162,7 +167,9 @@ mod tests {
         // The video flow collapses to "43 kB every 30 ms", roughly a 3×
         // inflation of its long-run rate (131 kB / 270 ms -> 43 kB / 30 ms).
         let video = &collapsed.bindings()[0].flow;
-        assert!(video.mean_payload_rate_bps() > 2.5 * fs.bindings()[0].flow.mean_payload_rate_bps());
+        assert!(
+            video.mean_payload_rate_bps() > 2.5 * fs.bindings()[0].flow.mean_payload_rate_bps()
+        );
     }
 
     #[test]

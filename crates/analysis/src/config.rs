@@ -1,5 +1,6 @@
 //! Configuration of the schedulability analysis.
 
+use crate::fixed_point::FixedPointStrategy;
 use gmf_model::Time;
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +36,18 @@ pub struct AnalysisConfig {
     /// case when all generalized jitters are zero (its worked example always
     /// uses a non-zero jitter).
     pub refine_first_hop_blocking: bool,
+    /// How the holistic engine advances the jitter iterate between outer
+    /// rounds: plain Picard (the paper's scheme, the default) or
+    /// safeguarded Anderson(1) acceleration.  Both land on the same fixed
+    /// point and produce identical flow reports at convergence (see
+    /// `fixed_point` module docs); Anderson can need fewer rounds on
+    /// workloads with long geometric tails.
+    pub strategy: FixedPointStrategy,
+    /// Worker threads for the per-flow analyses within one holistic round
+    /// (the flows of a round are independent).  `1` (the default) runs
+    /// inline on the caller's thread; any value produces byte-identical
+    /// reports.
+    pub threads: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -45,6 +58,8 @@ impl Default for AnalysisConfig {
             max_holistic_iterations: 100,
             refine_ingress_own_frames: false,
             refine_first_hop_blocking: false,
+            strategy: FixedPointStrategy::Picard,
+            threads: 1,
         }
     }
 }
@@ -69,6 +84,19 @@ impl AnalysisConfig {
     /// Override the divergence horizon.
     pub fn with_horizon(mut self, horizon: Time) -> Self {
         self.horizon = horizon;
+        self
+    }
+
+    /// Override the fixed-point strategy of the holistic engine.
+    pub fn with_strategy(mut self, strategy: FixedPointStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Override the worker-thread count of the holistic engine (`0` is
+    /// treated as 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -99,5 +127,32 @@ mod tests {
     fn with_horizon_overrides() {
         let c = AnalysisConfig::default().with_horizon(Time::from_secs(1.0));
         assert_eq!(c.horizon, Time::from_secs(1.0));
+    }
+
+    #[test]
+    fn engine_defaults_preserve_the_paper_scheme() {
+        let c = AnalysisConfig::default();
+        assert_eq!(c.strategy, FixedPointStrategy::Picard);
+        assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    fn with_strategy_and_threads_override() {
+        let c = AnalysisConfig::default()
+            .with_strategy(FixedPointStrategy::Anderson1)
+            .with_threads(4);
+        assert_eq!(c.strategy, FixedPointStrategy::Anderson1);
+        assert_eq!(c.threads, 4);
+        assert_eq!(AnalysisConfig::default().with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn config_serde_roundtrip_includes_engine_fields() {
+        let c = AnalysisConfig::conservative()
+            .with_strategy(FixedPointStrategy::Anderson1)
+            .with_threads(8);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: AnalysisConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
     }
 }

@@ -27,9 +27,7 @@ use std::fmt;
 /// A resource along a flow's route, in the sense of holistic analysis: a
 /// place where the flow can be queued and therefore accumulates response
 /// time and jitter.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ResourceId {
     /// The prioritized output queue and transmission on the directed link
     /// `from → to` (also used for the source node's first link).
@@ -84,7 +82,14 @@ impl JitterMap {
     }
 
     /// Set the jitter of frame `k` of `flow` at `resource`.
-    pub fn set(&mut self, flow: FlowId, resource: ResourceId, frame: usize, jitter: Time, n_frames: usize) {
+    pub fn set(
+        &mut self,
+        flow: FlowId,
+        resource: ResourceId,
+        frame: usize,
+        jitter: Time,
+        n_frames: usize,
+    ) {
         let entry = self
             .values
             .entry((flow, resource))
@@ -133,6 +138,28 @@ impl JitterMap {
             }
         }
         true
+    }
+
+    /// The largest absolute componentwise difference between `self` and
+    /// `other` — the residual the holistic fixed-point engine records per
+    /// round.  Entries missing from one side are treated as zero.
+    pub fn max_abs_diff(&self, other: &JitterMap) -> Time {
+        let keys: std::collections::BTreeSet<_> =
+            self.values.keys().chain(other.values.keys()).collect();
+        let mut worst = Time::ZERO;
+        for key in keys {
+            let empty = Vec::new();
+            let a = self.values.get(key).unwrap_or(&empty);
+            let b = other.values.get(key).unwrap_or(&empty);
+            let len = a.len().max(b.len());
+            for idx in 0..len {
+                let va = a.get(idx).copied().unwrap_or(Time::ZERO);
+                let vb = b.get(idx).copied().unwrap_or(Time::ZERO);
+                let diff = if va >= vb { va - vb } else { vb - va };
+                worst = worst.max(diff);
+            }
+        }
+        worst
     }
 
     /// Iterate over all stored entries.
@@ -192,9 +219,9 @@ impl<'a> AnalysisContext<'a> {
     /// (flow, link) pair the flow does not traverse is a programming error
     /// and panics.
     pub fn demand(&self, flow: FlowId, from: NodeId, to: NodeId) -> &LinkDemand {
-        self.demands.get(&(flow, from, to)).unwrap_or_else(|| {
-            panic!("no cached demand for {flow} on link({},{})", from.0, to.0)
-        })
+        self.demands
+            .get(&(flow, from, to))
+            .unwrap_or_else(|| panic!("no cached demand for {flow} on link({},{})", from.0, to.0))
     }
 
     /// Sum of `CSUM/TSUM` over the given flows on the given link — the
@@ -219,16 +246,31 @@ mod tests {
         let video = paper_figure3_flow("video", Time::from_millis(100.0), Time::from_millis(1.0));
         let route = shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap();
         fs.add(video, route, Priority(6));
-        let voice = cbr_flow("voice", 160, Time::from_millis(20.0), Time::from_millis(20.0), Time::ZERO);
+        let voice = cbr_flow(
+            "voice",
+            160,
+            Time::from_millis(20.0),
+            Time::from_millis(20.0),
+            Time::ZERO,
+        );
         let route = shortest_path(&t, net.hosts[1], net.hosts[3]).unwrap();
         fs.add(voice, route, Priority(7));
-        let nodes = vec![net.hosts[0], net.hosts[1], net.switches[0], net.switches[2], net.hosts[3]];
+        let nodes = vec![
+            net.hosts[0],
+            net.hosts[1],
+            net.switches[0],
+            net.switches[2],
+            net.hosts[3],
+        ];
         (t, fs, nodes)
     }
 
     #[test]
     fn resource_id_display_and_ordering() {
-        let a = ResourceId::Link { from: NodeId(0), to: NodeId(4) };
+        let a = ResourceId::Link {
+            from: NodeId(0),
+            to: NodeId(4),
+        };
         let b = ResourceId::SwitchIngress { node: NodeId(4) };
         assert_eq!(a.to_string(), "link(0,4)");
         assert_eq!(b.to_string(), "in(4)");
@@ -244,15 +286,27 @@ mod tests {
     fn initial_jitter_map_has_source_jitter_on_first_link() {
         let (_, fs, n) = setup();
         let map = JitterMap::initial(&fs);
-        let first_link = ResourceId::Link { from: n[0], to: n[2] };
+        let first_link = ResourceId::Link {
+            from: n[0],
+            to: n[2],
+        };
         // The video flow has 1 ms jitter on every frame.
-        assert_eq!(map.max_jitter(FlowId(0), first_link), Time::from_millis(1.0));
+        assert_eq!(
+            map.max_jitter(FlowId(0), first_link),
+            Time::from_millis(1.0)
+        );
         assert_eq!(map.get(FlowId(0), first_link, 3), Time::from_millis(1.0));
         // Downstream resources start at zero.
-        let downstream = ResourceId::Link { from: n[2], to: n[3] };
+        let downstream = ResourceId::Link {
+            from: n[2],
+            to: n[3],
+        };
         assert_eq!(map.max_jitter(FlowId(0), downstream), Time::ZERO);
         // The voice flow declared no jitter.
-        let voice_first = ResourceId::Link { from: n[1], to: n[2] };
+        let voice_first = ResourceId::Link {
+            from: n[1],
+            to: n[2],
+        };
         assert_eq!(map.max_jitter(FlowId(1), voice_first), Time::ZERO);
     }
 

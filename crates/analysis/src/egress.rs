@@ -182,8 +182,7 @@ mod tests {
         let (t, net) = paper_figure1();
         let mut fs = FlowSet::new();
         let video_route = shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap();
-        let video =
-            paper_figure3_flow("video", Time::from_millis(200.0), Time::from_millis(1.0));
+        let video = paper_figure3_flow("video", Time::from_millis(200.0), Time::from_millis(1.0));
         fs.add(video, video_route, Priority(6));
         let voice_route = shortest_path(&t, net.hosts[1], net.hosts[3]).unwrap();
         for i in 0..n_voice {
@@ -203,8 +202,8 @@ mod tests {
         let (t, fs) = setup(0, Priority(7));
         let ctx = AnalysisContext::new(&t, &fs).unwrap();
         let jitters = JitterMap::initial(&fs);
-        let r = egress_response(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(0), 0, SW4)
-            .unwrap();
+        let r =
+            egress_response(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(0), 0, SW4).unwrap();
         let d = ctx.demand(FlowId(0), SW4, SW6);
         let link = t.link_between(SW4, SW6).unwrap();
         // Bound = MFT (blocking) + own transmission + propagation.
@@ -236,10 +235,7 @@ mod tests {
         let link = t.link_between(SW4, SW6).unwrap();
         // At least: blocking + 3 voice packets (transmission + CIRC each) +
         // own transmission + propagation.
-        let floor = d_video.mft()
-            + (d_voice.c(0) + circ) * 3u64
-            + d_video.c(0)
-            + link.propagation;
+        let floor = d_video.mft() + (d_voice.c(0) + circ) * 3u64 + d_video.c(0) + link.propagation;
         assert!(
             r.response + Time::from_nanos(1.0) >= floor,
             "bound {} must cover the floor {}",
@@ -264,8 +260,8 @@ mod tests {
                 1,
             );
         }
-        let r = egress_response(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(0), 0, SW4)
-            .unwrap();
+        let r =
+            egress_response(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(0), 0, SW4).unwrap();
         let d = ctx.demand(FlowId(0), SW4, SW6);
         let link = t.link_between(SW4, SW6).unwrap();
         assert!(r.response.approx_eq(d.mft() + d.c(0) + link.propagation));
@@ -295,8 +291,7 @@ mod tests {
         let cfg = AnalysisConfig::paper();
         let r_low =
             egress_response(&ctx_low, &mk_jitters(&fs_low), &cfg, FlowId(0), 0, SW4).unwrap();
-        let r_eq =
-            egress_response(&ctx_eq, &mk_jitters(&fs_eq), &cfg, FlowId(0), 0, SW4).unwrap();
+        let r_eq = egress_response(&ctx_eq, &mk_jitters(&fs_eq), &cfg, FlowId(0), 0, SW4).unwrap();
         assert!(r_eq.response > r_low.response);
     }
 

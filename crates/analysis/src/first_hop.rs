@@ -190,8 +190,7 @@ mod tests {
         let (t, net) = paper_figure1();
         let mut fs = FlowSet::new();
         let route = shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap();
-        let video =
-            paper_figure3_flow("video", Time::from_millis(100.0), Time::from_millis(1.0));
+        let video = paper_figure3_flow("video", Time::from_millis(100.0), Time::from_millis(1.0));
         fs.add(video, route.clone(), Priority(6));
         for i in 0..extra_on_same_host {
             let voice = voip_flow(
@@ -237,10 +236,10 @@ mod tests {
         let ctx0 = AnalysisContext::new(&t, &fs0).unwrap();
         let ctx2 = AnalysisContext::new(&t, &fs2).unwrap();
         let config = AnalysisConfig::paper();
-        let r0 = first_hop_response(&ctx0, &JitterMap::initial(&fs0), &config, FlowId(0), 0)
-            .unwrap();
-        let r2 = first_hop_response(&ctx2, &JitterMap::initial(&fs2), &config, FlowId(0), 0)
-            .unwrap();
+        let r0 =
+            first_hop_response(&ctx0, &JitterMap::initial(&fs0), &config, FlowId(0), 0).unwrap();
+        let r2 =
+            first_hop_response(&ctx2, &JitterMap::initial(&fs2), &config, FlowId(0), 0).unwrap();
         assert!(
             r2.response > r0.response,
             "two extra voice flows must increase the first-hop bound"
@@ -265,10 +264,8 @@ mod tests {
             Time::from_millis(5.0),
             1,
         );
-        let r_base =
-            first_hop_response(&ctx, &base, &config, FlowId(0), 0).unwrap();
-        let r_jittery =
-            first_hop_response(&ctx, &jittery, &config, FlowId(0), 0).unwrap();
+        let r_base = first_hop_response(&ctx, &base, &config, FlowId(0), 0).unwrap();
+        let r_jittery = first_hop_response(&ctx, &jittery, &config, FlowId(0), 0).unwrap();
         assert!(r_jittery.response >= r_base.response);
     }
 
@@ -304,8 +301,8 @@ mod tests {
         }
         let ctx = AnalysisContext::new(&t, &fs).unwrap();
         let jitters = JitterMap::initial(&fs);
-        let err = first_hop_response(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(0), 0)
-            .unwrap_err();
+        let err =
+            first_hop_response(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(0), 0).unwrap_err();
         assert!(matches!(err, AnalysisError::Overload { utilization, .. } if utilization >= 1.0));
         assert!(err.is_unschedulable());
     }
@@ -336,8 +333,7 @@ mod tests {
         fs.add(small, route, Priority(5));
         let ctx = AnalysisContext::new(&t, &fs).unwrap();
         let jitters = JitterMap::initial(&fs);
-        let r = first_hop_response(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(1), 0)
-            .unwrap();
+        let r = first_hop_response(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(1), 0).unwrap();
         // The small flow has to wait behind the big one.
         let d_small = ctx.demand(FlowId(1), gmf_net::NodeId(0), gmf_net::NodeId(4));
         assert!(r.response > d_small.c(0));
@@ -349,8 +345,9 @@ mod tests {
         let (t, fs) = setup(0);
         let ctx = AnalysisContext::new(&t, &fs).unwrap();
         let jitters = JitterMap::initial(&fs);
-        assert!(first_hop_response(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(7), 0)
-            .is_err());
+        assert!(
+            first_hop_response(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(7), 0).is_err()
+        );
     }
 
     /// With several identical sporadic flows and zero jitter, the paper's
@@ -375,16 +372,23 @@ mod tests {
         }
         let ctx = AnalysisContext::new(&t, &fs).unwrap();
         let jitters = JitterMap::initial(&fs);
-        let link = t.link_between(gmf_net::NodeId(0), gmf_net::NodeId(4)).unwrap();
+        let link = t
+            .link_between(gmf_net::NodeId(0), gmf_net::NodeId(4))
+            .unwrap();
         let d = ctx.demand(FlowId(0), gmf_net::NodeId(0), gmf_net::NodeId(4));
 
-        let paper = first_hop_response(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(0), 0)
-            .unwrap();
+        let paper =
+            first_hop_response(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(0), 0).unwrap();
         assert!(paper.response.approx_eq(d.c(0) + link.propagation));
 
-        let refined =
-            first_hop_response(&ctx, &jitters, &AnalysisConfig::conservative(), FlowId(0), 0)
-                .unwrap();
+        let refined = first_hop_response(
+            &ctx,
+            &jitters,
+            &AnalysisConfig::conservative(),
+            FlowId(0),
+            0,
+        )
+        .unwrap();
         assert!(refined.response.approx_eq(d.c(0) * 2u64 + link.propagation));
     }
 }

@@ -1,0 +1,972 @@
+//! The holistic fixed-point engine: parallel Jacobi rounds plus optional
+//! safeguarded Anderson(1) acceleration of the jitter iteration.
+//!
+//! The holistic analysis ([`crate::holistic`]) resolves the circular
+//! dependency between response times and generalized jitters by iterating
+//! the map `G : JitterMap → JitterMap` that analyses every flow against the
+//! previous round's jitters and records the jitters the frames accumulate.
+//! This module owns that iteration.  It provides two independent levers on
+//! top of the plain Picard scheme `x_{k+1} = G(x_k)` the paper implies:
+//!
+//! **Parallel Jacobi rounds.**  Within one round every flow is analysed
+//! against the *same* immutable previous-round map, so the per-flow
+//! analyses are embarrassingly parallel.  [`evaluate_round`] maps them over
+//! a [`gmf_par::par_map`] fork-join pool; results come back in flow-index
+//! order, the next map is folded sequentially in that order, and error
+//! precedence scans in that order too — the output is byte-identical to
+//! the sequential loop at any thread count.
+//!
+//! **Safeguarded Anderson(1)-style acceleration.**  The jitter iteration
+//! is monotone: Picard iterates increase componentwise towards the least
+//! fixed point `x*` (or diverge past the horizon).  Residual extrapolation
+//! in the Anderson(1) family (see Bian & Chen 2022, Barré et al. 2020 for
+//! the nonsmooth/constrained convergence theory) can skip part of a long
+//! tail.  This engine uses *diagonal* (per-component) damped secant mixing
+//! rather than the classic single global coefficient: components of the
+//! jitter map converge at very different speeds — most lock onto their
+//! exact lattice value within a round or two while a few coupled ones tail
+//! off over many rounds — and a global coefficient systematically hurls the
+//! already-locked components past their fixed point.  From three
+//! consecutive Picard-chained iterates `s0 → s1 = G(s0) → s2 = G(s1)`,
+//! each strictly contracting component (`0 < d2 < d1` for `d1 = s1−s0`,
+//! `d2 = s2−s1`) is lifted by a damped fraction of its Aitken-Δ² estimate
+//! of the remaining distance:
+//!
+//! ```text
+//! x_acc = s2 + η · min(r/(1−r), β_max) · d2,   r = d2/d1
+//! ```
+//!
+//! Safeguards keep the result exactly equal to Picard's:
+//!
+//! 1. *Acyclic gating* — acceleration only runs when the jitter dependency
+//!    graph is acyclic (see [`dependency_is_acyclic`]); then the holistic
+//!    equations have a unique fixed point and `G^(depth+1)` is a constant
+//!    map, so *any* iterate sequence lands on exactly the Picard lattice
+//!    point.  On cyclic instances (mutually chasing flows on a ring),
+//!    larger self-consistent solutions exist above `x*` and an overshoot
+//!    could latch onto one, so the engine runs plain Picard there.
+//! 2. *Monotone safeguard* — a candidate is rejected outright (the round
+//!    falls back to Picard) if any component falls below the plain Picard
+//!    step `G(x)` or would jump past the divergence horizon.
+//! 3. *Mid-tail gate* — extrapolation fires only while the round residual
+//!    is shrinking and still a sizeable fraction of its peak.  Transport
+//!    tails end with components making one final quantum move and stopping
+//!    dead; lifting such a last move always overshoots.
+//! 4. *Overshoot absorption* — a from-below iterate satisfies `G(x) ≥ x`
+//!    componentwise; the next round's `G` evaluation checks this for free.
+//!    A violation means the candidate overshot `x*` in that component; the
+//!    engine continues from the image `G(x)` (safe by safeguard 1) and
+//!    disables acceleration after [`MAX_ABSORBS`] violations.  If the
+//!    evaluation *at the candidate* fails outright (a busy period computed
+//!    from the inflated jitters exceeds the horizon), the failure is an
+//!    artefact of the extrapolation, not a verdict: the engine reverts to
+//!    the image it extrapolated from and finishes with plain Picard, so an
+//!    overshoot can never turn a schedulable instance unschedulable.
+//! 5. *Exact landing* — convergence (`G(x) ≈ x`) is only reported when the
+//!    current iterate is itself an image of `G` (or the initial map).  An
+//!    extrapolated iterate that happens to satisfy the tolerance is run
+//!    through one more Picard round first, so the final report is always
+//!    an evaluation of `G` at the converged lattice point itself.
+//!
+//! Why the converged report is byte-identical across strategies:
+//! interfering jitters enter the response-time equations only through the
+//! staircase request-bound functions (`MX`/`NX` inside the busy-period
+//! iterations), so `G` is piecewise constant in its input and its outputs
+//! live on a discrete lattice (sums of frame transmission/service times).
+//! Picard therefore reaches `x*` *exactly* in finitely many rounds, and on
+//! an acyclic instance every other convergent sequence — including one
+//! with absorbed overshoots — settles on the same unique lattice point,
+//! after which safeguard 5 makes the final report `G(x*)` under either
+//! strategy.  An accelerated step helps when it lands components inside
+//! the terminal plateau below their fixed point early, short-circuiting
+//! the round-per-dependency-level transport of plain Picard; the
+//! [`ConvergenceTrace`] records what happened each round (residual and
+//! step kind), which is also how the benches measure the iteration
+//! savings.
+
+use crate::config::AnalysisConfig;
+use crate::context::{AnalysisContext, JitterMap};
+use crate::error::AnalysisError;
+use crate::pipeline::{analyze_flow, JitterAssignments};
+use crate::report::{AnalysisReport, FlowReport, FrameBound};
+use gmf_model::Time;
+use gmf_par::{par_map, Threads};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the holistic engine advances the jitter iterate between rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FixedPointStrategy {
+    /// Plain Picard iteration `x_{k+1} = G(x_k)` — the paper's scheme.
+    #[default]
+    Picard,
+    /// Depth-1 Anderson acceleration with the monotone safeguard; falls
+    /// back to Picard whenever a candidate is unsafe.
+    Anderson1,
+}
+
+impl fmt::Display for FixedPointStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedPointStrategy::Picard => write!(f, "picard"),
+            FixedPointStrategy::Anderson1 => write!(f, "anderson1"),
+        }
+    }
+}
+
+/// What produced the iterate a round handed to the next one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepKind {
+    /// The plain Picard step `G(x)` was used.
+    Picard,
+    /// A safeguarded Anderson(1) candidate was accepted.
+    Anderson,
+    /// An Anderson candidate was computed but failed the monotone / horizon
+    /// safeguard; the round fell back to Picard.
+    AndersonRejected,
+    /// The previous round's accepted candidate overshot the fixed point:
+    /// either `G(x) < x` in some component (the engine absorbed the
+    /// overshoot by continuing from the image `G(x)`), or evaluating `G`
+    /// at the candidate failed outright and the engine reverted to the
+    /// image it extrapolated from.  Either way further acceleration is
+    /// throttled.
+    AndersonAbsorbed,
+}
+
+impl fmt::Display for StepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepKind::Picard => write!(f, "picard"),
+            StepKind::Anderson => write!(f, "anderson"),
+            StepKind::AndersonRejected => write!(f, "anderson-rejected"),
+            StepKind::AndersonAbsorbed => write!(f, "anderson-absorbed"),
+        }
+    }
+}
+
+/// One round of the holistic iteration, as recorded in the
+/// [`ConvergenceTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundTrace {
+    /// 1-based outer iteration number.
+    pub iteration: usize,
+    /// Largest absolute change of any jitter component in this round
+    /// (`‖G(x) − x‖_∞`); zero for a round aborted because a flow could not
+    /// be bounded (overload / horizon excess).
+    pub residual: Time,
+    /// How the next iterate was produced at the end of this round.
+    pub step: StepKind,
+}
+
+/// Per-round residuals and step decisions of one holistic analysis run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConvergenceTrace {
+    /// One entry per outer iteration, in order.
+    pub rounds: Vec<RoundTrace>,
+}
+
+impl ConvergenceTrace {
+    /// Number of recorded rounds (equals the report's `iterations`).
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// `true` if no round was recorded (empty flow set).
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The residual of the last round, if any.
+    pub fn final_residual(&self) -> Option<Time> {
+        self.rounds.last().map(|r| r.residual)
+    }
+
+    /// Number of rounds advanced by an accepted Anderson step.
+    pub fn n_accelerated(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| r.step == StepKind::Anderson)
+            .count()
+    }
+}
+
+/// Cap on the per-component extrapolation factor `β = r/(1−r)`: a
+/// component may jump at most this many times its last Picard gain ahead.
+/// Larger values accelerate slow geometric tails harder but risk
+/// overshooting past the fixed point, which costs a reverted round.
+const BETA_MAX: f64 = 0.6;
+
+/// Damping of the extrapolation: components jump this fraction of their
+/// estimated remaining distance.  Below 1 biases towards undershoot, which
+/// is free (the next Picard round mops up), where overshoot costs a
+/// reverted round.
+const ETA: f64 = 0.9;
+
+/// After this many post-hoc invariant violations (absorbed overshoots),
+/// acceleration is disabled for the rest of the run (the workload's tail is
+/// evidently not extrapolable).
+const MAX_ABSORBS: usize = 2;
+
+/// Extrapolation only fires while the round residual is at least this
+/// fraction of the largest residual seen so far.  Transport-style tails end
+/// with components making one last move and stopping dead; lifting such a
+/// final move always overshoots, so the engine holds fire once the tail is
+/// nearly drained.
+const MID_TAIL_FRACTION: f64 = 0.35;
+
+/// `true` if the jitter dependency graph of the flow set is acyclic.
+///
+/// Nodes are `(flow, resource)` pairs.  The jitter a flow accumulates at
+/// resource `r_{i+1}` of its route is its jitter at `r_i` plus its response
+/// at `r_i`, and that response reads the jitter of every interfering flow
+/// at `r_i` — so there is an edge `(A, r_i) → (A, r_{i+1})` and an edge
+/// `(B, r_i) → (A, r_{i+1})` for every `B` sharing `r_i`'s underlying link
+/// with `A`.  When this graph is acyclic, `G^depth` is a constant map: the
+/// holistic equations have a *unique* fixed point and any convergent
+/// iteration — accelerated or not — lands on exactly the same lattice
+/// point.  When it has a cycle (mutually chasing flows on a ring), larger
+/// self-consistent solutions exist above the least fixed point and an
+/// extrapolation overshoot could latch onto one; the engine therefore
+/// disables acceleration for cyclic instances.
+///
+/// Every workload in the paper (converging stars, unidirectional lines,
+/// the Figure 1 network) is acyclic: opposite link directions are distinct
+/// resources and never interfere.
+fn dependency_is_acyclic(ctx: &AnalysisContext<'_>) -> bool {
+    use crate::context::ResourceId;
+    use std::collections::BTreeMap;
+
+    // The per-flow resource sequence, mirroring the Figure 6 pipeline walk,
+    // together with the underlying directed link whose flow set interferes
+    // at that resource.
+    type Node = (gmf_model::FlowId, ResourceId);
+    let mut edges: BTreeMap<Node, Vec<Node>> = BTreeMap::new();
+    for binding in ctx.flows().bindings() {
+        let route = &binding.route;
+        let source = route.source();
+        let Ok(first_succ) = route.successor(source) else {
+            return false;
+        };
+        // (resource, interference link) in route order.
+        let mut stages: Vec<(ResourceId, (gmf_net::NodeId, gmf_net::NodeId))> = vec![(
+            ResourceId::Link {
+                from: source,
+                to: first_succ,
+            },
+            (source, first_succ),
+        )];
+        for &switch in route.switches() {
+            let Ok(succ) = route.successor(switch) else {
+                return false;
+            };
+            let Ok(prec) = route.predecessor(switch) else {
+                return false;
+            };
+            stages.push((ResourceId::SwitchIngress { node: switch }, (prec, switch)));
+            stages.push((
+                ResourceId::Link {
+                    from: switch,
+                    to: succ,
+                },
+                (switch, succ),
+            ));
+        }
+        for window in stages.windows(2) {
+            let (resource, (from, to)) = window[0];
+            let (next_resource, _) = window[1];
+            let target = (binding.id, next_resource);
+            edges
+                .entry((binding.id, resource))
+                .or_default()
+                .push(target);
+            for other in ctx.flows().flows_on_link(from, to) {
+                if other != binding.id {
+                    edges.entry((other, resource)).or_default().push(target);
+                }
+            }
+        }
+    }
+
+    // Iterative three-colour DFS over the dependency graph.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        InProgress,
+        Done,
+    }
+    let mut colour: BTreeMap<Node, Colour> = BTreeMap::new();
+    let nodes: Vec<Node> = edges.keys().copied().collect();
+    for start in nodes {
+        if colour.contains_key(&start) {
+            continue;
+        }
+        // Stack of (node, next child index).
+        let mut stack: Vec<(Node, usize)> = vec![(start, 0)];
+        colour.insert(start, Colour::InProgress);
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            let empty = Vec::new();
+            let targets = edges.get(&node).unwrap_or(&empty);
+            if *child < targets.len() {
+                let next = targets[*child];
+                *child += 1;
+                match colour.get(&next) {
+                    Some(Colour::InProgress) => return false,
+                    Some(Colour::Done) => {}
+                    None => {
+                        colour.insert(next, Colour::InProgress);
+                        stack.push((next, 0));
+                    }
+                }
+            } else {
+                colour.insert(node, Colour::Done);
+                stack.pop();
+            }
+        }
+    }
+    true
+}
+
+/// Everything one `G` evaluation produces.
+enum RoundOutcome {
+    /// Every flow analysed: the per-flow reports and the next jitter map.
+    Evaluated {
+        reports: Vec<FlowReport>,
+        next: JitterMap,
+    },
+    /// A flow could not be bounded (overload / horizon excess): the reports
+    /// of the flows *before* it in flow order, and why.
+    Unschedulable {
+        partial: Vec<FlowReport>,
+        failure: String,
+    },
+}
+
+/// Evaluate `G` at `jitters`: analyse every flow of the context's flow set
+/// against the given map, in parallel over `threads` workers, and fold the
+/// assignments into the next round's map.
+///
+/// Flows are analysed in flow-index order semantics: results are collected
+/// in that order, the next map is folded in that order, and the first
+/// erroring flow in that order decides the outcome — so the result is
+/// byte-identical to the sequential loop at any thread count.
+fn evaluate_round(
+    ctx: &AnalysisContext<'_>,
+    jitters: &JitterMap,
+    config: &AnalysisConfig,
+) -> Result<RoundOutcome, AnalysisError> {
+    let bindings = ctx.flows().bindings();
+    let threads = Threads::new(config.threads);
+
+    // With one worker the results come from a lazy iterator, so the scan
+    // below short-circuits on the first erroring flow without analysing the
+    // rest of the round (rejecting admission trials hit this every call);
+    // with several workers everything is evaluated eagerly up front.  Error
+    // precedence is first-in-flow-order either way, so the outcome is
+    // byte-identical at any thread count.
+    type FlowResult = Result<(Vec<FrameBound>, Vec<JitterAssignments>), AnalysisError>;
+    let results: Box<dyn Iterator<Item = FlowResult>> = if threads.get() == 1 {
+        Box::new(
+            bindings
+                .iter()
+                .map(|binding| analyze_flow(ctx, jitters, config, binding.id)),
+        )
+    } else {
+        Box::new(
+            par_map(threads, bindings, |_, binding| {
+                analyze_flow(ctx, jitters, config, binding.id)
+            })
+            .into_iter(),
+        )
+    };
+
+    let mut reports = Vec::with_capacity(bindings.len());
+    let mut all_assignments = Vec::with_capacity(bindings.len());
+    for (binding, result) in bindings.iter().zip(results) {
+        match result {
+            Ok((bounds, assignments)) => {
+                reports.push(FlowReport {
+                    flow: binding.id,
+                    name: binding.flow.name().to_string(),
+                    frames: bounds,
+                });
+                all_assignments.push(assignments);
+            }
+            Err(err) if err.is_unschedulable() => {
+                return Ok(RoundOutcome::Unschedulable {
+                    partial: reports,
+                    failure: err.to_string(),
+                });
+            }
+            Err(err) => return Err(err),
+        }
+    }
+
+    let mut next = JitterMap::initial(ctx.flows());
+    for (report, assignments) in reports.iter().zip(&all_assignments) {
+        let n_frames = report.frames.len();
+        for (frame_index, frame_assignments) in assignments.iter().enumerate() {
+            for &(resource, jitter) in frame_assignments {
+                next.set(report.flow, resource, frame_index, jitter, n_frames);
+            }
+        }
+    }
+    Ok(RoundOutcome::Evaluated { reports, next })
+}
+
+/// What [`anderson_candidate`] produced, distinguished so the
+/// [`ConvergenceTrace`] reports what actually happened.
+enum Candidate {
+    /// A candidate passed every safeguard and should become the next
+    /// iterate.
+    Extrapolated(JitterMap),
+    /// A candidate was computed but tripped the monotone / horizon
+    /// safeguard.
+    SafeguardRejected,
+    /// No component was strictly contracting: there was nothing to
+    /// extrapolate and the round is a plain Picard round.
+    NothingToExtrapolate,
+}
+
+/// The Anderson(1) candidate built from three consecutive Picard-chained
+/// iterates `prev_x → x (= G(prev_x)) → gx (= G(x))`.
+///
+/// Mixing is *diagonal* (one secant coefficient per jitter component, the
+/// Aitken-Δ² estimate of that component's limit) rather than the classic
+/// single global coefficient: the holistic iteration converges at very
+/// different speeds per component (most lock onto their exact lattice value
+/// within a round or two while a few coupled ones tail off slowly), and a
+/// global coefficient systematically hurls the already-converged components
+/// past their fixed point, which the post-hoc invariant check then has to
+/// revert.  Components that are not contracting keep the plain Picard value;
+/// contracting ones jump a damped fraction [`ETA`] of their estimated
+/// remaining distance, which biases the candidate towards *undershoot* —
+/// an undershot candidate stays in the monotone from-below region and costs
+/// nothing, while an overshot one costs a reverted round.
+fn anderson_candidate(
+    x: &JitterMap,
+    gx: &JitterMap,
+    prev_x: &JitterMap,
+    horizon: Time,
+) -> Candidate {
+    let mut candidate = JitterMap::default();
+    let mut extrapolated_any = false;
+    for (&(flow, resource), values) in gx.iter() {
+        let n_frames = values.len();
+        for (frame, &s2) in values.iter().enumerate() {
+            let s0 = prev_x.get(flow, resource, frame);
+            let s1 = x.get(flow, resource, frame);
+            let d1 = (s1 - s0).as_secs();
+            let d2 = (s2 - s1).as_secs();
+            // Extrapolate only strictly contracting monotone components
+            // (0 < d2 < d1); everything else keeps the Picard value.
+            let mut accelerated = s2;
+            if d2 > 0.0 && d2 < d1 {
+                let ratio = d2 / d1;
+                let beta = (ratio / (1.0 - ratio)).min(BETA_MAX);
+                accelerated = Time::from_secs(s2.as_secs() + ETA * beta * d2);
+                if !accelerated.is_finite() || accelerated > horizon {
+                    return Candidate::SafeguardRejected;
+                }
+                // Monotone safeguard: never fall below the Picard step.
+                if accelerated < s2 {
+                    return Candidate::SafeguardRejected;
+                }
+                extrapolated_any = true;
+            }
+            candidate.set(flow, resource, frame, accelerated, n_frames);
+        }
+    }
+    if extrapolated_any {
+        Candidate::Extrapolated(candidate)
+    } else {
+        Candidate::NothingToExtrapolate
+    }
+}
+
+/// State the Anderson strategy carries between rounds.
+struct AndersonState {
+    /// The iterate *before* the current one, when the chain
+    /// `prev_x → x → gx` is three consecutive Picard steps.
+    prev_x: Option<JitterMap>,
+    /// The previous round's residual — extrapolation is gated on the
+    /// residual actually shrinking (the first rounds of a run often *grow*
+    /// it while jitter fronts still propagate downstream).
+    last_residual: Option<Time>,
+    /// The largest residual seen so far.  Extrapolation only fires while
+    /// the residual is still a sizeable fraction of this peak (mid-tail):
+    /// near the end of a transport tail, components make one final move
+    /// and stop, and any lift of that last move overshoots.
+    peak_residual: Time,
+    /// The Picard image the last accepted candidate extrapolated from.
+    /// If evaluating `G` *at the candidate* fails outright (a busy period
+    /// computed from the inflated jitters exceeds the horizon, say), the
+    /// failure is an artefact of the extrapolation, not a property of the
+    /// flow set — the engine reverts here and re-runs the round plainly.
+    fallback: Option<JitterMap>,
+    /// Post-hoc invariant violations (absorbed overshoots) so far.
+    absorbs: usize,
+    /// Acceleration still allowed?
+    enabled: bool,
+}
+
+/// Run the holistic jitter iteration on a prepared context.
+///
+/// This is the engine behind [`crate::holistic::analyze`]; callers should
+/// use that entry point.  `ctx` must wrap a non-empty flow set.
+pub(crate) fn iterate(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+) -> Result<AnalysisReport, AnalysisError> {
+    let mut x = JitterMap::initial(ctx.flows());
+    let mut last_reports: Vec<FlowReport> = Vec::new();
+    let mut trace = ConvergenceTrace::default();
+    // `x` starts as the initial map and is otherwise an image of `G` except
+    // right after an accepted Anderson step.
+    let mut input_is_image = true;
+    // Acceleration is only sound when the holistic equations have a unique
+    // fixed point, i.e. when the jitter dependency graph is acyclic (see
+    // `dependency_is_acyclic`); cyclic instances run plain Picard.
+    let mut anderson = AndersonState {
+        prev_x: None,
+        last_residual: None,
+        peak_residual: Time::ZERO,
+        fallback: None,
+        absorbs: 0,
+        enabled: config.strategy == FixedPointStrategy::Anderson1 && dependency_is_acyclic(ctx),
+    };
+
+    for iteration in 1..=config.max_holistic_iterations {
+        let round = evaluate_round(ctx, &x, config);
+
+        // A failure while evaluating `G` at an *extrapolated* iterate
+        // (unschedulable outcome or hard error) may be an artefact of the
+        // candidate's inflated jitters rather than a property of the flow
+        // set: a Picard run of the same instance could converge fine.
+        // Discard the candidate, resume from the image it extrapolated
+        // from, and run plain Picard for the rest of the analysis.
+        if !input_is_image && !matches!(round, Ok(RoundOutcome::Evaluated { .. })) {
+            trace.rounds.push(RoundTrace {
+                iteration,
+                residual: Time::ZERO,
+                step: StepKind::AndersonAbsorbed,
+            });
+            x = anderson
+                .fallback
+                .take()
+                .expect("a non-image iterate always has a revert target");
+            input_is_image = true;
+            anderson.prev_x = None;
+            anderson.last_residual = None;
+            anderson.enabled = false;
+            continue;
+        }
+
+        let (reports, gx) = match round? {
+            RoundOutcome::Evaluated { reports, next } => (reports, next),
+            RoundOutcome::Unschedulable { partial, failure } => {
+                // The aborted round still counts as an iteration, so it
+                // also gets a trace entry (`trace.len() == iterations`
+                // always holds); no next map was folded, hence no residual.
+                trace.rounds.push(RoundTrace {
+                    iteration,
+                    residual: Time::ZERO,
+                    step: StepKind::Picard,
+                });
+                return Ok(AnalysisReport {
+                    flows: partial,
+                    converged: false,
+                    iterations: iteration,
+                    schedulable: false,
+                    failure: Some(failure),
+                    trace,
+                });
+            }
+        };
+        let residual = gx.max_abs_diff(&x);
+
+        // Post-hoc invariant check of the previous round's accepted
+        // candidate: a from-below iterate satisfies G(x) ≥ x.  A violation
+        // means the candidate overshot the fixed point in that component.
+        // Acceleration only runs on acyclic instances, where *any* iterate
+        // reaches the unique fixed point on the dependency-depth schedule,
+        // so the overshoot is absorbed — the engine simply continues from
+        // the image G(x) — but further acceleration is throttled.
+        let mut absorbed = false;
+        if !input_is_image {
+            let invariant_broken = gx.iter().any(|(&(flow, resource), values)| {
+                values.iter().enumerate().any(|(frame, &value)| {
+                    let assumed = x.get(flow, resource, frame);
+                    value < assumed && !value.approx_eq(assumed)
+                })
+            });
+            if invariant_broken {
+                absorbed = true;
+                anderson.absorbs += 1;
+                if anderson.absorbs >= MAX_ABSORBS {
+                    anderson.enabled = false;
+                }
+            }
+        }
+
+        let converged = gx.approx_eq(&x);
+        if converged && input_is_image {
+            trace.rounds.push(RoundTrace {
+                iteration,
+                residual,
+                step: StepKind::Picard,
+            });
+            let schedulable = reports.iter().all(|r| r.meets_all_deadlines());
+            let failure = if schedulable {
+                None
+            } else {
+                let miss = reports
+                    .iter()
+                    .filter(|r| !r.meets_all_deadlines())
+                    .map(|r| r.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                Some(format!("deadline missed by: {miss}"))
+            };
+            return Ok(AnalysisReport {
+                flows: reports,
+                converged: true,
+                iterations: iteration,
+                schedulable,
+                failure,
+                trace,
+            });
+        }
+
+        // Choose the next iterate.  Extrapolation needs three consecutive
+        // Picard-chained iterates (prev_x → x → gx) and a shrinking
+        // residual; the first rounds of a run typically *grow* the residual
+        // while jitter fronts still propagate and are never extrapolated.
+        let mut step = if absorbed {
+            StepKind::AndersonAbsorbed
+        } else {
+            StepKind::Picard
+        };
+        let mut next = None;
+        anderson.peak_residual = anderson.peak_residual.max(residual);
+        if anderson.enabled && input_is_image {
+            if let Some(prev_x) = &anderson.prev_x {
+                let shrinking = anderson
+                    .last_residual
+                    .is_some_and(|previous| residual < previous);
+                let mid_tail =
+                    residual.as_secs() >= MID_TAIL_FRACTION * anderson.peak_residual.as_secs();
+                if shrinking && mid_tail {
+                    match anderson_candidate(&x, &gx, prev_x, config.horizon) {
+                        Candidate::Extrapolated(candidate) => {
+                            step = StepKind::Anderson;
+                            next = Some(candidate);
+                        }
+                        Candidate::SafeguardRejected => step = StepKind::AndersonRejected,
+                        Candidate::NothingToExtrapolate => {}
+                    }
+                }
+            }
+        }
+        trace.rounds.push(RoundTrace {
+            iteration,
+            residual,
+            step,
+        });
+
+        last_reports = reports;
+        match next {
+            Some(candidate) => {
+                // Accepted Anderson step: keep the image we extrapolated
+                // from as the revert target for a failed evaluation; the
+                // Picard chain restarts from the landing point, so the
+                // following round is always plain Picard.
+                anderson.fallback = Some(gx);
+                anderson.prev_x = None;
+                anderson.last_residual = None;
+                x = candidate;
+                input_is_image = false;
+            }
+            None => {
+                anderson.prev_x = Some(x);
+                anderson.last_residual = Some(residual);
+                x = gx;
+                input_is_image = true;
+            }
+        }
+    }
+
+    // The jitter iteration did not stabilise within the budget.
+    Ok(AnalysisReport {
+        flows: last_reports,
+        converged: false,
+        iterations: config.max_holistic_iterations,
+        schedulable: false,
+        failure: Some(
+            AnalysisError::HolisticNoConvergence {
+                iterations: config.max_holistic_iterations,
+            }
+            .to_string(),
+        ),
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::holistic::analyze;
+    use gmf_model::{paper_figure3_flow, voip_flow, Time, VoiceCodec};
+    use gmf_net::{paper_figure1, shortest_path, FlowSet, Priority};
+
+    fn paper_like_flows() -> (gmf_net::Topology, FlowSet) {
+        let (t, net) = paper_figure1();
+        let mut fs = FlowSet::new();
+        let video = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
+        fs.add(
+            video,
+            shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap(),
+            Priority(5),
+        );
+        let voice = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(20.0),
+            Time::from_millis(0.5),
+        );
+        fs.add(
+            voice,
+            shortest_path(&t, net.hosts[1], net.hosts[3]).unwrap(),
+            Priority(7),
+        );
+        (t, fs)
+    }
+
+    #[test]
+    fn strategy_and_step_kind_display() {
+        assert_eq!(FixedPointStrategy::Picard.to_string(), "picard");
+        assert_eq!(FixedPointStrategy::Anderson1.to_string(), "anderson1");
+        assert_eq!(StepKind::Picard.to_string(), "picard");
+        assert_eq!(StepKind::Anderson.to_string(), "anderson");
+        assert_eq!(StepKind::AndersonRejected.to_string(), "anderson-rejected");
+        assert_eq!(StepKind::AndersonAbsorbed.to_string(), "anderson-absorbed");
+        assert_eq!(FixedPointStrategy::default(), FixedPointStrategy::Picard);
+    }
+
+    #[test]
+    fn trace_records_one_round_per_iteration() {
+        let (t, fs) = paper_like_flows();
+        let report = analyze(&t, &fs, &AnalysisConfig::paper()).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.trace.len(), report.iterations);
+        assert!(!report.trace.is_empty());
+        // Residuals are recorded and the final round's residual is within
+        // the convergence tolerance (≈ zero).
+        let last = report.trace.final_residual().unwrap();
+        assert!(last.approx_eq(Time::ZERO), "final residual {last}");
+        // The first round moves jitter, so its residual is positive.
+        assert!(report.trace.rounds[0].residual > Time::ZERO);
+        // Picard never accelerates.
+        assert_eq!(report.trace.n_accelerated(), 0);
+        assert!(report
+            .trace
+            .rounds
+            .iter()
+            .all(|r| r.step == StepKind::Picard));
+    }
+
+    #[test]
+    fn anderson_flow_reports_equal_picard_at_convergence() {
+        let (t, fs) = paper_like_flows();
+        let picard = analyze(&t, &fs, &AnalysisConfig::paper()).unwrap();
+        let anderson = analyze(
+            &t,
+            &fs,
+            &AnalysisConfig::paper().with_strategy(FixedPointStrategy::Anderson1),
+        )
+        .unwrap();
+        assert!(picard.converged && anderson.converged);
+        assert_eq!(picard.flows, anderson.flows);
+        assert_eq!(picard.schedulable, anderson.schedulable);
+        assert_eq!(picard.failure, anderson.failure);
+    }
+
+    #[test]
+    fn parallel_rounds_match_sequential_bytes() {
+        let (t, fs) = paper_like_flows();
+        let sequential = analyze(&t, &fs, &AnalysisConfig::paper()).unwrap();
+        for threads in [2usize, 3, 8] {
+            let parallel =
+                analyze(&t, &fs, &AnalysisConfig::paper().with_threads(threads)).unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn unschedulable_outcomes_are_identical_across_engines() {
+        // An impossible deadline: partial reports + failure text must match
+        // across thread counts and strategies.
+        let (t, net) = paper_figure1();
+        let mut fs = FlowSet::new();
+        let video = paper_figure3_flow("video", Time::from_millis(5.0), Time::from_millis(1.0));
+        fs.add(
+            video,
+            shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap(),
+            Priority(7),
+        );
+        let base = analyze(&t, &fs, &AnalysisConfig::paper()).unwrap();
+        assert!(!base.schedulable);
+        // The aborted round is still traced: one entry per iteration.
+        assert_eq!(base.trace.len(), base.iterations);
+        for threads in [2usize, 8] {
+            let par = analyze(&t, &fs, &AnalysisConfig::paper().with_threads(threads)).unwrap();
+            assert_eq!(base, par);
+        }
+        let anderson = analyze(
+            &t,
+            &fs,
+            &AnalysisConfig::paper().with_strategy(FixedPointStrategy::Anderson1),
+        )
+        .unwrap();
+        assert_eq!(base.flows, anderson.flows);
+        assert_eq!(base.failure, anderson.failure);
+    }
+
+    #[test]
+    fn aborted_round_is_traced() {
+        use gmf_model::cbr_flow;
+        // Three flows that each need ~45% of the 10 Mbit/s access link:
+        // the round aborts with an overload error instead of folding a
+        // next jitter map, but still counts as a traced iteration.
+        let (t, net) = paper_figure1();
+        let mut fs = FlowSet::new();
+        let route = shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap();
+        for i in 0..3 {
+            let f = cbr_flow(
+                &format!("bulk{i}"),
+                55_000,
+                Time::from_millis(100.0),
+                Time::from_millis(400.0),
+                Time::from_millis(1.0),
+            );
+            fs.add(f, route.clone(), Priority(4));
+        }
+        let report = analyze(&t, &fs, &AnalysisConfig::paper()).unwrap();
+        assert!(!report.schedulable);
+        assert!(!report.converged);
+        assert!(report.failure.as_ref().unwrap().contains("overloaded"));
+        assert_eq!(report.trace.len(), report.iterations);
+        assert_eq!(report.iterations, 1);
+        // Parallel rounds abort identically.
+        let parallel = analyze(&t, &fs, &AnalysisConfig::paper().with_threads(4)).unwrap();
+        assert_eq!(report, parallel);
+    }
+
+    #[test]
+    fn anderson_candidate_extrapolates_a_linear_recursion() {
+        use crate::context::ResourceId;
+        use gmf_model::FlowId;
+        use gmf_net::NodeId;
+        // Scalar linear iteration x ← a + b·x with fixed point a/(1−b):
+        // the damped Aitken candidate must land η of the remaining distance
+        // past the Picard step, i.e. just short of the fixed point.
+        let resource = ResourceId::Link {
+            from: NodeId(0),
+            to: NodeId(1),
+        };
+        let (a, b) = (1.0f64, 0.5f64);
+        let g = |v: f64| a + b * v;
+        let mk = |v: f64| {
+            let mut m = JitterMap::default();
+            m.set(FlowId(0), resource, 0, Time::from_secs(v), 1);
+            m
+        };
+        let x0 = 0.0;
+        let x1 = g(x0);
+        let x2 = g(x1);
+        let Candidate::Extrapolated(candidate) =
+            anderson_candidate(&mk(x1), &mk(x2), &mk(x0), Time::from_secs(1e6))
+        else {
+            panic!("a contracting linear chain is extrapolated");
+        };
+        let fixed_point = a / (1.0 - b);
+        let (d1, d2) = (x1 - x0, x2 - x1);
+        let ratio = d2 / d1;
+        let expected = x2 + ETA * (ratio / (1.0 - ratio)).min(BETA_MAX) * d2;
+        let got = candidate.get(FlowId(0), resource, 0).as_secs();
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "candidate {got} vs expected {expected} (fixed point {fixed_point})"
+        );
+        assert!(
+            got < fixed_point,
+            "the damped, capped jump must bias towards undershoot"
+        );
+        assert!(got > x2, "the candidate must advance past the Picard step");
+    }
+
+    #[test]
+    fn anderson_candidate_rejects_non_contracting_history() {
+        use crate::context::ResourceId;
+        use gmf_model::FlowId;
+        use gmf_net::NodeId;
+        let resource = ResourceId::Link {
+            from: NodeId(0),
+            to: NodeId(1),
+        };
+        let mk = |v: f64| {
+            let mut m = JitterMap::default();
+            m.set(FlowId(0), resource, 0, Time::from_secs(v), 1);
+            m
+        };
+        // A stalled component (x == gx): nothing to extrapolate — a plain
+        // Picard round, not a safeguard rejection.
+        assert!(matches!(
+            anderson_candidate(&mk(2.0), &mk(2.0), &mk(1.0), Time::from_secs(1e6)),
+            Candidate::NothingToExtrapolate
+        ));
+        // Expanding gains (1 → 2 → 4): not contracting, nothing to do.
+        assert!(matches!(
+            anderson_candidate(&mk(2.0), &mk(4.0), &mk(1.0), Time::from_secs(1e6)),
+            Candidate::NothingToExtrapolate
+        ));
+        // A candidate that would jump past the horizon trips the
+        // safeguard.  Gains 1.0 then 0.99: even the capped jump exceeds a
+        // horizon of 2.
+        assert!(matches!(
+            anderson_candidate(&mk(1.0), &mk(1.99), &mk(0.0), Time::from_secs(2.0)),
+            Candidate::SafeguardRejected
+        ));
+    }
+
+    #[test]
+    fn anderson_candidate_moves_only_contracting_components() {
+        use crate::context::ResourceId;
+        use gmf_model::FlowId;
+        use gmf_net::NodeId;
+        let resource = ResourceId::Link {
+            from: NodeId(0),
+            to: NodeId(1),
+        };
+        // Component 0 contracts (0 → 1 → 1.5); component 1 has already
+        // locked onto its exact value (2 → 2 → 2) and must not move.
+        let mk = |v0: f64, v1: f64| {
+            let mut m = JitterMap::default();
+            m.set(FlowId(0), resource, 0, Time::from_secs(v0), 2);
+            m.set(FlowId(0), resource, 1, Time::from_secs(v1), 2);
+            m
+        };
+        let Candidate::Extrapolated(candidate) = anderson_candidate(
+            &mk(1.0, 2.0),
+            &mk(1.5, 2.0),
+            &mk(0.0, 2.0),
+            Time::from_secs(1e6),
+        ) else {
+            panic!("the contracting component is extrapolated");
+        };
+        assert_eq!(
+            candidate.get(FlowId(0), resource, 1),
+            Time::from_secs(2.0),
+            "a locked component keeps its exact value"
+        );
+        assert!(candidate.get(FlowId(0), resource, 0) > Time::from_secs(1.5));
+    }
+}

@@ -22,14 +22,17 @@
 //!
 //! Within one round the flows are analysed independently against the
 //! *previous* round's jitters (Jacobi-style), so every round is
-//! deterministic and the per-flow analyses could be parallelised without
-//! changing any result.
+//! deterministic and the per-flow analyses are parallelised by the
+//! fixed-point engine without changing any result.  The iteration itself —
+//! strategy selection (Picard / safeguarded Anderson(1)), parallel round
+//! evaluation and the per-round [`crate::fixed_point::ConvergenceTrace`] —
+//! lives in [`crate::fixed_point`]; this module is the public entry point.
 
 use crate::config::AnalysisConfig;
-use crate::context::{AnalysisContext, JitterMap};
+use crate::context::AnalysisContext;
 use crate::error::AnalysisError;
-use crate::pipeline::analyze_flow;
-use crate::report::{AnalysisReport, FlowReport};
+use crate::fixed_point::{self, ConvergenceTrace};
+use crate::report::AnalysisReport;
 use gmf_net::{FlowSet, Topology};
 
 /// Run the holistic analysis of `flows` on `topology`.
@@ -52,96 +55,18 @@ pub fn analyze(
             iterations: 0,
             schedulable: true,
             failure: None,
+            trace: ConvergenceTrace::default(),
         });
     }
 
-    let mut jitters = JitterMap::initial(flows);
-    let mut last_reports: Vec<FlowReport> = Vec::new();
-
-    for iteration in 1..=config.max_holistic_iterations {
-        // Analyse every flow against the previous round's jitters.
-        let mut reports = Vec::with_capacity(flows.len());
-        let mut all_assignments = Vec::with_capacity(flows.len());
-        for binding in flows.bindings() {
-            match analyze_flow(&ctx, &jitters, config, binding.id) {
-                Ok((bounds, assignments)) => {
-                    reports.push(FlowReport {
-                        flow: binding.id,
-                        name: binding.flow.name().to_string(),
-                        frames: bounds,
-                    });
-                    all_assignments.push(assignments);
-                }
-                Err(err) if err.is_unschedulable() => {
-                    // The flow set cannot be bounded: report what we have.
-                    return Ok(AnalysisReport {
-                        flows: reports,
-                        converged: false,
-                        iterations: iteration,
-                        schedulable: false,
-                        failure: Some(err.to_string()),
-                    });
-                }
-                Err(err) => return Err(err),
-            }
-        }
-
-        // Build the next jitter map from this round's assignments.
-        let mut next = JitterMap::initial(flows);
-        for (report, assignments) in reports.iter().zip(&all_assignments) {
-            let n_frames = report.frames.len();
-            for (frame_index, frame_assignments) in assignments.iter().enumerate() {
-                for &(resource, jitter) in frame_assignments {
-                    next.set(report.flow, resource, frame_index, jitter, n_frames);
-                }
-            }
-        }
-
-        let converged = next.approx_eq(&jitters);
-        jitters = next;
-        last_reports = reports;
-
-        if converged {
-            let schedulable = last_reports.iter().all(|r| r.meets_all_deadlines());
-            let failure = if schedulable {
-                None
-            } else {
-                let miss = last_reports
-                    .iter()
-                    .filter(|r| !r.meets_all_deadlines())
-                    .map(|r| r.name.clone())
-                    .collect::<Vec<_>>()
-                    .join(", ");
-                Some(format!("deadline missed by: {miss}"))
-            };
-            return Ok(AnalysisReport {
-                flows: last_reports,
-                converged: true,
-                iterations: iteration,
-                schedulable,
-                failure,
-            });
-        }
-    }
-
-    // The jitter iteration did not stabilise within the budget.
-    Ok(AnalysisReport {
-        flows: last_reports,
-        converged: false,
-        iterations: config.max_holistic_iterations,
-        schedulable: false,
-        failure: Some(
-            AnalysisError::HolisticNoConvergence {
-                iterations: config.max_holistic_iterations,
-            }
-            .to_string(),
-        ),
-    })
+    fixed_point::iterate(&ctx, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::JitterMap;
+    use crate::pipeline::analyze_flow;
     use gmf_model::{cbr_flow, paper_figure3_flow, voip_flow, FlowId, Time, VoiceCodec};
     use gmf_net::{paper_figure1, shortest_path, Priority};
 
@@ -157,13 +82,23 @@ mod tests {
             shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap(),
             Priority(5),
         );
-        let voice1 = voip_flow("voice-1-3", VoiceCodec::G711, Time::from_millis(20.0), Time::from_millis(0.5));
+        let voice1 = voip_flow(
+            "voice-1-3",
+            VoiceCodec::G711,
+            Time::from_millis(20.0),
+            Time::from_millis(0.5),
+        );
         fs.add(
             voice1,
             shortest_path(&t, net.hosts[1], net.hosts[3]).unwrap(),
             Priority(7),
         );
-        let voice2 = voip_flow("voice-2-0", VoiceCodec::G711, Time::from_millis(20.0), Time::from_millis(0.5));
+        let voice2 = voip_flow(
+            "voice-2-0",
+            VoiceCodec::G711,
+            Time::from_millis(20.0),
+            Time::from_millis(0.5),
+        );
         fs.add(
             voice2,
             shortest_path(&t, net.hosts[2], net.hosts[0]).unwrap(),
@@ -188,7 +123,10 @@ mod tests {
         let report = analyze(&t, &fs, &AnalysisConfig::paper()).unwrap();
         assert!(report.converged, "holistic iteration must converge");
         assert!(report.schedulable, "report: {report}");
-        assert!(report.iterations >= 2, "jitter propagation needs at least two rounds");
+        assert!(
+            report.iterations >= 2,
+            "jitter propagation needs at least two rounds"
+        );
         assert_eq!(report.flows.len(), 3);
         assert_eq!(report.n_frame_bounds(), 9 + 1 + 1);
         // The video flow's worst frame is the I+P frame.
@@ -271,7 +209,11 @@ mod tests {
         assert!(paper.converged && conservative.converged);
         for binding in fs.bindings() {
             let a = paper.flow(binding.id).unwrap().worst_bound().unwrap();
-            let b = conservative.flow(binding.id).unwrap().worst_bound().unwrap();
+            let b = conservative
+                .flow(binding.id)
+                .unwrap()
+                .worst_bound()
+                .unwrap();
             assert!(b + Time::from_nanos(1.0) >= a);
         }
     }

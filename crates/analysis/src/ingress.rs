@@ -195,8 +195,7 @@ mod tests {
         let (t, net) = paper_figure1();
         let mut fs = FlowSet::new();
         let video_route = shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap();
-        let video =
-            paper_figure3_flow("video", Time::from_millis(100.0), Time::from_millis(1.0));
+        let video = paper_figure3_flow("video", Time::from_millis(100.0), Time::from_millis(1.0));
         fs.add(video, video_route.clone(), Priority(6));
         let voice_route = shortest_path(&t, net.hosts[1], net.hosts[3]).unwrap();
         for i in 0..n_other_interface {
@@ -228,8 +227,8 @@ mod tests {
         let ctx = AnalysisContext::new(&t, &fs).unwrap();
         let jitters = JitterMap::initial(&fs);
         let circ = t.circ(SW4).unwrap();
-        let r = ingress_response(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(0), 0, SW4)
-            .unwrap();
+        let r =
+            ingress_response(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(0), 0, SW4).unwrap();
         // Paper semantics: the packet under analysis is charged exactly one
         // CIRC(N) once its own queueing (w = 0 in isolation) is done.
         assert!(r.response.approx_eq(circ));
@@ -261,10 +260,24 @@ mod tests {
         let ctx_a = AnalysisContext::new(&t, &fs_alone).unwrap();
         let ctx_b = AnalysisContext::new(&t, &fs_other).unwrap();
         let cfg = AnalysisConfig::paper();
-        let ra = ingress_response(&ctx_a, &JitterMap::initial(&fs_alone), &cfg, FlowId(0), 0, SW4)
-            .unwrap();
-        let rb = ingress_response(&ctx_b, &JitterMap::initial(&fs_other), &cfg, FlowId(0), 0, SW4)
-            .unwrap();
+        let ra = ingress_response(
+            &ctx_a,
+            &JitterMap::initial(&fs_alone),
+            &cfg,
+            FlowId(0),
+            0,
+            SW4,
+        )
+        .unwrap();
+        let rb = ingress_response(
+            &ctx_b,
+            &JitterMap::initial(&fs_other),
+            &cfg,
+            FlowId(0),
+            0,
+            SW4,
+        )
+        .unwrap();
         assert!(ra.response.approx_eq(rb.response));
     }
 
@@ -275,13 +288,27 @@ mod tests {
         let ctx_a = AnalysisContext::new(&t, &fs_alone).unwrap();
         let ctx_b = AnalysisContext::new(&t, &fs_shared).unwrap();
         let cfg = AnalysisConfig::paper();
-        let ra = ingress_response(&ctx_a, &JitterMap::initial(&fs_alone), &cfg, FlowId(0), 0, SW4)
-            .unwrap();
+        let ra = ingress_response(
+            &ctx_a,
+            &JitterMap::initial(&fs_alone),
+            &cfg,
+            FlowId(0),
+            0,
+            SW4,
+        )
+        .unwrap();
         // In the very first holistic round the interfering flows have no
         // accumulated jitter at the ingress resource yet, so the bound is
         // identical to the isolated one (NX over a zero window is zero).
-        let rb0 = ingress_response(&ctx_b, &JitterMap::initial(&fs_shared), &cfg, FlowId(0), 0, SW4)
-            .unwrap();
+        let rb0 = ingress_response(
+            &ctx_b,
+            &JitterMap::initial(&fs_shared),
+            &cfg,
+            FlowId(0),
+            0,
+            SW4,
+        )
+        .unwrap();
         assert!(rb0.response.approx_eq(ra.response));
         // Once the holistic iteration has propagated jitter to the ingress
         // resource (here injected by hand: 1 ms for every voice flow), each

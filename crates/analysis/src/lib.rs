@@ -55,6 +55,7 @@ pub mod context;
 pub mod egress;
 pub mod error;
 pub mod first_hop;
+pub mod fixed_point;
 pub mod holistic;
 pub mod ingress;
 pub mod pipeline;
@@ -71,6 +72,9 @@ pub use context::{AnalysisContext, JitterMap, ResourceId};
 pub use egress::egress_response;
 pub use error::{AnalysisError, StageKind};
 pub use first_hop::first_hop_response;
+pub use fixed_point::{
+    ConvergenceTrace, FixedPointStrategy, RoundTrace, StepKind as FixedPointStepKind,
+};
 pub use holistic::analyze;
 pub use ingress::ingress_response;
 pub use pipeline::{analyze_flow, analyze_frame, hop_sum_matches, JitterAssignments};
@@ -83,6 +87,7 @@ pub mod prelude {
     pub use crate::baseline::{analyze_sporadic_baseline, sporadic_collapse, utilization_check};
     pub use crate::config::AnalysisConfig;
     pub use crate::context::{AnalysisContext, JitterMap, ResourceId};
+    pub use crate::fixed_point::{ConvergenceTrace, FixedPointStrategy};
     pub use crate::holistic::analyze;
     pub use crate::pipeline::{analyze_flow, analyze_frame};
     pub use crate::report::{AnalysisReport, FlowReport, FrameBound, HopBound};

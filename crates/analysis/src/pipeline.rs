@@ -170,11 +170,15 @@ mod tests {
         let (t, net) = paper_figure1();
         let mut fs = FlowSet::new();
         let video_route = shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap();
-        let video =
-            paper_figure3_flow("video", Time::from_millis(200.0), Time::from_millis(1.0));
+        let video = paper_figure3_flow("video", Time::from_millis(200.0), Time::from_millis(1.0));
         fs.add(video, video_route, Priority(6));
         let voice_route = shortest_path(&t, net.hosts[1], net.hosts[3]).unwrap();
-        let voice = voip_flow("voice", VoiceCodec::G711, Time::from_millis(20.0), Time::from_millis(0.5));
+        let voice = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(20.0),
+            Time::from_millis(0.5),
+        );
         fs.add(voice, voice_route, Priority(7));
         (t, fs)
     }
@@ -190,15 +194,27 @@ mod tests {
         // Route 0 -> 4 -> 6 -> 3: first hop, in(4), link(4,6), in(6), link(6,3).
         assert_eq!(bound.hops.len(), 5);
         assert_eq!(bound.hops[0].stage, StageKind::FirstHop);
-        assert_eq!(bound.hops[1].resource, ResourceId::SwitchIngress { node: NodeId(4) });
+        assert_eq!(
+            bound.hops[1].resource,
+            ResourceId::SwitchIngress { node: NodeId(4) }
+        );
         assert_eq!(
             bound.hops[2].resource,
-            ResourceId::Link { from: NodeId(4), to: NodeId(6) }
+            ResourceId::Link {
+                from: NodeId(4),
+                to: NodeId(6)
+            }
         );
-        assert_eq!(bound.hops[3].resource, ResourceId::SwitchIngress { node: NodeId(6) });
+        assert_eq!(
+            bound.hops[3].resource,
+            ResourceId::SwitchIngress { node: NodeId(6) }
+        );
         assert_eq!(
             bound.hops[4].resource,
-            ResourceId::Link { from: NodeId(6), to: NodeId(3) }
+            ResourceId::Link {
+                from: NodeId(6),
+                to: NodeId(3)
+            }
         );
         // Five resources produce five jitter assignments.
         assert_eq!(assignments.len(), 5);
@@ -260,9 +276,15 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_end_host("a");
         let b = t.add_end_host("b");
-        t.add_duplex_link(a, b, gmf_net::LinkProfile::ethernet_100m()).unwrap();
+        t.add_duplex_link(a, b, gmf_net::LinkProfile::ethernet_100m())
+            .unwrap();
         let mut fs = FlowSet::new();
-        let voice = voip_flow("voice", VoiceCodec::G711, Time::from_millis(5.0), Time::ZERO);
+        let voice = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(5.0),
+            Time::ZERO,
+        );
         fs.add(voice, Route::new(&t, vec![a, b]).unwrap(), Priority(7));
         let ctx = AnalysisContext::new(&t, &fs).unwrap();
         let jitters = JitterMap::initial(&fs);
@@ -282,7 +304,11 @@ mod tests {
         let (bounds, _) =
             analyze_flow(&ctx, &jitters, &AnalysisConfig::paper(), FlowId(1)).unwrap();
         assert_eq!(bounds.len(), 1);
-        assert!(bounds[0].meets_deadline(), "voice bound {}", bounds[0].bound);
+        assert!(
+            bounds[0].meets_deadline(),
+            "voice bound {}",
+            bounds[0].bound
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::context::ResourceId;
 use crate::error::StageKind;
+use crate::fixed_point::ConvergenceTrace;
 use gmf_model::{FlowId, Time};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -42,7 +43,9 @@ impl<'de> Deserialize<'de> for StageKind {
             "first_hop" => Ok(StageKind::FirstHop),
             "switch_ingress" => Ok(StageKind::SwitchIngress),
             "egress_link" => Ok(StageKind::EgressLink),
-            other => Err(serde::de::Error::custom(format!("unknown stage kind {other}"))),
+            other => Err(serde::de::Error::custom(format!(
+                "unknown stage kind {other}"
+            ))),
         }
     }
 }
@@ -121,6 +124,9 @@ pub struct AnalysisReport {
     pub schedulable: bool,
     /// Why the flow set is not schedulable, when it is not.
     pub failure: Option<String>,
+    /// Per-round residuals and step decisions of the fixed-point engine
+    /// (one entry per outer iteration).
+    pub trace: ConvergenceTrace,
 }
 
 impl AnalysisReport {
@@ -165,7 +171,11 @@ impl fmt::Display for AnalysisReport {
                 flow.name,
                 worst,
                 slack,
-                if flow.meets_all_deadlines() { "met" } else { "MISSED" }
+                if flow.meets_all_deadlines() {
+                    "met"
+                } else {
+                    "MISSED"
+                }
             )?;
         }
         Ok(())
@@ -213,7 +223,10 @@ mod tests {
             frames: vec![frame(40.0, 100.0), frame(80.0, 100.0), frame(10.0, 100.0)],
         };
         assert_eq!(report.worst_bound(), Some(Time::from_millis(80.0)));
-        assert!(report.worst_slack().unwrap().approx_eq(Time::from_millis(20.0)));
+        assert!(report
+            .worst_slack()
+            .unwrap()
+            .approx_eq(Time::from_millis(20.0)));
         assert!(report.meets_all_deadlines());
         let empty = FlowReport {
             flow: FlowId(1),
@@ -236,6 +249,7 @@ mod tests {
             iterations: 3,
             schedulable: true,
             failure: None,
+            trace: ConvergenceTrace::default(),
         };
         assert!(report.flow(FlowId(0)).is_some());
         assert!(report.flow(FlowId(5)).is_none());
@@ -251,13 +265,18 @@ mod tests {
             iterations: 100,
             schedulable: false,
             failure: Some("link(4,6) overloaded".into()),
+            trace: ConvergenceTrace::default(),
         };
         assert!(failed.to_string().contains("overloaded"));
     }
 
     #[test]
     fn stage_kind_serde_roundtrip() {
-        for kind in [StageKind::FirstHop, StageKind::SwitchIngress, StageKind::EgressLink] {
+        for kind in [
+            StageKind::FirstHop,
+            StageKind::SwitchIngress,
+            StageKind::EgressLink,
+        ] {
             let json = serde_json::to_string(&kind).unwrap();
             let back: StageKind = serde_json::from_str(&json).unwrap();
             assert_eq!(kind, back);

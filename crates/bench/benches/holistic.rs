@@ -1,11 +1,14 @@
 //! B3 — cost of the full holistic analysis (admission-control latency) on
-//! the paper scenario and on larger synthetic flow sets.
+//! the paper scenario and on larger synthetic flow sets, plus the two
+//! fixed-point engine axes: worker-thread count and iteration strategy.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use gmf_analysis::{analyze, AnalysisConfig};
-use gmf_workloads::{build_converging_flow_set, paper_scenario, random_flow_collection, SweepConfig};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use gmf_analysis::{analyze, AnalysisConfig, FixedPointStrategy};
+use gmf_bench::{
+    long_tail_bench_scenario, synthetic_converging_set, HOLISTIC_SYNTHETIC_AXIS,
+    HOLISTIC_THREAD_AXIS,
+};
+use gmf_workloads::paper_scenario;
 
 fn bench_holistic(c: &mut Criterion) {
     let config = AnalysisConfig::paper();
@@ -16,13 +19,37 @@ fn bench_holistic(c: &mut Criterion) {
     });
 
     let mut group = c.benchmark_group("holistic_synthetic");
-    for n_flows in [4usize, 8, 16] {
-        let mut rng = ChaCha8Rng::seed_from_u64(99);
-        let sweep = SweepConfig::default();
-        let flows = random_flow_collection(&mut rng, n_flows, 0.4, &sweep.synthetic);
-        let (topology, set, _) = build_converging_flow_set(&mut rng, flows, &sweep);
+    for n_flows in HOLISTIC_SYNTHETIC_AXIS {
+        let (topology, set) = synthetic_converging_set(n_flows);
         group.bench_with_input(BenchmarkId::from_parameter(n_flows), &n_flows, |b, _| {
             b.iter(|| analyze(black_box(&topology), &set, &config).unwrap())
+        });
+    }
+    group.finish();
+
+    // Engine axis 1: worker threads for the Jacobi rounds (16-flow set).
+    // The reports are byte-identical at every point; only wall clock moves.
+    let (topology, set) = synthetic_converging_set(*HOLISTIC_SYNTHETIC_AXIS.last().unwrap());
+    let mut group = c.benchmark_group("holistic_threads");
+    for threads in HOLISTIC_THREAD_AXIS {
+        let config = AnalysisConfig::paper().with_threads(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| analyze(black_box(&topology), &set, &config).unwrap())
+        });
+    }
+    group.finish();
+
+    // Engine axis 2: fixed-point strategy on the long-tail line workload,
+    // where Anderson(1) needs measurably fewer outer rounds than Picard.
+    let (topology, flows) = long_tail_bench_scenario();
+    let mut group = c.benchmark_group("holistic_longtail");
+    for (name, strategy) in [
+        ("picard", FixedPointStrategy::Picard),
+        ("anderson1", FixedPointStrategy::Anderson1),
+    ] {
+        let config = AnalysisConfig::paper().with_strategy(strategy);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| analyze(black_box(&topology), &flows, &config).unwrap())
         });
     }
     group.finish();

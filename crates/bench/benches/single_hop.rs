@@ -21,7 +21,9 @@ fn bench_single_hop(c: &mut Criterion) {
         b.iter(|| first_hop_response(&ctx, &jitters, &config, black_box(video), 0).unwrap())
     });
     c.bench_function("switch_ingress_ip_frame", |b| {
-        b.iter(|| ingress_response(&ctx, &jitters, &config, black_box(video), 0, NodeId(4)).unwrap())
+        b.iter(|| {
+            ingress_response(&ctx, &jitters, &config, black_box(video), 0, NodeId(4)).unwrap()
+        })
     });
     c.bench_function("egress_link_ip_frame", |b| {
         b.iter(|| egress_response(&ctx, &jitters, &config, black_box(video), 0, NodeId(4)).unwrap())

@@ -1,0 +1,154 @@
+//! `bench_export` — machine-readable benchmark medians for the CI perf
+//! trajectory.
+//!
+//! Runs a curated set of the workspace's benchmark bodies (the same
+//! workloads as the Criterion benches B1–B4) a handful of times each and
+//! writes `BENCH.json`: a flat JSON object mapping benchmark name to the
+//! median per-iteration wall time in nanoseconds.  CI uploads the file as
+//! an artifact on every build, so regressions show up as a step in the
+//! trajectory rather than an anecdote.
+//!
+//! Usage: `bench_export [OUTPUT_PATH]` (default `BENCH.json`).  Sample
+//! count can be tuned with `GMF_BENCH_EXPORT_SAMPLES` (default 7).
+
+use gmf_analysis::{
+    analyze, first_hop_response, AnalysisConfig, AnalysisContext, FixedPointStrategy, JitterMap,
+};
+use gmf_bench::{
+    long_tail_bench_scenario, median_ns, print_header, print_table, synthetic_converging_set,
+    HOLISTIC_SYNTHETIC_AXIS, HOLISTIC_THREAD_AXIS,
+};
+use gmf_model::{paper_figure3_flow, BitRate, EncapsulationConfig, FlowId, LinkDemand, Time};
+use gmf_workloads::paper_scenario;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use switch_sim::{SimConfig, Simulator};
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH.json".to_string());
+    let samples = std::env::var("GMF_BENCH_EXPORT_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(7);
+
+    print_header("BENCH", "Benchmark medians for the CI perf trajectory");
+    let mut results: BTreeMap<String, u64> = BTreeMap::new();
+    let mut record = |name: &str, ns: u64| {
+        results.insert(name.to_string(), ns);
+    };
+
+    // B1 — request-bound functions.
+    let flow = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
+    let encapsulation = EncapsulationConfig::paper();
+    let speed = BitRate::from_mbps(10.0);
+    record(
+        "link_demand_build_paper_flow",
+        median_ns(samples, || {
+            black_box(LinkDemand::new(black_box(&flow), &encapsulation, speed));
+        }),
+    );
+    let demand = LinkDemand::new(&flow, &encapsulation, speed);
+    record(
+        "mx_multi_cycle_window",
+        median_ns(samples, || {
+            black_box(demand.mx(black_box(Time::from_secs(3.0))));
+        }),
+    );
+
+    // B2 — one per-resource analysis.
+    let (scenario, ids) = paper_scenario();
+    let ctx = AnalysisContext::new(&scenario.topology, &scenario.flows).unwrap();
+    let jitters = JitterMap::initial(&scenario.flows);
+    let paper_config = AnalysisConfig::paper();
+    let video = FlowId(ids.video);
+    record(
+        "first_hop_ip_frame",
+        median_ns(samples, || {
+            black_box(
+                first_hop_response(&ctx, &jitters, &paper_config, black_box(video), 0).unwrap(),
+            );
+        }),
+    );
+
+    // B3 — full holistic analysis: paper scenario, synthetic size axis,
+    // worker-thread axis, and the strategy axis on the long-tail workload.
+    record(
+        "holistic_paper_scenario",
+        median_ns(samples, || {
+            black_box(
+                analyze(
+                    black_box(&scenario.topology),
+                    &scenario.flows,
+                    &paper_config,
+                )
+                .unwrap(),
+            );
+        }),
+    );
+
+    for n_flows in HOLISTIC_SYNTHETIC_AXIS {
+        let (topology, set) = synthetic_converging_set(n_flows);
+        record(
+            &format!("holistic_synthetic/{n_flows}"),
+            median_ns(samples, || {
+                black_box(analyze(black_box(&topology), &set, &paper_config).unwrap());
+            }),
+        );
+        if n_flows == *HOLISTIC_SYNTHETIC_AXIS.last().unwrap() {
+            for threads in HOLISTIC_THREAD_AXIS {
+                let config = AnalysisConfig::paper().with_threads(threads);
+                record(
+                    &format!("holistic_threads/{threads}"),
+                    median_ns(samples, || {
+                        black_box(analyze(black_box(&topology), &set, &config).unwrap());
+                    }),
+                );
+            }
+        }
+    }
+
+    let (topology, flows) = long_tail_bench_scenario();
+    for (name, strategy) in [
+        ("picard", FixedPointStrategy::Picard),
+        ("anderson1", FixedPointStrategy::Anderson1),
+    ] {
+        let config = AnalysisConfig::paper().with_strategy(strategy);
+        record(
+            &format!("holistic_longtail/{name}"),
+            median_ns(samples, || {
+                black_box(analyze(black_box(&topology), &flows, &config).unwrap());
+            }),
+        );
+    }
+
+    // B4 — simulator throughput.
+    let sim_config = SimConfig {
+        horizon: Time::from_millis(300.0),
+        ..SimConfig::default()
+    };
+    record(
+        "simulate_paper_scenario_300ms",
+        median_ns(samples, || {
+            black_box(
+                Simulator::new(black_box(&scenario.topology), &scenario.flows, sim_config)
+                    .unwrap()
+                    .run()
+                    .unwrap(),
+            );
+        }),
+    );
+
+    // Human-readable table plus the machine-readable artifact.
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, ns)| vec![name.clone(), format!("{ns}")])
+        .collect();
+    print_table(&["bench", "median ns"], &rows);
+
+    let json = serde_json::to_string_pretty(&results).expect("results serialize");
+    std::fs::write(&output, json + "\n").expect("write BENCH.json");
+    println!();
+    println!("wrote {} entries to {output}", results.len());
+}

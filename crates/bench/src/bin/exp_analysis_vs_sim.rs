@@ -36,28 +36,40 @@ fn main() {
         &AnalysisConfig::conservative(),
     )
     .expect("valid scenario");
-    assert!(report.schedulable, "the validation scenario must be schedulable");
+    assert!(
+        report.schedulable,
+        "the validation scenario must be schedulable"
+    );
 
     let sim_configs = [
-        ("dense, aligned", SimConfig {
-            horizon: Time::from_secs(2.0),
-            ..SimConfig::default()
-        }),
-        ("random slack 30%", SimConfig {
-            horizon: Time::from_secs(2.0),
-            arrival: ArrivalPolicy::RandomSlack { slack: 0.3 },
-            aligned_start: false,
-            seed: 11,
-            ..SimConfig::default()
-        }),
-        ("random slack 10%, jitter at end", SimConfig {
-            horizon: Time::from_secs(2.0),
-            arrival: ArrivalPolicy::RandomSlack { slack: 0.1 },
-            jitter_spread: switch_sim::JitterSpread::AtEnd,
-            aligned_start: false,
-            seed: 23,
-            ..SimConfig::default()
-        }),
+        (
+            "dense, aligned",
+            SimConfig {
+                horizon: Time::from_secs(2.0),
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "random slack 30%",
+            SimConfig {
+                horizon: Time::from_secs(2.0),
+                arrival: ArrivalPolicy::RandomSlack { slack: 0.3 },
+                aligned_start: false,
+                seed: 11,
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "random slack 10%, jitter at end",
+            SimConfig {
+                horizon: Time::from_secs(2.0),
+                arrival: ArrivalPolicy::RandomSlack { slack: 0.1 },
+                jitter_spread: switch_sim::JitterSpread::AtEnd,
+                aligned_start: false,
+                seed: 23,
+                ..SimConfig::default()
+            },
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -92,13 +104,17 @@ fn main() {
         }
     }
     print_table(
-        &["arrival pattern", "flow", "worst simulated", "analytical bound", "obs/bound"],
+        &[
+            "arrival pattern",
+            "flow",
+            "worst simulated",
+            "analytical bound",
+            "obs/bound",
+        ],
         &rows,
     );
     println!();
-    println!(
-        "bound violations across every (pattern, flow, frame): {violations} (expected: 0)"
-    );
+    println!("bound violations across every (pattern, flow, frame): {violations} (expected: 0)");
 
     // --- Known counterexample on the original 10 Mbit/s access links. ---
     // The MPEG flow alone on the Figure 2 route: the I+P packet needs
@@ -107,11 +123,11 @@ fn main() {
     // behind it — an effect equations (16)-(18) never charge because they
     // only count *other* flows in the queueing term.
     println!();
-    println!("Known limitation (video flow alone, 10 Mbit/s access links, C_I+P = 35.8 ms > T = 30 ms):");
-    let slow_scenario = gmf_workloads::paper_video_only_scenario(
-        Time::from_millis(150.0),
-        Time::from_millis(1.0),
+    println!(
+        "Known limitation (video flow alone, 10 Mbit/s access links, C_I+P = 35.8 ms > T = 30 ms):"
     );
+    let slow_scenario =
+        gmf_workloads::paper_video_only_scenario(Time::from_millis(150.0), Time::from_millis(1.0));
     let slow_report = analyze(
         &slow_scenario.topology,
         &slow_scenario.flows,
@@ -153,7 +169,12 @@ fn main() {
         })
         .collect();
     print_table(
-        &["video frame", "worst simulated", "published bound", "bound status"],
+        &[
+            "video frame",
+            "worst simulated",
+            "published bound",
+            "bound status",
+        ],
         &rows,
     );
     if slow_violations > 0 {

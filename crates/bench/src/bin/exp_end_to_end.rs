@@ -7,7 +7,7 @@
 //! per-flow summary the admission controller would act on.
 
 use gmf_analysis::{analyze, AnalysisConfig};
-use gmf_bench::{print_header, print_table};
+use gmf_bench::{print_header, print_table, threads_flag};
 use gmf_model::FlowId;
 use gmf_workloads::paper_scenario;
 
@@ -18,7 +18,10 @@ fn main() {
     );
 
     let (scenario, ids) = paper_scenario();
-    let report = analyze(&scenario.topology, &scenario.flows, &AnalysisConfig::paper())
+    // The worker-thread count must never change a digit of this output —
+    // CI diffs the program's stdout across --threads values.
+    let config = AnalysisConfig::paper().with_threads(threads_flag());
+    let report = analyze(&scenario.topology, &scenario.flows, &config)
         .expect("the paper scenario is structurally valid");
 
     println!(
@@ -31,15 +34,15 @@ fn main() {
     let video = report
         .flow(FlowId(ids.video))
         .expect("video flow was analysed");
-    println!("Per-hop bounds of '{}' (route 0 -> 4 -> 6 -> 3):", video.name);
+    println!(
+        "Per-hop bounds of '{}' (route 0 -> 4 -> 6 -> 3):",
+        video.name
+    );
     let rows: Vec<Vec<String>> = video
         .frames
         .iter()
         .map(|frame| {
-            let mut row = vec![
-                frame.frame.to_string(),
-                frame.source_jitter.to_string(),
-            ];
+            let mut row = vec![frame.frame.to_string(), frame.source_jitter.to_string()];
             for hop in &frame.hops {
                 row.push(format!("{}={}", hop.resource, hop.response));
             }
@@ -51,7 +54,15 @@ fn main() {
         .collect();
     print_table(
         &[
-            "frame", "GJ", "hop 1", "hop 2", "hop 3", "hop 4", "hop 5", "end-to-end", "deadline",
+            "frame",
+            "GJ",
+            "hop 1",
+            "hop 2",
+            "hop 3",
+            "hop 4",
+            "hop 5",
+            "end-to-end",
+            "deadline",
             "met",
         ],
         &rows,
@@ -73,7 +84,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["flow", "frames", "worst bound", "worst slack", "deadlines met"],
+        &[
+            "flow",
+            "frames",
+            "worst bound",
+            "worst slack",
+            "deadlines met",
+        ],
         &rows,
     );
 }

@@ -13,7 +13,10 @@ use gmf_net::{shortest_path, Priority};
 use gmf_workloads::paper_scenario;
 
 fn main() {
-    print_header("E9", "End-to-end bound vs source generalized jitter of the video flow");
+    print_header(
+        "E9",
+        "End-to-end bound vs source generalized jitter of the video flow",
+    );
 
     let mut rows = Vec::new();
     for jitter_ms in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0] {
@@ -43,8 +46,8 @@ fn main() {
                 );
             }
         }
-        let report = analyze(&scenario.topology, &flows, &AnalysisConfig::paper())
-            .expect("valid scenario");
+        let report =
+            analyze(&scenario.topology, &flows, &AnalysisConfig::paper()).expect("valid scenario");
         let bound = |id: usize| {
             report
                 .flow(FlowId(id))

@@ -18,7 +18,11 @@ fn main() {
         "Paper Figure 4: per-link parameters of the MPEG flow on link(0,4) @ 10 Mbit/s",
     );
 
-    let flow = paper_figure3_flow("mpeg-video", Time::from_millis(150.0), Time::from_millis(1.0));
+    let flow = paper_figure3_flow(
+        "mpeg-video",
+        Time::from_millis(150.0),
+        Time::from_millis(1.0),
+    );
     let pattern = paper_figure3_pattern();
     let speed = BitRate::from_bps(1.0e7);
     let demand = LinkDemand::new(&flow, &EncapsulationConfig::paper(), speed);
@@ -35,7 +39,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["k", "picture", "payload", "Ethernet frames", "C_k on link(0,4)"],
+        &[
+            "k",
+            "picture",
+            "payload",
+            "Ethernet frames",
+            "C_k on link(0,4)",
+        ],
         &rows,
     );
 
@@ -45,7 +55,11 @@ fn main() {
         "1.2304 ms",
         &max_frame_transmission_time(speed).to_string(),
     );
-    compare("NSUM (Ethernet frames per GOP)  (eq. 5)", "94", &demand.nsum().to_string());
+    compare(
+        "NSUM (Ethernet frames per GOP)  (eq. 5)",
+        "94",
+        &demand.nsum().to_string(),
+    );
     compare("TSUM  (eq. 6)", "270 ms", &demand.tsum().to_string());
     compare(
         "CSUM  (eq. 4)",

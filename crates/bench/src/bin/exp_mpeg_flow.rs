@@ -11,7 +11,11 @@ use gmf_model::{paper_figure3_flow, paper_figure3_pattern, Time};
 fn main() {
     print_header("E2", "Paper Figure 3: MPEG IBBPBBPBB stream as a GMF flow");
 
-    let flow = paper_figure3_flow("mpeg-video", Time::from_millis(150.0), Time::from_millis(1.0));
+    let flow = paper_figure3_flow(
+        "mpeg-video",
+        Time::from_millis(150.0),
+        Time::from_millis(1.0),
+    );
     let pattern = paper_figure3_pattern();
 
     let rows: Vec<Vec<String>> = flow
@@ -36,7 +40,11 @@ fn main() {
 
     println!();
     compare("number of frames n", "9", &flow.n_frames().to_string());
-    compare("TSUM (GMF cycle length)", "270 ms", &flow.tsum().to_string());
+    compare(
+        "TSUM (GMF cycle length)",
+        "270 ms",
+        &flow.tsum().to_string(),
+    );
     compare(
         "transmission order",
         "I+P B B P B B P B B",

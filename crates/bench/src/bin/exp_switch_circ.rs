@@ -9,7 +9,10 @@ use gmf_bench::{compare, print_header, print_table};
 use gmf_net::SwitchConfig;
 
 fn main() {
-    print_header("E4", "Paper Figure 5: software-switch service round CIRC(N)");
+    print_header(
+        "E4",
+        "Paper Figure 5: software-switch service round CIRC(N)",
+    );
 
     let cfg = SwitchConfig::paper();
     println!(
@@ -29,12 +32,20 @@ fn main() {
         })
         .collect();
     print_table(
-        &["interfaces", "CIRC (paper 2008 PC)", "CIRC (10x faster CPU)"],
+        &[
+            "interfaces",
+            "CIRC (paper 2008 PC)",
+            "CIRC (10x faster CPU)",
+        ],
         &rows,
     );
 
     println!();
-    compare("CIRC for 4 interfaces (Figure 5 example)", "14.8 µs", &cfg.circ(4).to_string());
+    compare(
+        "CIRC for 4 interfaces (Figure 5 example)",
+        "14.8 µs",
+        &cfg.circ(4).to_string(),
+    );
     compare(
         "per-interface service cost CROUTE+CSEND",
         "3.7 µs",

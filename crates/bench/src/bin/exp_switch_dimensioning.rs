@@ -18,27 +18,49 @@ use gmf_net::{LinkProfile, PaperNetworkConfig, SwitchConfig};
 use gmf_workloads::{paper_scenario_with, PaperScenarioFlows, Scenario};
 
 fn video_bound(scenario: &Scenario, ids: &PaperScenarioFlows) -> Option<Time> {
-    analyze(&scenario.topology, &scenario.flows, &AnalysisConfig::paper())
-        .ok()
-        .and_then(|r| r.flow(FlowId(ids.video)).and_then(|f| f.worst_bound()))
+    analyze(
+        &scenario.topology,
+        &scenario.flows,
+        &AnalysisConfig::paper(),
+    )
+    .ok()
+    .and_then(|r| r.flow(FlowId(ids.video)).and_then(|f| f.worst_bound()))
 }
 
 fn main() {
-    print_header("E6", "Conclusion: switch dimensioning (CIRC vs ports, processors, link speed)");
+    print_header(
+        "E6",
+        "Conclusion: switch dimensioning (CIRC vs ports, processors, link speed)",
+    );
 
     // 1. CIRC table.
-    let rows: Vec<Vec<String>> = [(4usize, 1usize), (8, 1), (16, 1), (48, 1), (48, 4), (48, 16), (64, 16)]
-        .iter()
-        .map(|&(ports, cpus)| {
-            let cfg = SwitchConfig::paper().with_processors(cpus);
-            vec![ports.to_string(), cpus.to_string(), cfg.circ(ports).to_string()]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> = [
+        (4usize, 1usize),
+        (8, 1),
+        (16, 1),
+        (48, 1),
+        (48, 4),
+        (48, 16),
+        (64, 16),
+    ]
+    .iter()
+    .map(|&(ports, cpus)| {
+        let cfg = SwitchConfig::paper().with_processors(cpus);
+        vec![
+            ports.to_string(),
+            cpus.to_string(),
+            cfg.circ(ports).to_string(),
+        ]
+    })
+    .collect();
     print_table(&["ports", "processors", "CIRC"], &rows);
     compare(
         "CIRC for 48 ports / 16 processors",
         "11.1 µs",
-        &SwitchConfig::paper().with_processors(16).circ(48).to_string(),
+        &SwitchConfig::paper()
+            .with_processors(16)
+            .circ(48)
+            .to_string(),
     );
     println!();
 
@@ -59,14 +81,13 @@ fn main() {
             let bound = video_bound(&scenario, &ids)
                 .map(|t| t.to_string())
                 .unwrap_or_else(|| "unschedulable".to_string());
-            vec![
-                format!("{speedup}x"),
-                switch.circ(4).to_string(),
-                bound,
-            ]
+            vec![format!("{speedup}x"), switch.circ(4).to_string(), bound]
         })
         .collect();
-    print_table(&["CPU speed-up", "CIRC (4 ports)", "worst video bound"], &rows);
+    print_table(
+        &["CPU speed-up", "CIRC (4 ports)", "worst video bound"],
+        &rows,
+    );
     println!();
 
     // 3. Gigabit feasibility with the 48-port / 16-CPU switch parameters.
@@ -77,8 +98,12 @@ fn main() {
         switch: SwitchConfig::paper().with_processors(16),
     };
     let (scenario, ids) = paper_scenario_with(gigabit);
-    let report = analyze(&scenario.topology, &scenario.flows, &AnalysisConfig::paper())
-        .expect("structurally valid");
+    let report = analyze(
+        &scenario.topology,
+        &scenario.flows,
+        &AnalysisConfig::paper(),
+    )
+    .expect("structurally valid");
     let rows: Vec<Vec<String>> = report
         .flows
         .iter()
@@ -94,7 +119,11 @@ fn main() {
     compare(
         "1 Gbit/s links handled comfortably",
         "claimed",
-        if report.schedulable { "yes (all deadlines met with large slack)" } else { "no" },
+        if report.schedulable {
+            "yes (all deadlines met with large slack)"
+        } else {
+            "no"
+        },
     );
     let _ = ids;
 }

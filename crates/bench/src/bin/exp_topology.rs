@@ -62,7 +62,11 @@ fn main() {
     }
     println!();
     compare("number of nodes", "8", &topology.n_nodes().to_string());
-    compare("hops on the Figure 2 route", "3", &route.n_hops().to_string());
+    compare(
+        "hops on the Figure 2 route",
+        "3",
+        &route.n_hops().to_string(),
+    );
     compare(
         "interfaces of switch 4 (Figure 5)",
         "4",

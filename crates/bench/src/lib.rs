@@ -44,9 +44,168 @@ pub fn compare(quantity: &str, paper: &str, measured: &str) {
     println!("  {quantity:<42} paper: {paper:<16} measured: {measured}");
 }
 
+/// Parse a `--threads N` flag from the process arguments (default 1).
+///
+/// Used by the experiment binaries so CI can diff their output across
+/// worker-thread counts; the value itself is deliberately never printed —
+/// the whole point is that the output must not depend on it.
+pub fn threads_flag() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            if let Some(value) = args.next() {
+                if let Ok(n) = value.parse::<usize>() {
+                    return n.max(1);
+                }
+            }
+        } else if let Some(value) = arg.strip_prefix("--threads=") {
+            if let Ok(n) = value.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    1
+}
+
+/// A heavily loaded bidirectional line of software switches with slow
+/// routing CPUs — the canonical *long-tail* holistic workload.
+///
+/// Interference chains run the whole line in each direction, so the jitter
+/// fixed point needs on the order of `2·n_switches` Picard rounds; this is
+/// the workload on which `Anderson1` demonstrably reduces the iteration
+/// count (see the `holistic_longtail` bench axis and E10).  The dependency
+/// graph is acyclic (the two directions never couple), so accelerated and
+/// plain runs converge to byte-identical reports.
+pub fn long_tail_line_scenario(
+    n_switches: usize,
+    pairs: usize,
+) -> (gmf_net::Topology, gmf_net::FlowSet) {
+    use gmf_model::{voip_flow, Time, VoiceCodec};
+    use gmf_net::{line, shortest_path, LinkProfile, Priority, SwitchConfig};
+
+    let switch = SwitchConfig {
+        croute: Time::from_micros(600.0),
+        csend: Time::from_micros(1.0),
+        processors: 1,
+    };
+    let (topology, a, b, _) = line(
+        n_switches,
+        LinkProfile::ethernet_100m(),
+        LinkProfile::ethernet_100m(),
+        switch,
+    );
+    let mut flows = gmf_net::FlowSet::new();
+    for i in 0..pairs {
+        let forward = voip_flow(
+            &format!("voice-ab-{i}"),
+            VoiceCodec::G711,
+            Time::from_millis(2000.0),
+            Time::from_millis(0.5),
+        );
+        flows.add(
+            forward,
+            shortest_path(&topology, a, b).expect("line is connected"),
+            Priority(7),
+        );
+        let reverse = voip_flow(
+            &format!("voice-ba-{i}"),
+            VoiceCodec::G711,
+            Time::from_millis(2000.0),
+            Time::from_millis(0.5),
+        );
+        flows.add(
+            reverse,
+            shortest_path(&topology, b, a).expect("line is connected"),
+            Priority(7),
+        );
+    }
+    (topology, flows)
+}
+
+/// Flow-count axis of the `holistic_synthetic` bench.
+pub const HOLISTIC_SYNTHETIC_AXIS: [usize; 3] = [4, 8, 16];
+
+/// Worker-thread axis of the `holistic_threads` bench (applied to the
+/// largest synthetic set).
+pub const HOLISTIC_THREAD_AXIS: [usize; 3] = [1, 2, 4];
+
+/// The random converging star set the holistic benches time (seed 99,
+/// 40 % offered utilization on the sweep generator).
+///
+/// Both `benches/holistic.rs` and the `bench_export` binary call this, so
+/// a `holistic_synthetic/N` or `holistic_threads/N` entry in `BENCH.json`
+/// always times exactly the workload the Criterion bench of the same name
+/// times — retuning the workload here retunes both surfaces together.
+pub fn synthetic_converging_set(n_flows: usize) -> (gmf_net::Topology, gmf_net::FlowSet) {
+    use gmf_workloads::{build_converging_flow_set, random_flow_collection, SweepConfig};
+    use rand::SeedableRng;
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+    let sweep = SweepConfig::default();
+    let flows = random_flow_collection(&mut rng, n_flows, 0.4, &sweep.synthetic);
+    let (topology, set, _) = build_converging_flow_set(&mut rng, flows, &sweep);
+    (topology, set)
+}
+
+/// The long-tail instance the `holistic_longtail` bench and E10b use:
+/// [`long_tail_line_scenario`] with 6 switches and 6 flow pairs (Picard
+/// needs 10 rounds, Anderson(1) 8).
+pub fn long_tail_bench_scenario() -> (gmf_net::Topology, gmf_net::FlowSet) {
+    long_tail_line_scenario(6, 6)
+}
+
+/// Time `f` and return the median duration in nanoseconds over `samples`
+/// runs (fast bodies are batched so each sample spans at least ~100 µs).
+///
+/// This is the measurement behind the `bench_export` binary: a handful of
+/// samples and a median is enough for a CI trajectory without criterion's
+/// statistical machinery.
+pub fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> u64 {
+    use std::time::Instant;
+    let samples = samples.max(1);
+
+    // Calibrate a batch size so one sample is long enough to time.
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().max(std::time::Duration::from_nanos(20));
+    let batch = (100_000u128 / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut timings: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        timings.push(start.elapsed().as_nanos() / u128::from(batch));
+    }
+    timings.sort_unstable();
+    timings[timings.len() / 2] as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn threads_flag_defaults_to_one() {
+        // The test harness passes no --threads flag.
+        assert_eq!(threads_flag(), 1);
+    }
+
+    #[test]
+    fn long_tail_scenario_shape() {
+        let (topology, flows) = long_tail_line_scenario(3, 2);
+        assert_eq!(flows.len(), 4);
+        flows.validate_against(&topology).unwrap();
+    }
+
+    #[test]
+    fn median_ns_measures_something() {
+        let ns = median_ns(3, || {
+            std::hint::black_box((0..100u64).sum::<u64>());
+        });
+        assert!(ns > 0);
+    }
 
     #[test]
     fn helpers_do_not_panic() {

@@ -67,7 +67,10 @@ impl ArrivalTrace {
 
     /// The release time of the last arrival, or zero for an empty trace.
     pub fn span(&self) -> Time {
-        self.arrivals.last().map(|a| a.release).unwrap_or(Time::ZERO)
+        self.arrivals
+            .last()
+            .map(|a| a.release)
+            .unwrap_or(Time::ZERO)
     }
 }
 
@@ -178,9 +181,15 @@ mod tests {
         );
         // Releases at 5, 15 and 35 ms; the next one (65 ms) is past the horizon.
         assert_eq!(trace.len(), 3);
-        assert!(trace.arrivals()[0].release.approx_eq(Time::from_millis(5.0)));
-        assert!(trace.arrivals()[1].release.approx_eq(Time::from_millis(15.0)));
-        assert!(trace.arrivals()[2].release.approx_eq(Time::from_millis(35.0)));
+        assert!(trace.arrivals()[0]
+            .release
+            .approx_eq(Time::from_millis(5.0)));
+        assert!(trace.arrivals()[1]
+            .release
+            .approx_eq(Time::from_millis(15.0)));
+        assert!(trace.arrivals()[2]
+            .release
+            .approx_eq(Time::from_millis(35.0)));
         assert_eq!(trace.arrivals()[2].jitter_window, Time::from_micros(200.0));
     }
 }

@@ -273,7 +273,11 @@ mod tests {
             ],
         )
         .unwrap();
-        LinkDemand::new(&flow, &EncapsulationConfig::paper(), BitRate::from_mbps(10.0))
+        LinkDemand::new(
+            &flow,
+            &EncapsulationConfig::paper(),
+            BitRate::from_mbps(10.0),
+        )
     }
 
     const S: f64 = 1e7; // link speed in bit/s for hand calculations
@@ -299,7 +303,9 @@ mod tests {
     #[test]
     fn aggregate_sums() {
         let d = demand();
-        assert!(d.csum().approx_eq(Time::from_secs((8528.0 + 16992.0 + 33456.0) / S)));
+        assert!(d
+            .csum()
+            .approx_eq(Time::from_secs((8528.0 + 16992.0 + 33456.0) / S)));
         assert_eq!(d.nsum(), 6);
         assert!(d.tsum().approx_eq(Time::from_millis(60.0)));
         assert!(d.mft().approx_eq(Time::from_millis(1.2304)));
@@ -340,7 +346,9 @@ mod tests {
         // A window of 1 ms fits no second arrival (smallest gap is 10 ms) so
         // the bound is the largest single-frame C capped at t; C_2 = 3.3456 ms
         // exceeds 1 ms so the cap applies.
-        assert!(d.mxs(Time::from_millis(1.0)).approx_eq(Time::from_millis(1.0)));
+        assert!(d
+            .mxs(Time::from_millis(1.0))
+            .approx_eq(Time::from_millis(1.0)));
         // A 5 ms window: the largest single C (3.3456 ms) fits uncapped.
         assert!(d.mxs(Time::from_millis(5.0)).approx_eq(d.c(2)));
         // Zero or negative windows contribute nothing.
@@ -374,7 +382,9 @@ mod tests {
         // Ten cycles.
         assert!(d.mx(d.tsum() * 10u64).approx_eq(d.csum() * 10u64));
         // Sub-cycle windows fall through to MXS.
-        assert!(d.mx(Time::from_millis(5.0)).approx_eq(d.mxs(Time::from_millis(5.0))));
+        assert!(d
+            .mx(Time::from_millis(5.0))
+            .approx_eq(d.mxs(Time::from_millis(5.0))));
         assert_eq!(d.mx(Time::ZERO), Time::ZERO);
     }
 
@@ -434,7 +444,11 @@ mod tests {
             Time::ZERO,
         )
         .unwrap();
-        let d = LinkDemand::new(&flow, &EncapsulationConfig::paper(), BitRate::from_mbps(10.0));
+        let d = LinkDemand::new(
+            &flow,
+            &EncapsulationConfig::paper(),
+            BitRate::from_mbps(10.0),
+        );
         let c = d.c(0);
         // t = 25 ms: floor(25/10) = 2 cycles + MXS(5ms) = 2C + C = 3C
         // (classic ceil(25/10) = 3 jobs).

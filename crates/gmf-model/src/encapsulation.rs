@@ -47,8 +47,7 @@ pub const ETHERNET_MIN_FRAME: Bits = Bits::from_bytes(64);
 
 /// Number of datagram data bits carried by one full Ethernet frame:
 /// 1500-byte payload minus the 20-byte IP header = 1480 bytes = 11840 bits.
-pub const DATA_BITS_PER_FULL_FRAME: u64 =
-    (ETHERNET_MTU.as_bits() - IP_HEADER.as_bits()) / 8 * 8; // 11840
+pub const DATA_BITS_PER_FULL_FRAME: u64 = (ETHERNET_MTU.as_bits() - IP_HEADER.as_bits()) / 8 * 8; // 11840
 
 /// Wire size of a maximum-size Ethernet frame: 1538 bytes = 12304 bits
 /// (payload + header + CRC + preamble/SFD + IFG).
@@ -292,7 +291,10 @@ mod tests {
         let p = packetize(Bits::from_bytes(2952), &cfg);
         assert_eq!(p.datagram_bits, Bits::from_bytes(2960));
         assert_eq!(p.n_ethernet_frames, 2);
-        assert_eq!(p.total_wire_bits, Bits::from_bits(2 * WIRE_BITS_PER_FULL_FRAME));
+        assert_eq!(
+            p.total_wire_bits,
+            Bits::from_bits(2 * WIRE_BITS_PER_FULL_FRAME)
+        );
     }
 
     #[test]
@@ -305,10 +307,7 @@ mod tests {
         assert_eq!(p.frame_wire_bits[0], Bits::from_bits(12304));
         assert_eq!(p.frame_wire_bits[1], Bits::from_bits(12304));
         assert_eq!(p.frame_wire_bits[2], Bits::from_bits(8384 + 464));
-        assert_eq!(
-            p.total_wire_bits,
-            Bits::from_bits(2 * 12304 + 8384 + 464)
-        );
+        assert_eq!(p.total_wire_bits, Bits::from_bits(2 * 12304 + 8384 + 464));
         assert_eq!(n_ethernet_frames(Bits::from_bytes(4000), &cfg), 3);
     }
 

@@ -58,16 +58,25 @@ impl fmt::Display for ModelError {
                 "frame {frame}: minimum inter-arrival time must be > 0, got {value}"
             ),
             ModelError::NonPositiveDeadline { frame, value } => {
-                write!(f, "frame {frame}: relative deadline must be > 0, got {value}")
+                write!(
+                    f,
+                    "frame {frame}: relative deadline must be > 0, got {value}"
+                )
             }
             ModelError::NegativeJitter { frame, value } => {
-                write!(f, "frame {frame}: generalized jitter must be >= 0, got {value}")
+                write!(
+                    f,
+                    "frame {frame}: generalized jitter must be >= 0, got {value}"
+                )
             }
             ModelError::EmptyPayload { frame } => {
                 write!(f, "frame {frame}: payload must contain at least one byte")
             }
             ModelError::FrameOutOfRange { frame, n_frames } => {
-                write!(f, "frame index {frame} out of range for a flow with {n_frames} frames")
+                write!(
+                    f,
+                    "frame index {frame} out of range for a flow with {n_frames} frames"
+                )
             }
             ModelError::NonFinite { what } => write!(f, "non-finite value for {what}"),
         }
@@ -90,17 +99,32 @@ mod tests {
         assert!(s.contains("frame 3"));
         assert!(s.contains("inter-arrival"));
 
-        assert!(ModelError::EmptyFlow.to_string().contains("at least one frame"));
-        assert!(ModelError::EmptyPayload { frame: 1 }.to_string().contains("frame 1"));
-        assert!(ModelError::FrameOutOfRange { frame: 9, n_frames: 3 }
+        assert!(ModelError::EmptyFlow
             .to_string()
-            .contains("out of range"));
-        assert!(ModelError::NonFinite { what: "deadline" }.to_string().contains("deadline"));
-        assert!(ModelError::NegativeJitter { frame: 0, value: Time::from_millis(-1.0) }
+            .contains("at least one frame"));
+        assert!(ModelError::EmptyPayload { frame: 1 }
             .to_string()
-            .contains("jitter"));
-        assert!(ModelError::NonPositiveDeadline { frame: 2, value: Time::ZERO }
+            .contains("frame 1"));
+        assert!(ModelError::FrameOutOfRange {
+            frame: 9,
+            n_frames: 3
+        }
+        .to_string()
+        .contains("out of range"));
+        assert!(ModelError::NonFinite { what: "deadline" }
             .to_string()
             .contains("deadline"));
+        assert!(ModelError::NegativeJitter {
+            frame: 0,
+            value: Time::from_millis(-1.0)
+        }
+        .to_string()
+        .contains("jitter"));
+        assert!(ModelError::NonPositiveDeadline {
+            frame: 2,
+            value: Time::ZERO
+        }
+        .to_string()
+        .contains("deadline"));
     }
 }

@@ -301,7 +301,10 @@ mod tests {
         assert_eq!(f.frame(2).unwrap().payload, Bits::from_bytes(3000));
         assert!(matches!(
             f.frame(3),
-            Err(ModelError::FrameOutOfRange { frame: 3, n_frames: 3 })
+            Err(ModelError::FrameOutOfRange {
+                frame: 3,
+                n_frames: 3
+            })
         ));
         assert_eq!(f.frame_cyclic(4).payload, Bits::from_bytes(2000));
         assert_eq!(f.max_payload(), Bits::from_bytes(3000));
@@ -370,8 +373,14 @@ mod tests {
         let f = three_frame_flow()
             .with_uniform_jitter(Time::from_millis(1.0))
             .with_uniform_deadline(Time::from_millis(42.0));
-        assert!(f.frames().iter().all(|x| x.jitter == Time::from_millis(1.0)));
-        assert!(f.frames().iter().all(|x| x.deadline == Time::from_millis(42.0)));
+        assert!(f
+            .frames()
+            .iter()
+            .all(|x| x.jitter == Time::from_millis(1.0)));
+        assert!(f
+            .frames()
+            .iter()
+            .all(|x| x.deadline == Time::from_millis(42.0)));
         assert_eq!(f.max_jitter(), Time::from_millis(1.0));
     }
 

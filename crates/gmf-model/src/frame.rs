@@ -178,7 +178,10 @@ mod tests {
     fn validate_rejects_negative_jitter() {
         let mut f = valid();
         f.jitter = Time::from_millis(-1.0);
-        assert!(matches!(f.validate(0), Err(ModelError::NegativeJitter { .. })));
+        assert!(matches!(
+            f.validate(0),
+            Err(ModelError::NegativeJitter { .. })
+        ));
     }
 
     #[test]

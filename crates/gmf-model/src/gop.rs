@@ -145,7 +145,10 @@ impl GopSpec {
         while i < chars.len() {
             match chars[i] {
                 'I' | 'i' => {
-                    if i + 2 < chars.len() && chars[i + 1] == '+' && (chars[i + 2] == 'P' || chars[i + 2] == 'p') {
+                    if i + 2 < chars.len()
+                        && chars[i + 1] == '+'
+                        && (chars[i + 2] == 'P' || chars[i + 2] == 'p')
+                    {
                         out.push(GopFrameType::IPlusP);
                         i += 3;
                     } else {

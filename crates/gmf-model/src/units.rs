@@ -579,8 +579,14 @@ mod tests {
         assert_eq!(Bits::from_bytes(1500).as_bits(), 12000);
         assert_eq!(Bits::from_bits(12).as_bytes_ceil(), 2);
         assert_eq!(Bits::from_bits(16).as_bytes_ceil(), 2);
-        assert_eq!(Bits::from_bytes(8) + Bits::from_bits(4), Bits::from_bits(68));
-        assert_eq!(Bits::from_bytes(10) - Bits::from_bytes(4), Bits::from_bytes(6));
+        assert_eq!(
+            Bits::from_bytes(8) + Bits::from_bits(4),
+            Bits::from_bits(68)
+        );
+        assert_eq!(
+            Bits::from_bytes(10) - Bits::from_bytes(4),
+            Bits::from_bytes(6)
+        );
         assert_eq!(Bits::from_bytes(2) * 3, Bits::from_bytes(6));
         assert_eq!(
             Bits::from_bytes(10).saturating_sub(Bits::from_bytes(20)),

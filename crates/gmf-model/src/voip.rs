@@ -52,8 +52,14 @@ impl VoiceCodec {
 /// Build a VoIP flow for `codec` with the given end-to-end `deadline` and
 /// source generalized `jitter`.
 pub fn voip_flow(name: &str, codec: VoiceCodec, deadline: Time, jitter: Time) -> GmfFlow {
-    GmfFlow::sporadic(name, codec.payload(), codec.packet_interval(), deadline, jitter)
-        .expect("codec parameters are always valid")
+    GmfFlow::sporadic(
+        name,
+        codec.payload(),
+        codec.packet_interval(),
+        deadline,
+        jitter,
+    )
+    .expect("codec parameters are always valid")
 }
 
 /// Build a generic constant-bit-rate flow: `payload_bytes` every `interval`.
@@ -64,8 +70,14 @@ pub fn cbr_flow(
     deadline: Time,
     jitter: Time,
 ) -> GmfFlow {
-    GmfFlow::sporadic(name, Bits::from_bytes(payload_bytes), interval, deadline, jitter)
-        .expect("caller provides positive interval and payload")
+    GmfFlow::sporadic(
+        name,
+        Bits::from_bytes(payload_bytes),
+        interval,
+        deadline,
+        jitter,
+    )
+    .expect("caller provides positive interval and payload")
 }
 
 /// Build an audio+video conferencing *pair* of flows sharing a name prefix:
@@ -82,7 +94,12 @@ pub fn conference_flows(
     jitter: Time,
 ) -> (GmfFlow, GmfFlow) {
     use crate::frame::FrameSpec;
-    let audio = voip_flow(&format!("{name_prefix}-audio"), VoiceCodec::G711, deadline, jitter);
+    let audio = voip_flow(
+        &format!("{name_prefix}-audio"),
+        VoiceCodec::G711,
+        deadline,
+        jitter,
+    );
     let video = GmfFlow::new(
         format!("{name_prefix}-video"),
         vec![
@@ -132,7 +149,12 @@ mod tests {
 
     #[test]
     fn voip_flow_is_single_frame() {
-        let f = voip_flow("call", VoiceCodec::G711, Time::from_millis(10.0), Time::ZERO);
+        let f = voip_flow(
+            "call",
+            VoiceCodec::G711,
+            Time::from_millis(10.0),
+            Time::ZERO,
+        );
         assert_eq!(f.n_frames(), 1);
         assert_eq!(f.frame(0).unwrap().payload, Bits::from_bytes(160));
         assert_eq!(f.tsum(), Time::from_millis(20.0));
@@ -141,7 +163,13 @@ mod tests {
 
     #[test]
     fn cbr_flow_builder() {
-        let f = cbr_flow("cam", 5000, Time::from_millis(40.0), Time::from_millis(40.0), Time::ZERO);
+        let f = cbr_flow(
+            "cam",
+            5000,
+            Time::from_millis(40.0),
+            Time::from_millis(40.0),
+            Time::ZERO,
+        );
         assert_eq!(f.n_frames(), 1);
         assert!((f.mean_payload_rate_bps() - 5000.0 * 8.0 / 0.040).abs() < 1e-6);
     }

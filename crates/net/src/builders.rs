@@ -80,16 +80,23 @@ pub fn paper_figure1_with(config: PaperNetworkConfig) -> (Topology, PaperNetwork
     let r7 = t.add_router("router7");
 
     // Access links.
-    t.add_duplex_link(h0, s4, config.access).expect("fresh topology");
-    t.add_duplex_link(h1, s4, config.access).expect("fresh topology");
-    t.add_duplex_link(h2, s5, config.access).expect("fresh topology");
-    t.add_duplex_link(h3, s6, config.access).expect("fresh topology");
+    t.add_duplex_link(h0, s4, config.access)
+        .expect("fresh topology");
+    t.add_duplex_link(h1, s4, config.access)
+        .expect("fresh topology");
+    t.add_duplex_link(h2, s5, config.access)
+        .expect("fresh topology");
+    t.add_duplex_link(h3, s6, config.access)
+        .expect("fresh topology");
     // Backbone links (switch 4 connects to both other switches, matching
     // Figure 5's four interfaces: hosts 0 and 1, switches 5 and 6).
-    t.add_duplex_link(s4, s5, config.backbone).expect("fresh topology");
-    t.add_duplex_link(s4, s6, config.backbone).expect("fresh topology");
+    t.add_duplex_link(s4, s5, config.backbone)
+        .expect("fresh topology");
+    t.add_duplex_link(s4, s6, config.backbone)
+        .expect("fresh topology");
     // The IP router reaches the network through switch 5.
-    t.add_duplex_link(r7, s5, config.backbone).expect("fresh topology");
+    t.add_duplex_link(r7, s5, config.backbone)
+        .expect("fresh topology");
 
     (
         t,
@@ -119,9 +126,11 @@ pub fn line(
         switches.push(t.add_switch(switch, format!("sw{i}")));
     }
     let host_b = t.add_end_host("hostB");
-    t.add_duplex_link(host_a, switches[0], access).expect("fresh topology");
+    t.add_duplex_link(host_a, switches[0], access)
+        .expect("fresh topology");
     for pair in switches.windows(2) {
-        t.add_duplex_link(pair[0], pair[1], backbone).expect("fresh topology");
+        t.add_duplex_link(pair[0], pair[1], backbone)
+            .expect("fresh topology");
     }
     t.add_duplex_link(*switches.last().expect("n_switches >= 1"), host_b, access)
         .expect("fresh topology");
@@ -166,7 +175,8 @@ pub fn random_tree<R: Rng>(
     for i in 0..n_switches {
         let sw = t.add_switch(switch, format!("sw{i}"));
         if let Some(&parent) = switches[..i].choose(rng) {
-            t.add_duplex_link(sw, parent, backbone).expect("fresh topology");
+            t.add_duplex_link(sw, parent, backbone)
+                .expect("fresh topology");
         }
         switches.push(sw);
     }
@@ -203,7 +213,10 @@ mod tests {
         // Switch 4 has exactly the four interfaces of Figure 5.
         assert_eq!(t.n_interfaces(net.switches[0]), 4);
         // The worked CIRC example: 4 × 3.7 µs = 14.8 µs.
-        assert!(t.circ(net.switches[0]).unwrap().approx_eq(Time::from_micros(14.8)));
+        assert!(t
+            .circ(net.switches[0])
+            .unwrap()
+            .approx_eq(Time::from_micros(14.8)));
         // The example route 0 -> 4 -> 6 -> 3 is valid.
         let route = Route::new(
             &t,
@@ -212,14 +225,18 @@ mod tests {
         assert!(route.is_ok());
         // The access link 0 -> 4 runs at the worked example's 10 Mbit/s.
         assert_eq!(
-            t.link_between(net.hosts[0], net.switches[0]).unwrap().speed.as_mbps(),
+            t.link_between(net.hosts[0], net.switches[0])
+                .unwrap()
+                .speed
+                .as_mbps(),
             10.0
         );
         // The router reaches every host through the switches.
         let r = shortest_path(&t, net.router, net.hosts[3]).unwrap();
-        assert!(r.nodes().iter().all(|n| *n == net.router
-            || *n == net.hosts[3]
-            || net.switches.contains(n)));
+        assert!(r
+            .nodes()
+            .iter()
+            .all(|n| *n == net.router || *n == net.hosts[3] || net.switches.contains(n)));
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl fmt::Display for NetError {
                 write!(f, "route traverses {n}, which is not an Ethernet switch")
             }
             NetError::RouteMissingLink(a, b) => {
-                write!(f, "route requires a link from {a} to {b}, which does not exist")
+                write!(
+                    f,
+                    "route requires a link from {a} to {b}, which does not exist"
+                )
             }
             NetError::NodeNotOnRoute(n) => write!(f, "node {n} is not on the route"),
             NetError::NoRoute(a, b) => write!(f, "no route exists from {a} to {b}"),
@@ -70,11 +73,19 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(NetError::UnknownNode(NodeId(3)).to_string().contains("node3"));
-        assert!(NetError::NoSuchLink(NodeId(0), NodeId(4)).to_string().contains("node0"));
+        assert!(NetError::UnknownNode(NodeId(3))
+            .to_string()
+            .contains("node3"));
+        assert!(NetError::NoSuchLink(NodeId(0), NodeId(4))
+            .to_string()
+            .contains("node0"));
         assert!(NetError::RouteTooShort.to_string().contains("two nodes"));
-        assert!(NetError::RouteThroughNonSwitch(NodeId(7)).to_string().contains("switch"));
-        assert!(NetError::NoRoute(NodeId(1), NodeId(2)).to_string().contains("no route"));
+        assert!(NetError::RouteThroughNonSwitch(NodeId(7))
+            .to_string()
+            .contains("switch"));
+        assert!(NetError::NoRoute(NodeId(1), NodeId(2))
+            .to_string()
+            .contains("no route"));
         assert!(NetError::Model("bad".into()).to_string().contains("bad"));
     }
 

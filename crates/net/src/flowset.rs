@@ -270,16 +270,44 @@ mod tests {
         let h1 = t.add_end_host("h1");
         let s2 = t.add_switch(SwitchConfig::paper(), "s2");
         let h3 = t.add_end_host("h3");
-        t.add_duplex_link(h0, s2, LinkProfile::ethernet_100m()).unwrap();
-        t.add_duplex_link(h1, s2, LinkProfile::ethernet_100m()).unwrap();
-        t.add_duplex_link(s2, h3, LinkProfile::ethernet_100m()).unwrap();
+        t.add_duplex_link(h0, s2, LinkProfile::ethernet_100m())
+            .unwrap();
+        t.add_duplex_link(h1, s2, LinkProfile::ethernet_100m())
+            .unwrap();
+        t.add_duplex_link(s2, h3, LinkProfile::ethernet_100m())
+            .unwrap();
 
         let mut fs = FlowSet::new();
-        let voice = voip_flow("voice", VoiceCodec::G711, Time::from_millis(10.0), Time::ZERO);
-        let video = cbr_flow("video", 30_000, Time::from_millis(40.0), Time::from_millis(40.0), Time::ZERO);
-        let bulk = cbr_flow("bulk", 60_000, Time::from_millis(100.0), Time::from_millis(500.0), Time::ZERO);
-        fs.add(voice, Route::new(&t, vec![h0, s2, h3]).unwrap(), Priority(7));
-        fs.add(video, Route::new(&t, vec![h1, s2, h3]).unwrap(), Priority(5));
+        let voice = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(10.0),
+            Time::ZERO,
+        );
+        let video = cbr_flow(
+            "video",
+            30_000,
+            Time::from_millis(40.0),
+            Time::from_millis(40.0),
+            Time::ZERO,
+        );
+        let bulk = cbr_flow(
+            "bulk",
+            60_000,
+            Time::from_millis(100.0),
+            Time::from_millis(500.0),
+            Time::ZERO,
+        );
+        fs.add(
+            voice,
+            Route::new(&t, vec![h0, s2, h3]).unwrap(),
+            Priority(7),
+        );
+        fs.add(
+            video,
+            Route::new(&t, vec![h1, s2, h3]).unwrap(),
+            Priority(5),
+        );
         fs.add(bulk, Route::new(&t, vec![h1, s2, h3]).unwrap(), Priority(5));
         (t, fs, vec![h0, h1, s2, h3])
     }

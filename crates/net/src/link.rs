@@ -133,7 +133,10 @@ mod tests {
         assert_eq!(LinkProfile::ethernet_10m().speed.as_mbps(), 10.0);
         assert_eq!(LinkProfile::ethernet_100m().speed.as_mbps(), 100.0);
         assert_eq!(LinkProfile::ethernet_1g().speed.as_mbps(), 1000.0);
-        assert_eq!(LinkProfile::metro_100m().propagation, Time::from_micros(250.0));
+        assert_eq!(
+            LinkProfile::metro_100m().propagation,
+            Time::from_micros(250.0)
+        );
         let p = LinkProfile::ethernet_1g().with_propagation(Time::from_micros(50.0));
         assert_eq!(p.propagation, Time::from_micros(50.0));
     }

@@ -196,7 +196,9 @@ mod tests {
         assert!(NodeKind::Switch(SwitchConfig::paper()).is_switch());
         assert!(!NodeKind::EndHost.is_switch());
         assert!(!NodeKind::Router.is_switch());
-        assert!(NodeKind::Switch(SwitchConfig::paper()).switch_config().is_some());
+        assert!(NodeKind::Switch(SwitchConfig::paper())
+            .switch_config()
+            .is_some());
         assert!(NodeKind::EndHost.switch_config().is_none());
         let n = Node {
             id: NodeId(4),

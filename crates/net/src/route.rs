@@ -170,10 +170,14 @@ mod tests {
         let s2 = t.add_switch(SwitchConfig::paper(), "s2");
         let h3 = t.add_end_host("h3");
         let h4 = t.add_end_host("h4");
-        t.add_duplex_link(h0, s1, LinkProfile::ethernet_10m()).unwrap();
-        t.add_duplex_link(s1, s2, LinkProfile::ethernet_100m()).unwrap();
-        t.add_duplex_link(s2, h3, LinkProfile::ethernet_100m()).unwrap();
-        t.add_duplex_link(s1, h4, LinkProfile::ethernet_10m()).unwrap();
+        t.add_duplex_link(h0, s1, LinkProfile::ethernet_10m())
+            .unwrap();
+        t.add_duplex_link(s1, s2, LinkProfile::ethernet_100m())
+            .unwrap();
+        t.add_duplex_link(s2, h3, LinkProfile::ethernet_100m())
+            .unwrap();
+        t.add_duplex_link(s1, h4, LinkProfile::ethernet_10m())
+            .unwrap();
         (t, vec![h0, s1, s2, h3, h4])
     }
 
@@ -194,8 +198,17 @@ mod tests {
         assert!(!r.visits(n[4]));
         let hops: Vec<Hop> = r.hops().collect();
         assert_eq!(hops.len(), 3);
-        assert_eq!(hops[0], Hop { from: n[0], to: n[1] });
-        assert_eq!(r.to_string(), format!("{} -> {} -> {} -> {}", n[0].0, n[1].0, n[2].0, n[3].0));
+        assert_eq!(
+            hops[0],
+            Hop {
+                from: n[0],
+                to: n[1]
+            }
+        );
+        assert_eq!(
+            r.to_string(),
+            format!("{} -> {} -> {} -> {}", n[0].0, n[1].0, n[2].0, n[3].0)
+        );
     }
 
     #[test]
@@ -213,8 +226,14 @@ mod tests {
     #[test]
     fn rejects_short_route() {
         let (t, n) = topo();
-        assert!(matches!(Route::new(&t, vec![n[0]]), Err(NetError::RouteTooShort)));
-        assert!(matches!(Route::new(&t, vec![]), Err(NetError::RouteTooShort)));
+        assert!(matches!(
+            Route::new(&t, vec![n[0]]),
+            Err(NetError::RouteTooShort)
+        ));
+        assert!(matches!(
+            Route::new(&t, vec![]),
+            Err(NetError::RouteTooShort)
+        ));
     }
 
     #[test]

@@ -99,7 +99,10 @@ pub fn fastest_path(topology: &Topology, src: NodeId, dst: NodeId) -> Result<Rou
     let mut predecessor: Vec<Option<NodeId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[src.0] = 0.0;
-    heap.push(Entry { cost: 0.0, node: src });
+    heap.push(Entry {
+        cost: 0.0,
+        node: src,
+    });
 
     while let Some(Entry { cost, node }) = heap.pop() {
         if cost > dist[node.0] {
@@ -165,12 +168,18 @@ mod tests {
         let h4 = t.add_end_host("h4");
         let h5 = t.add_end_host("h5");
         let h6 = t.add_end_host("h6");
-        t.add_duplex_link(h0, s1, LinkProfile::ethernet_10m()).unwrap();
-        t.add_duplex_link(h0, s2, LinkProfile::ethernet_1g()).unwrap();
-        t.add_duplex_link(s1, s3, LinkProfile::ethernet_10m()).unwrap();
-        t.add_duplex_link(s2, s3, LinkProfile::ethernet_1g()).unwrap();
-        t.add_duplex_link(s3, h4, LinkProfile::ethernet_1g()).unwrap();
-        t.add_duplex_link(s1, h5, LinkProfile::ethernet_100m()).unwrap();
+        t.add_duplex_link(h0, s1, LinkProfile::ethernet_10m())
+            .unwrap();
+        t.add_duplex_link(h0, s2, LinkProfile::ethernet_1g())
+            .unwrap();
+        t.add_duplex_link(s1, s3, LinkProfile::ethernet_10m())
+            .unwrap();
+        t.add_duplex_link(s2, s3, LinkProfile::ethernet_1g())
+            .unwrap();
+        t.add_duplex_link(s3, h4, LinkProfile::ethernet_1g())
+            .unwrap();
+        t.add_duplex_link(s1, h5, LinkProfile::ethernet_100m())
+            .unwrap();
         (t, vec![h0, s1, s2, s3, h4, h5, h6])
     }
 
@@ -208,10 +217,22 @@ mod tests {
     #[test]
     fn unreachable_and_degenerate_cases() {
         let (t, n) = topo();
-        assert!(matches!(shortest_path(&t, n[0], n[6]), Err(NetError::NoRoute(_, _))));
-        assert!(matches!(fastest_path(&t, n[0], n[6]), Err(NetError::NoRoute(_, _))));
-        assert!(matches!(shortest_path(&t, n[0], n[0]), Err(NetError::RouteTooShort)));
-        assert!(matches!(fastest_path(&t, n[0], n[0]), Err(NetError::RouteTooShort)));
+        assert!(matches!(
+            shortest_path(&t, n[0], n[6]),
+            Err(NetError::NoRoute(_, _))
+        ));
+        assert!(matches!(
+            fastest_path(&t, n[0], n[6]),
+            Err(NetError::NoRoute(_, _))
+        ));
+        assert!(matches!(
+            shortest_path(&t, n[0], n[0]),
+            Err(NetError::RouteTooShort)
+        ));
+        assert!(matches!(
+            fastest_path(&t, n[0], n[0]),
+            Err(NetError::RouteTooShort)
+        ));
         assert!(shortest_path(&t, n[0], NodeId(99)).is_err());
     }
 

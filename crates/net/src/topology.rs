@@ -251,8 +251,10 @@ mod tests {
         let h0 = t.add_end_host("h0");
         let sw = t.add_switch(SwitchConfig::paper(), "sw");
         let h1 = t.add_end_host("h1");
-        t.add_duplex_link(h0, sw, LinkProfile::ethernet_10m()).unwrap();
-        t.add_duplex_link(sw, h1, LinkProfile::ethernet_100m()).unwrap();
+        t.add_duplex_link(h0, sw, LinkProfile::ethernet_10m())
+            .unwrap();
+        t.add_duplex_link(sw, h1, LinkProfile::ethernet_100m())
+            .unwrap();
         (t, h0, sw, h1)
     }
 
@@ -266,7 +268,10 @@ mod tests {
         assert!(!t.has_link(h0, h1));
         assert_eq!(t.link_between(h0, sw).unwrap().speed.as_mbps(), 10.0);
         assert_eq!(t.link_between(sw, h1).unwrap().speed.as_mbps(), 100.0);
-        assert!(matches!(t.link_between(h0, h1), Err(NetError::NoSuchLink(_, _))));
+        assert!(matches!(
+            t.link_between(h0, h1),
+            Err(NetError::NoSuchLink(_, _))
+        ));
         assert_eq!(t.out_neighbours(sw).len(), 2);
         assert_eq!(t.in_neighbours(sw).len(), 2);
         assert_eq!(t.node(h1).unwrap().name, "h1");
@@ -287,7 +292,10 @@ mod tests {
         let (t, h0, sw, _) = small();
         // 2 interfaces × 3.7 µs.
         assert!(t.circ(sw).unwrap().approx_eq(Time::from_micros(7.4)));
-        assert!(matches!(t.circ(h0), Err(NetError::RouteThroughNonSwitch(_))));
+        assert!(matches!(
+            t.circ(h0),
+            Err(NetError::RouteThroughNonSwitch(_))
+        ));
     }
 
     #[test]

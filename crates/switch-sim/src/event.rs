@@ -102,7 +102,10 @@ impl EventQueue {
 
     /// Schedule `kind` to fire at `time`.
     pub fn schedule(&mut self, time: Time, kind: EventKind) {
-        debug_assert!(!time.is_negative(), "events cannot be scheduled in the past");
+        debug_assert!(
+            !time.is_negative(),
+            "events cannot be scheduled in the past"
+        );
         let sequence = self.next_sequence;
         self.next_sequence += 1;
         self.scheduled += 1;

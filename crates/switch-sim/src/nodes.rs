@@ -182,9 +182,7 @@ impl SwitchState {
     /// `true` if the given task currently has useful work to do.
     pub fn task_has_work(&self, task: SwitchTask) -> bool {
         match task {
-            SwitchTask::Route { from } => {
-                self.inputs.get(&from).is_some_and(|q| !q.is_empty())
-            }
+            SwitchTask::Route { from } => self.inputs.get(&from).is_some_and(|q| !q.is_empty()),
             SwitchTask::Send { to } => {
                 !self.nic_busy(to) && self.outputs.get(&to).is_some_and(|q| !q.is_empty())
             }
@@ -200,11 +198,7 @@ impl SwitchState {
     pub fn buffered_frames(&self) -> usize {
         self.inputs.values().map(|q| q.len()).sum::<usize>()
             + self.outputs.values().map(|q| q.len()).sum::<usize>()
-            + self
-                .nic_in_flight
-                .values()
-                .filter(|f| f.is_some())
-                .count()
+            + self.nic_in_flight.values().filter(|f| f.is_some()).count()
     }
 }
 

@@ -6,9 +6,7 @@ use serde::{Deserialize, Serialize};
 
 /// Identifier of one UDP packet instance: the flow it belongs to and its
 /// sequence number within the flow's arrival trace.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PacketId {
     /// The flow the packet belongs to.
     pub flow: FlowId,
@@ -52,9 +50,18 @@ mod tests {
 
     #[test]
     fn packet_id_ordering() {
-        let a = PacketId { flow: FlowId(0), sequence: 1 };
-        let b = PacketId { flow: FlowId(0), sequence: 2 };
-        let c = PacketId { flow: FlowId(1), sequence: 0 };
+        let a = PacketId {
+            flow: FlowId(0),
+            sequence: 1,
+        };
+        let b = PacketId {
+            flow: FlowId(0),
+            sequence: 2,
+        };
+        let c = PacketId {
+            flow: FlowId(1),
+            sequence: 0,
+        };
         assert!(a < b);
         assert!(b < c);
         assert_eq!(a, a);
@@ -63,7 +70,10 @@ mod tests {
     #[test]
     fn last_fragment_detection() {
         let mut f = EthFrame {
-            packet: PacketId { flow: FlowId(3), sequence: 7 },
+            packet: PacketId {
+                flow: FlowId(3),
+                sequence: 7,
+            },
             gmf_frame: 2,
             fragment: 0,
             n_fragments: 3,

@@ -279,8 +279,15 @@ impl<'a> Engine<'a> {
                     next_hop,
                     frame,
                 } => {
-                    let endpoint = self.endpoints.get_mut(&host).expect("source is an endpoint");
-                    endpoint.out_queues.entry(next_hop).or_default().push_back(frame);
+                    let endpoint = self
+                        .endpoints
+                        .get_mut(&host)
+                        .expect("source is an endpoint");
+                    endpoint
+                        .out_queues
+                        .entry(next_hop)
+                        .or_default()
+                        .push_back(frame);
                     self.try_start_endpoint_tx(host, next_hop, now)?;
                 }
                 EventKind::HostTxComplete { host, to } => {
@@ -442,7 +449,10 @@ impl<'a> Engine<'a> {
         }
         let dispatched = sw.scheduler.dispatch_until(|idx| work[idx]);
         let selected = *dispatched.last().expect("at least one task exists");
-        debug_assert!(work[selected], "dispatch_until must end on a task with work");
+        debug_assert!(
+            work[selected],
+            "dispatch_until must end on a task with work"
+        );
         let idle_polls = (dispatched.len() - 1) as u64;
 
         let (cost, pending) = match sw.tasks[selected] {
@@ -478,18 +488,22 @@ impl<'a> Engine<'a> {
 mod tests {
     use super::*;
     use gmf_model::{paper_figure3_flow, voip_flow, VoiceCodec};
-    use gmf_net::{
-        paper_figure1, shortest_path, star, LinkProfile, Priority, Route, SwitchConfig,
-    };
+    use gmf_net::{paper_figure1, shortest_path, star, LinkProfile, Priority, Route, SwitchConfig};
 
     /// Direct host-to-host cable: the simplest possible network.
     fn direct_link_scenario() -> (Topology, FlowSet) {
         let mut t = Topology::new();
         let a = t.add_end_host("a");
         let b = t.add_end_host("b");
-        t.add_duplex_link(a, b, LinkProfile::ethernet_100m()).unwrap();
+        t.add_duplex_link(a, b, LinkProfile::ethernet_100m())
+            .unwrap();
         let mut fs = FlowSet::new();
-        let voice = voip_flow("voice", VoiceCodec::G711, Time::from_millis(10.0), Time::ZERO);
+        let voice = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(10.0),
+            Time::ZERO,
+        );
         fs.add(voice, Route::new(&t, vec![a, b]).unwrap(), Priority(7));
         (t, fs)
     }
@@ -508,7 +522,12 @@ mod tests {
         // 1808 bits at 100 Mbit/s = 18.08 µs, plus 5 µs propagation.
         let expected = Time::from_micros(18.08 + 5.0);
         let stats = result.stats.frame_stats(FlowId(0), 0).unwrap();
-        assert!(stats.max.approx_eq(expected), "max {} vs {}", stats.max, expected);
+        assert!(
+            stats.max.approx_eq(expected),
+            "max {} vs {}",
+            stats.max,
+            expected
+        );
         assert!(stats.min.approx_eq(expected));
         assert_eq!(result.stats.frames_transmitted, released);
         assert!(result.final_time <= Time::from_millis(201.0));
@@ -536,7 +555,10 @@ mod tests {
         let sim = Simulator::new(&t, &fs, SimConfig::quick()).unwrap();
         let result = sim.run().unwrap();
         assert!(result.stats.packets_completed >= 20);
-        assert_eq!(result.stats.packets_completed, result.stats.packets_released);
+        assert_eq!(
+            result.stats.packets_completed,
+            result.stats.packets_released
+        );
         let observed = result.stats.worst_response(FlowId(0)).unwrap();
         // Lower bound: two serialisations (8528 bits at 100 Mbit/s each),
         // two propagations, one CROUTE and one CSEND.
@@ -546,7 +568,10 @@ mod tests {
         // Upper sanity bound: the isolated packet should clear the switch
         // within a few stride rounds.
         let ceiling = floor + Time::from_micros(100.0);
-        assert!(observed <= ceiling, "observed {observed} > ceiling {ceiling}");
+        assert!(
+            observed <= ceiling,
+            "observed {observed} > ceiling {ceiling}"
+        );
         // Each packet traverses two links as a single Ethernet frame.
         assert_eq!(
             result.stats.frames_transmitted,
@@ -561,7 +586,10 @@ mod tests {
         let sim = Simulator::new(&t, &fs, SimConfig::quick()).unwrap();
         let result = sim.run().unwrap();
         assert!(result.stats.packets_completed >= 20);
-        assert_eq!(result.stats.packets_completed, result.stats.packets_released);
+        assert_eq!(
+            result.stats.packets_completed,
+            result.stats.packets_released
+        );
         // 3 fragments × 2 links per packet.
         assert_eq!(
             result.stats.frames_transmitted,
@@ -613,7 +641,12 @@ mod tests {
             shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap(),
             Priority(6),
         );
-        let voice = voip_flow("voice", VoiceCodec::G711, Time::from_millis(20.0), Time::from_millis(0.5));
+        let voice = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(20.0),
+            Time::from_millis(0.5),
+        );
         fs.add(
             voice,
             shortest_path(&t, net.hosts[1], net.hosts[3]).unwrap(),
@@ -633,7 +666,10 @@ mod tests {
         assert_eq!(r1.events_processed, r2.events_processed);
         // A different seed shifts phases and slack, changing at least the
         // observed response times (with very high probability).
-        let r3 = Simulator::new(&t, &fs, cfg.with_seed(8)).unwrap().run().unwrap();
+        let r3 = Simulator::new(&t, &fs, cfg.with_seed(8))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_ne!(r1.stats, r3.stats);
     }
 
@@ -655,7 +691,12 @@ mod tests {
     fn flows_may_not_start_or_end_at_switches() {
         let (t, _sw, hosts) = star(3, LinkProfile::ethernet_100m(), SwitchConfig::paper());
         let mut fs = FlowSet::new();
-        let flow = voip_flow("voice", VoiceCodec::G711, Time::from_millis(10.0), Time::ZERO);
+        let flow = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(10.0),
+            Time::ZERO,
+        );
         // Route ending at the switch itself.
         let bad_route = Route::new(&t, vec![hosts[0], NodeId(0)]).unwrap();
         fs.add(flow, bad_route, Priority(7));
@@ -667,7 +708,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(SimError::EndpointIsSwitch(NodeId(4)).to_string().contains("node4"));
+        assert!(SimError::EndpointIsSwitch(NodeId(4))
+            .to_string()
+            .contains("node4"));
         assert!(SimError::EventLimitExceeded.to_string().contains("limit"));
         let e: SimError = NetError::UnknownNode(NodeId(1)).into();
         assert!(e.to_string().contains("network"));
@@ -677,7 +720,10 @@ mod tests {
     fn empty_flow_set_runs_to_completion_immediately() {
         let (t, _) = paper_figure1();
         let fs = FlowSet::new();
-        let result = Simulator::new(&t, &fs, SimConfig::quick()).unwrap().run().unwrap();
+        let result = Simulator::new(&t, &fs, SimConfig::quick())
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(result.events_processed, 0);
         assert_eq!(result.stats.packets_completed, 0);
     }
@@ -718,8 +764,8 @@ mod tests {
             Priority(7),
         );
 
-        let report = gmf_analysis::analyze(&t, &fs, &gmf_analysis::AnalysisConfig::conservative())
-            .unwrap();
+        let report =
+            gmf_analysis::analyze(&t, &fs, &gmf_analysis::AnalysisConfig::conservative()).unwrap();
         assert!(report.schedulable);
 
         let sim_cfg = SimConfig {

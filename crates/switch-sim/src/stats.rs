@@ -144,7 +144,13 @@ impl SimStats {
 mod tests {
     use super::*;
 
-    fn sample(flow: usize, seq: u64, frame: usize, arrival_ms: f64, completion_ms: f64) -> PacketSample {
+    fn sample(
+        flow: usize,
+        seq: u64,
+        frame: usize,
+        arrival_ms: f64,
+        completion_ms: f64,
+    ) -> PacketSample {
         PacketSample {
             flow: FlowId(flow),
             sequence: seq,
@@ -181,7 +187,10 @@ mod tests {
         stats.record(sample(0, 0, 0, 0.0, 5.0));
         stats.record(sample(0, 1, 1, 30.0, 32.0));
         stats.record(sample(1, 0, 0, 0.0, 1.0));
-        assert!(stats.worst_response(FlowId(0)).unwrap().approx_eq(Time::from_millis(5.0)));
+        assert!(stats
+            .worst_response(FlowId(0))
+            .unwrap()
+            .approx_eq(Time::from_millis(5.0)));
         assert!(stats
             .worst_frame_response(FlowId(0), 1)
             .unwrap()

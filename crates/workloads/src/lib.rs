@@ -27,7 +27,9 @@ pub use paper::{
     PaperScenarioFlows, Scenario,
 };
 pub use scenario::ScenarioFile;
-pub use sweep::{acceptance_sweep, build_converging_flow_set, AcceptancePoint, SweepConfig};
+pub use sweep::{
+    acceptance_sweep, acceptance_sweep_par, build_converging_flow_set, AcceptancePoint, SweepConfig,
+};
 pub use synthetic::{random_flow_collection, random_gmf_flow, uunifast, SyntheticConfig};
 
 /// Convenient glob import of the most frequently used items.

@@ -18,7 +18,9 @@ use gmf_net::{
     shortest_path, star, FlowSet, LinkProfile, NodeId, Priority, PriorityPolicy, SwitchConfig,
     Topology,
 };
-use rand::Rng;
+use gmf_par::{par_map, Threads};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// One point of the acceptance-ratio curve.
@@ -105,55 +107,92 @@ pub fn acceptance_sweep<R: Rng>(
 ) -> Vec<AcceptancePoint> {
     utilizations
         .iter()
-        .map(|&utilization| {
-            let mut gmf = 0usize;
-            let mut sporadic = 0usize;
-            let mut feasible = 0usize;
-            for _ in 0..config.sets_per_point {
-                let flows = random_flow_collection(
-                    rng,
-                    config.flows_per_set,
-                    utilization,
-                    &config.synthetic,
-                );
-                let (topology, set, _) = build_converging_flow_set(rng, flows, config);
-
-                if analyze(&topology, &set, analysis)
-                    .map(|r| r.schedulable)
-                    .unwrap_or(false)
-                {
-                    gmf += 1;
-                }
-                if analyze_sporadic_baseline(&topology, &set, analysis)
-                    .map(|r| r.schedulable)
-                    .unwrap_or(false)
-                {
-                    sporadic += 1;
-                }
-                if utilization_check(&topology, &set)
-                    .map(|c| c.feasible)
-                    .unwrap_or(false)
-                {
-                    feasible += 1;
-                }
-            }
-            let denom = config.sets_per_point as f64;
-            AcceptancePoint {
-                utilization,
-                trials: config.sets_per_point,
-                gmf_accepted: gmf as f64 / denom,
-                sporadic_accepted: sporadic as f64 / denom,
-                utilization_feasible: feasible as f64 / denom,
-            }
-        })
+        .map(|&utilization| acceptance_point(rng, utilization, config, analysis))
         .collect()
+}
+
+/// Evaluate one utilization point of the acceptance sweep.  Both the
+/// sequential and the parallel sweep call this — the sequential one with
+/// its single caller-provided stream, the parallel one with a per-point
+/// seeded stream.
+fn acceptance_point<R: Rng>(
+    rng: &mut R,
+    utilization: f64,
+    config: &SweepConfig,
+    analysis: &AnalysisConfig,
+) -> AcceptancePoint {
+    let mut gmf = 0usize;
+    let mut sporadic = 0usize;
+    let mut feasible = 0usize;
+    for _ in 0..config.sets_per_point {
+        let flows =
+            random_flow_collection(rng, config.flows_per_set, utilization, &config.synthetic);
+        let (topology, set, _) = build_converging_flow_set(rng, flows, config);
+
+        if analyze(&topology, &set, analysis)
+            .map(|r| r.schedulable)
+            .unwrap_or(false)
+        {
+            gmf += 1;
+        }
+        if analyze_sporadic_baseline(&topology, &set, analysis)
+            .map(|r| r.schedulable)
+            .unwrap_or(false)
+        {
+            sporadic += 1;
+        }
+        if utilization_check(&topology, &set)
+            .map(|c| c.feasible)
+            .unwrap_or(false)
+        {
+            feasible += 1;
+        }
+    }
+    let denom = config.sets_per_point as f64;
+    AcceptancePoint {
+        utilization,
+        trials: config.sets_per_point,
+        gmf_accepted: gmf as f64 / denom,
+        sporadic_accepted: sporadic as f64 / denom,
+        utilization_feasible: feasible as f64 / denom,
+    }
+}
+
+/// Run the acceptance sweep with one independently seeded RNG per
+/// utilization point, evaluating up to `threads` points concurrently.
+///
+/// Each point draws its ChaCha8 seed deterministically from `seed` and its
+/// index, so the result depends only on `(seed, utilizations, config,
+/// analysis)` — never on the thread count: `threads = 1` and `threads = N`
+/// produce identical output, and the points can be recomputed individually.
+/// (The per-point RNG streams differ from the single-stream
+/// [`acceptance_sweep`], so the two functions agree in distribution but not
+/// sample-for-sample.)
+pub fn acceptance_sweep_par(
+    seed: u64,
+    utilizations: &[f64],
+    config: &SweepConfig,
+    analysis: &AnalysisConfig,
+    threads: usize,
+) -> Vec<AcceptancePoint> {
+    par_map(
+        Threads::new(threads),
+        utilizations,
+        |index, &utilization| {
+            // Derive a well-spread per-point seed: splitmix64 of (seed, index).
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let mut rng = ChaCha8Rng::seed_from_u64(z);
+            acceptance_point(&mut rng, utilization, config, analysis)
+        },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     fn small_config() -> SweepConfig {
         SweepConfig {
@@ -184,12 +223,7 @@ mod tests {
     fn acceptance_decreases_with_utilization_and_gmf_dominates_sporadic() {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let config = small_config();
-        let points = acceptance_sweep(
-            &mut rng,
-            &[0.10, 0.95],
-            &config,
-            &AnalysisConfig::paper(),
-        );
+        let points = acceptance_sweep(&mut rng, &[0.10, 0.95], &config, &AnalysisConfig::paper());
         assert_eq!(points.len(), 2);
         let low = &points[0];
         let high = &points[1];
@@ -200,6 +234,31 @@ mod tests {
         assert!(high.gmf_accepted <= low.gmf_accepted);
         for p in &points {
             assert!(p.gmf_accepted >= p.sporadic_accepted - 1e-9, "{p:?}");
+            assert_eq!(p.trials, config.sets_per_point);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_identical_at_any_thread_count() {
+        let config = small_config();
+        let utilizations = [0.2, 0.5, 0.8];
+        let reference =
+            acceptance_sweep_par(42, &utilizations, &config, &AnalysisConfig::paper(), 1);
+        assert_eq!(reference.len(), 3);
+        for threads in [2usize, 3, 8] {
+            let parallel = acceptance_sweep_par(
+                42,
+                &utilizations,
+                &config,
+                &AnalysisConfig::paper(),
+                threads,
+            );
+            assert_eq!(reference, parallel, "threads = {threads}");
+        }
+        // A different master seed gives a different (but valid) curve.
+        let other = acceptance_sweep_par(7, &utilizations, &config, &AnalysisConfig::paper(), 2);
+        for p in &other {
+            assert!(p.gmf_accepted >= p.sporadic_accepted - 1e-9);
             assert_eq!(p.trials, config.sets_per_point);
         }
     }

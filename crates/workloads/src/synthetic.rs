@@ -87,11 +87,14 @@ pub fn random_gmf_flow<R: Rng>(
     let mut interarrivals = Vec::with_capacity(n_frames);
     let mut weights = Vec::with_capacity(n_frames);
     for k in 0..n_frames {
-        let t = rng.gen_range(
-            config.min_interarrival.as_secs()..=config.max_interarrival.as_secs(),
-        );
+        let t =
+            rng.gen_range(config.min_interarrival.as_secs()..=config.max_interarrival.as_secs());
         interarrivals.push(Time::from_secs(t));
-        weights.push(if k == 0 { config.burstiness.max(1.0) } else { 1.0 });
+        weights.push(if k == 0 {
+            config.burstiness.max(1.0)
+        } else {
+            1.0
+        });
     }
     let tsum: Time = interarrivals.iter().copied().sum();
     let total_weight: f64 = weights.iter().sum();
@@ -104,7 +107,8 @@ pub fn random_gmf_flow<R: Rng>(
         .map(|k| {
             let share = weights[k] / total_weight;
             let payload_bits = (total_payload_bits * share).max(64.0);
-            let deadline_factor = rng.gen_range(config.deadline_factor.0..=config.deadline_factor.1);
+            let deadline_factor =
+                rng.gen_range(config.deadline_factor.0..=config.deadline_factor.1);
             FrameSpec {
                 payload: Bits::from_bytes((payload_bits / 8.0).ceil().max(8.0) as u64),
                 min_interarrival: interarrivals[k],

@@ -9,8 +9,8 @@
 //!
 //! Run with `cargo run --release --example analysis_vs_simulation`.
 
-use gmfnet::prelude::*;
 use gmf_model::FlowId;
+use gmfnet::prelude::*;
 
 fn main() {
     let netcfg = PaperNetworkConfig {
@@ -54,7 +54,10 @@ fn main() {
             frame.bound,
             observed / frame.bound
         );
-        assert!(observed <= frame.bound, "the bound must dominate the simulation");
+        assert!(
+            observed <= frame.bound,
+            "the bound must dominate the simulation"
+        );
     }
 
     println!();

@@ -26,7 +26,12 @@ fn main() {
     let video_route = shortest_path(&topology, net.hosts[0], net.hosts[3]).unwrap();
     flows.add(video, video_route, Priority(5));
 
-    let voice = voip_flow("voip-call", VoiceCodec::G711, Time::from_millis(20.0), Time::ZERO);
+    let voice = voip_flow(
+        "voip-call",
+        VoiceCodec::G711,
+        Time::from_millis(20.0),
+        Time::ZERO,
+    );
     let voice_route = shortest_path(&topology, net.hosts[1], net.hosts[3]).unwrap();
     flows.add(voice, voice_route, Priority::HIGHEST);
 

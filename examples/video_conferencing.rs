@@ -11,8 +11,8 @@
 //!
 //! Run with `cargo run --example video_conferencing`.
 
-use gmfnet::prelude::*;
 use gmf_model::conference_flows;
+use gmfnet::prelude::*;
 
 /// Try to fit `participants` conference clients on a star network whose
 /// links all run at `link` speed; returns the analysis report.

@@ -12,8 +12,8 @@
 //!
 //! Run with `cargo run --example voip_admission`.
 
-use gmfnet::prelude::*;
 use gmfnet::analysis::AdmissionDecision;
+use gmfnet::prelude::*;
 
 fn main() {
     let (topology, net) = paper_figure1();
@@ -33,12 +33,7 @@ fn main() {
             Time::from_millis(10.0),
             Time::from_micros(500.0),
         );
-        let route = shortest_path(
-            controller.topology(),
-            net.hosts[from],
-            net.hosts[to],
-        )
-        .unwrap();
+        let route = shortest_path(controller.topology(), net.hosts[from], net.hosts[to]).unwrap();
         match controller.request(flow, route, Priority::HIGHEST).unwrap() {
             AdmissionDecision::Accepted { report, .. } => {
                 admitted += 1;

@@ -37,6 +37,7 @@
 pub use gmf_analysis as analysis;
 pub use gmf_model as model;
 pub use gmf_net as net;
+pub use gmf_par as par;
 pub use gmf_workloads as workloads;
 pub use switch_sim as sim;
 

@@ -5,8 +5,8 @@
 //! minimum inter-arrival time on every traversed link — the regime the
 //! published per-frame equations are intended for (see DESIGN.md §4).
 
-use gmfnet::prelude::*;
 use gmfnet::model::FlowId;
+use gmfnet::prelude::*;
 use gmfnet::sim::{ArrivalPolicy, JitterSpread};
 
 /// Check that the conservative analytical bound dominates every simulated

@@ -1,0 +1,91 @@
+//! Property-based tests of the holistic fixed-point engine: the Anderson
+//! acceleration and the parallel Jacobi rounds must both be invisible in
+//! the results.
+//!
+//! (a) On random converging flow sets (the acceptance-sweep generator),
+//!     the `Anderson1` strategy converges to exactly the bounds `Picard`
+//!     converges to.
+//! (b) The per-flow analyses of a round are independent, so the full
+//!     report — bounds, iteration count, convergence trace — is
+//!     `assert_eq!`-identical across worker-thread counts 1/2/8.
+
+use gmfnet::analysis::{analyze, AnalysisConfig, FixedPointStrategy};
+use gmfnet::workloads::{build_converging_flow_set, random_flow_collection, SweepConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Build a random converging flow set from the sweep generator.
+fn random_sweep_set(
+    seed: u64,
+    n_flows: usize,
+    utilization: f64,
+) -> (gmfnet::net::Topology, gmfnet::net::FlowSet) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let config = SweepConfig::default();
+    let flows = random_flow_collection(&mut rng, n_flows, utilization, &config.synthetic);
+    let (topology, set, _) = build_converging_flow_set(&mut rng, flows, &config);
+    (topology, set)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (a) Anderson-accelerated bounds equal Picard bounds at convergence.
+    #[test]
+    fn anderson_bounds_equal_picard_bounds(
+        seed in 0u64..1_000_000,
+        n_flows in 2usize..10,
+        utilization in 0.1f64..0.9,
+    ) {
+        let (topology, set) = random_sweep_set(seed, n_flows, utilization);
+        let picard = analyze(&topology, &set, &AnalysisConfig::paper()).unwrap();
+        let anderson = analyze(
+            &topology,
+            &set,
+            &AnalysisConfig::paper().with_strategy(FixedPointStrategy::Anderson1),
+        )
+        .unwrap();
+        // The two strategies always agree on the verdict, and at
+        // convergence every frame bound is byte-identical.
+        prop_assert_eq!(picard.converged, anderson.converged);
+        prop_assert_eq!(picard.schedulable, anderson.schedulable);
+        if picard.converged {
+            prop_assert_eq!(&picard.flows, &anderson.flows);
+            prop_assert_eq!(&picard.failure, &anderson.failure);
+        }
+    }
+
+    /// (b) Parallel and sequential rounds produce `assert_eq!` reports.
+    #[test]
+    fn parallel_reports_equal_sequential_reports(
+        seed in 0u64..1_000_000,
+        n_flows in 2usize..10,
+        utilization in 0.1f64..1.1,
+    ) {
+        let (topology, set) = random_sweep_set(seed, n_flows, utilization);
+        let sequential = analyze(&topology, &set, &AnalysisConfig::paper()).unwrap();
+        for threads in [2usize, 8] {
+            let parallel = analyze(
+                &topology,
+                &set,
+                &AnalysisConfig::paper().with_threads(threads),
+            )
+            .unwrap();
+            // Everything, including the convergence trace, is identical.
+            prop_assert_eq!(&sequential, &parallel);
+        }
+    }
+}
+
+/// The engine axes compose: an accelerated run is also thread-invariant.
+#[test]
+fn anderson_is_thread_invariant_too() {
+    let (topology, set) = random_sweep_set(7, 8, 0.5);
+    let anderson = AnalysisConfig::paper().with_strategy(FixedPointStrategy::Anderson1);
+    let sequential = analyze(&topology, &set, &anderson).unwrap();
+    for threads in [2usize, 8] {
+        let parallel = analyze(&topology, &set, &anderson.with_threads(threads)).unwrap();
+        assert_eq!(sequential, parallel, "threads = {threads}");
+    }
+}

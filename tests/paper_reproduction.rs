@@ -2,8 +2,8 @@
 //! reproduced by the public API (the same checks the experiment binaries
 //! print, but enforced).
 
-use gmfnet::prelude::*;
 use gmfnet::model::{max_frame_transmission_time, LinkDemand};
+use gmfnet::prelude::*;
 
 /// Figure 3 / Figure 4: the MPEG example flow and its per-link parameters
 /// on the 10 Mbit/s link(0,4).
@@ -13,15 +13,20 @@ fn figure3_and_figure4_worked_values() {
     assert_eq!(flow.n_frames(), 9);
     assert!(flow.tsum().approx_eq(Time::from_millis(270.0)));
 
-    let demand = LinkDemand::new(&flow, &EncapsulationConfig::paper(), BitRate::from_mbps(10.0));
+    let demand = LinkDemand::new(
+        &flow,
+        &EncapsulationConfig::paper(),
+        BitRate::from_mbps(10.0),
+    );
     // NSUM = 94 Ethernet frames per GOP (the paper's worked value).
     assert_eq!(demand.nsum(), 94);
     // TSUM = 270 ms.
     assert!(demand.tsum().approx_eq(Time::from_millis(270.0)));
     // MFT = 12304 bits / 10^7 bit/s = 1.2304 ms (equation 1).
     assert!(demand.mft().approx_eq(Time::from_millis(1.2304)));
-    assert!(max_frame_transmission_time(BitRate::from_bps(1e7))
-        .approx_eq(Time::from_millis(1.2304)));
+    assert!(
+        max_frame_transmission_time(BitRate::from_bps(1e7)).approx_eq(Time::from_millis(1.2304))
+    );
     // The flow alone uses ~40% of the access link.
     assert!(demand.utilization() > 0.35 && demand.utilization() < 0.45);
 }
@@ -73,7 +78,12 @@ fn figure1_and_figure2_structure() {
 #[test]
 fn end_to_end_analysis_of_the_paper_scenario() {
     let (scenario, ids) = gmf_workloads::paper_scenario();
-    let report = analyze(&scenario.topology, &scenario.flows, &AnalysisConfig::paper()).unwrap();
+    let report = analyze(
+        &scenario.topology,
+        &scenario.flows,
+        &AnalysisConfig::paper(),
+    )
+    .unwrap();
     assert!(report.converged);
     assert!(report.schedulable);
     // Every resource of the Figure 2 route shows up in the video flow's
@@ -89,9 +99,17 @@ fn end_to_end_analysis_of_the_paper_scenario() {
         AdmissionController::new(scenario.topology.clone(), AnalysisConfig::paper());
     for binding in scenario.flows.bindings() {
         let decision = controller
-            .request(binding.flow.clone(), binding.route.clone(), binding.priority)
+            .request(
+                binding.flow.clone(),
+                binding.route.clone(),
+                binding.priority,
+            )
             .unwrap();
-        assert!(decision.is_accepted(), "flow {} rejected", binding.flow.name());
+        assert!(
+            decision.is_accepted(),
+            "flow {} rejected",
+            binding.flow.name()
+        );
     }
     assert_eq!(controller.n_accepted(), scenario.flows.len());
 }
@@ -107,9 +125,11 @@ fn sporadic_collapse_fails_where_gmf_succeeds() {
     assert!(gmf.schedulable);
     assert!(!sporadic.schedulable);
     // The utilization check agrees with the GMF verdict here.
-    assert!(utilization_check(&scenario.topology, &scenario.flows)
-        .unwrap()
-        .feasible);
+    assert!(
+        utilization_check(&scenario.topology, &scenario.flows)
+            .unwrap()
+            .feasible
+    );
 }
 
 /// The conclusion's claim: with 1 Gbit/s links and multiprocessor switches

@@ -9,10 +9,10 @@ use proptest::prelude::*;
 fn arb_flow() -> impl Strategy<Value = GmfFlow> {
     prop::collection::vec(
         (
-            100u64..60_000,      // payload bytes
-            5.0f64..100.0,       // min inter-arrival (ms)
-            10.0f64..500.0,      // deadline (ms)
-            0.0f64..5.0,         // jitter (ms)
+            100u64..60_000, // payload bytes
+            5.0f64..100.0,  // min inter-arrival (ms)
+            10.0f64..500.0, // deadline (ms)
+            0.0f64..5.0,    // jitter (ms)
         ),
         1..=8,
     )

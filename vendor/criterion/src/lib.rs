@@ -16,10 +16,21 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Target wall-clock budget per benchmark.
+/// Default target wall-clock budget per benchmark.
 const MEASURE_BUDGET: Duration = Duration::from_millis(500);
 /// Iteration count cap, protecting against ultra-cheap bodies.
 const MAX_ITERS: u64 = 5_000_000;
+
+/// The wall-clock budget per benchmark: `GMF_BENCH_BUDGET_MS` milliseconds
+/// when set (CI smoke runs use a few ms), otherwise [`MEASURE_BUDGET`].
+fn measure_budget() -> Duration {
+    std::env::var("GMF_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .filter(|d| !d.is_zero())
+        .unwrap_or(MEASURE_BUDGET)
+}
 
 /// The benchmark driver.
 #[derive(Debug, Default)]
@@ -112,8 +123,8 @@ impl Bencher {
         let calibration_start = Instant::now();
         black_box(routine());
         let once = calibration_start.elapsed().max(Duration::from_nanos(1));
-        let iters = (MEASURE_BUDGET.as_nanos() / once.as_nanos()).clamp(10, MAX_ITERS as u128)
-            as u64;
+        let iters =
+            (measure_budget().as_nanos() / once.as_nanos()).clamp(10, MAX_ITERS as u128) as u64;
 
         // Measurement: batches of iterations, one sample per batch.
         let batches = 10u64;

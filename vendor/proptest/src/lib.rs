@@ -146,19 +146,28 @@ pub mod prop {
         impl From<Range<usize>> for SizeRange {
             fn from(r: Range<usize>) -> Self {
                 assert!(r.start < r.end, "empty size range");
-                SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+                SizeRange {
+                    lo: r.start,
+                    hi_inclusive: r.end - 1,
+                }
             }
         }
         impl From<RangeInclusive<usize>> for SizeRange {
             fn from(r: RangeInclusive<usize>) -> Self {
                 let (lo, hi) = r.into_inner();
                 assert!(lo <= hi, "empty size range");
-                SizeRange { lo, hi_inclusive: hi }
+                SizeRange {
+                    lo,
+                    hi_inclusive: hi,
+                }
             }
         }
         impl From<usize> for SizeRange {
             fn from(n: usize) -> Self {
-                SizeRange { lo: n, hi_inclusive: n }
+                SizeRange {
+                    lo: n,
+                    hi_inclusive: n,
+                }
             }
         }
 

@@ -62,8 +62,12 @@ impl<R: RngCore + ?Sized> Rng for R {}
 pub trait SampleUniform: PartialOrd + Copy {
     /// Uniform sample from `[low, high)` (`inclusive = false`) or
     /// `[low, high]` (`inclusive = true`).
-    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
-        -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 /// Range argument accepted by [`Rng::gen_range`].
@@ -269,7 +273,10 @@ mod tests {
         }
         fn next_u64(&mut self) -> u64 {
             // A weak but fast mixing step, good enough for unit tests.
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0 >> 1
         }
     }

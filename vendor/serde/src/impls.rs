@@ -230,10 +230,8 @@ where
 {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         let mut access = deserializer.deserialize_map()?;
-        let mut out = HashMap::with_capacity_and_hasher(
-            access.size_hint().unwrap_or(0),
-            H::default(),
-        );
+        let mut out =
+            HashMap::with_capacity_and_hasher(access.size_hint().unwrap_or(0), H::default());
         while let Some((k, v)) = access.next_entry()? {
             out.insert(k, v);
         }

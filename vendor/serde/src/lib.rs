@@ -120,8 +120,10 @@ pub mod ser {
         /// Serialization error.
         type Error: Error;
         /// Append one element.
-        fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T)
-            -> Result<(), Self::Error>;
+        fn serialize_element<T: Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
         /// Finish the sequence.
         fn end(self) -> Result<Self::Ok, Self::Error>;
     }

@@ -115,11 +115,9 @@ fn parse(input: TokenStream) -> Result<Parsed, String> {
 
     let shape = match keyword.as_str() {
         "struct" => match tokens.get(pos) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Shape::NamedStruct {
-                    fields: parse_named_fields(g.stream())?,
-                }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                fields: parse_named_fields(g.stream())?,
+            },
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 let n = count_tuple_fields(g.stream());
                 if n == 1 {
@@ -204,7 +202,9 @@ fn parse_serde_attr(
                     return Err(format!("expected `=` after `{key}` in #[serde]"));
                 }
                 let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) else {
-                    return Err(format!("expected string literal after `{key} =` in #[serde]"));
+                    return Err(format!(
+                        "expected string literal after `{key} =` in #[serde]"
+                    ));
                 };
                 let raw = lit.to_string();
                 let ty = raw.trim_matches('"').to_string();
@@ -254,7 +254,10 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
         fields.push(id.to_string());
         i += 1;
         if !matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
-            return Err(format!("expected `:` after field `{}`", fields.last().unwrap()));
+            return Err(format!(
+                "expected `:` after field `{}`",
+                fields.last().unwrap()
+            ));
         }
         i += 1;
         // Skip the type: everything until a comma at angle-bracket depth 0.
@@ -386,9 +389,9 @@ fn gen_serialize(p: &Parsed) -> Result<String, String> {
                 "::serde::ser::Serializer::serialize_newtype_struct(__serializer, {name:?}, \
                  &self.0)"
             ),
-            Shape::UnitStruct => format!(
-                "::serde::ser::Serializer::serialize_unit_struct(__serializer, {name:?})"
-            ),
+            Shape::UnitStruct => {
+                format!("::serde::ser::Serializer::serialize_unit_struct(__serializer, {name:?})")
+            }
             Shape::Enum { variants } => {
                 let mut arms = String::new();
                 for (idx, v) in variants.iter().enumerate() {
@@ -468,7 +471,8 @@ fn gen_deserialize(p: &Parsed) -> Result<String, String> {
                  ::std::result::Result::Ok({name})"
             ),
             Shape::Enum { variants } => {
-                let vlist = quoted_list(&variants.iter().map(|v| v.name.clone()).collect::<Vec<_>>());
+                let vlist =
+                    quoted_list(&variants.iter().map(|v| v.name.clone()).collect::<Vec<_>>());
                 let mut arms = String::new();
                 for v in variants {
                     let vn = &v.name;

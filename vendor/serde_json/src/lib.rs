@@ -165,7 +165,11 @@ mod tests {
             to_string(&Shape::Rect { w: 1.0, h: 2.0 }).unwrap(),
             "{\"Rect\":{\"w\":1,\"h\":2}}"
         );
-        for v in [Shape::Dot, Shape::Circle(2.5), Shape::Rect { w: 1.0, h: 2.0 }] {
+        for v in [
+            Shape::Dot,
+            Shape::Circle(2.5),
+            Shape::Rect { w: 1.0, h: 2.0 },
+        ] {
             let json = to_string(&v).unwrap();
             assert_eq!(from_str::<Shape>(&json).unwrap(), v);
         }
@@ -220,6 +224,9 @@ mod tests {
         let json = to_string(&s.to_string()).unwrap();
         assert_eq!(from_str::<String>(&json).unwrap(), s);
         // \uXXXX escapes (incl. surrogate pairs) parse too.
-        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "\u{1F600}");
+        assert_eq!(
+            from_str::<String>("\"\\ud83d\\ude00\"").unwrap(),
+            "\u{1F600}"
+        );
     }
 }

@@ -157,8 +157,7 @@ impl<'a> Parser<'a> {
                                     if !(0xDC00..0xE000).contains(&low) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let code =
-                                        0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00);
+                                    let code = 0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00);
                                     char::from_u32(code)
                                         .ok_or_else(|| self.err("invalid surrogate pair"))?
                                 } else {
