@@ -5,16 +5,115 @@
 //! accepted flows, and a new flow is accepted only if the holistic analysis
 //! of *accepted ∪ {candidate}* shows every frame of every flow (old and
 //! new) still meeting its deadline.  [`AdmissionController`] implements
-//! exactly that protocol.
+//! exactly that protocol — plus flow departures ([`AdmissionController::release`])
+//! and an **incremental warm-started engine** that makes the per-request
+//! cost nearly independent of how many flows are already admitted.
+//!
+//! # The incremental engine
+//!
+//! A naive controller re-runs the whole fixed point cold on every request:
+//! admitting N flows costs O(N²) per-flow analyses.  In
+//! [`AdmissionMode::Warm`] (the default) the controller instead keeps the
+//! converged [`JitterMap`] and per-flow reports of the accepted set and,
+//! for each trial:
+//!
+//! 1. **warm-starts** the fixed point from the cached map (candidate
+//!    seeded with its initial source jitter) via
+//!    [`crate::fixed_point::iterate_from`] — on acyclic instances the
+//!    fixed point is unique, so the trial lands on byte-identical bounds
+//!    in far fewer rounds;
+//! 2. **scopes re-verification** with
+//!    [`crate::fixed_point::affected_flows`]: flows unreachable from the
+//!    candidate in the jitter dependency graph keep their cached
+//!    [`FlowReport`] verbatim and are never re-analysed;
+//! 3. **falls back to a cold restart** whenever the dependency graph is
+//!    cyclic (warm seeds could latch onto a non-least fixed point) or the
+//!    warm run fails to converge (a stale from-above seed after a
+//!    departure can abort spuriously) — so every decision, and every frame
+//!    bound behind an accepted or converged-rejected decision, is
+//!    byte-identical to today's cold analysis.
+//!
+//! Departures keep the cache warm too: [`AdmissionController::release`]
+//! drops the departed flow's jitters and invalidates only the cached
+//! reports of flows its departure can influence; everything else stays
+//! frozen for the next trial.
 
 use crate::config::AnalysisConfig;
+use crate::context::{AnalysisContext, JitterMap};
 use crate::error::AnalysisError;
-use crate::fixed_point::ConvergenceTrace;
-use crate::holistic::analyze;
-use crate::report::AnalysisReport;
+use crate::fixed_point::{
+    acyclic_affected_flows, affected_flows, iterate, iterate_scoped, ConvergenceTrace,
+    FixedPointRun, Scope,
+};
+use crate::report::{AnalysisReport, FlowReport};
 use gmf_model::{EncapsulationConfig, FlowId, GmfFlow};
 use gmf_net::{FlowSet, Priority, Route, Topology};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How the controller analyses each trial set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AdmissionMode {
+    /// Re-run the holistic fixed point cold on every request (the seed
+    /// behaviour; O(accepted) per-flow analyses per round, every round).
+    Cold,
+    /// Warm-start each trial from the cached converged jitter map and only
+    /// re-verify flows the candidate can influence; decisions and bounds
+    /// are byte-identical to [`AdmissionMode::Cold`].
+    #[default]
+    Warm,
+}
+
+impl std::fmt::Display for AdmissionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionMode::Cold => write!(f, "cold"),
+            AdmissionMode::Warm => write!(f, "warm"),
+        }
+    }
+}
+
+/// What (or rather whom) a rejection protects, derived from the trial
+/// report's deadline misses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionVictim {
+    /// Only the candidate itself misses its deadline; the accepted flows
+    /// are unharmed by it.
+    Candidate,
+    /// The candidate meets its own deadlines but would make these
+    /// already-accepted flows miss theirs.
+    Existing {
+        /// The accepted flows that would miss deadlines, in id order.
+        flows: Vec<FlowId>,
+    },
+    /// Both the candidate and these already-accepted flows would miss
+    /// deadlines.
+    Both {
+        /// The accepted flows that would miss deadlines, in id order.
+        flows: Vec<FlowId>,
+    },
+}
+
+/// What one admission decision cost, summed over every analysis run behind
+/// it (the warm trial plus a cold fallback rerun, when one happened).
+///
+/// One accounting gap, accepted for simplicity: a warm attempt that dies
+/// with a *hard error* (possible only from a stale post-departure seed)
+/// surfaces no counters, so its partial work is not included — the rare
+/// error path under-reports, never the common ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionCost {
+    /// Total holistic rounds.
+    pub rounds: usize,
+    /// Total per-flow pipeline analyses (≈ rounds × flows re-verified per
+    /// round) — the metric that shrinks when warm starts and dependency
+    /// scoping kick in.
+    pub flow_analyses: usize,
+    /// `true` if the final report came from the warm-started,
+    /// dependency-scoped path (false: cold mode, cyclic dependency graph,
+    /// empty cache, or a cold fallback rerun).
+    pub warm: bool,
+}
 
 /// The verdict of an admission request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -25,13 +124,25 @@ pub enum AdmissionDecision {
         id: FlowId,
         /// The analysis report of the accepted set including the new flow.
         report: AnalysisReport,
+        /// What the decision cost.
+        cost: DecisionCost,
     },
     /// The flow was rejected; the accepted set is unchanged.
     Rejected {
+        /// The id the candidate carried in the trial set — the key of its
+        /// [`FlowReport`] inside `report` (the id is *not* registered in
+        /// the accepted set and will be reused by the next request).
+        id: FlowId,
         /// Why the flow was rejected.
         reason: String,
+        /// Who misses deadlines in the trial, when the analysis got far
+        /// enough to attribute the failure (`None` for aborts such as
+        /// overload or divergence, where `reason` carries the detail).
+        victim: Option<AdmissionVictim>,
         /// The analysis report of the trial set (accepted ∪ candidate).
         report: AnalysisReport,
+        /// What the decision cost.
+        cost: DecisionCost,
     },
 }
 
@@ -39,6 +150,15 @@ impl AdmissionDecision {
     /// `true` if the flow was admitted.
     pub fn is_accepted(&self) -> bool {
         matches!(self, AdmissionDecision::Accepted { .. })
+    }
+
+    /// The candidate's flow id in the analysed trial set (registered in
+    /// the accepted set only if the decision is an acceptance).
+    pub fn id(&self) -> FlowId {
+        match self {
+            AdmissionDecision::Accepted { id, .. } => *id,
+            AdmissionDecision::Rejected { id, .. } => *id,
+        }
     }
 
     /// The report of the analysed (trial) flow set.
@@ -49,16 +169,60 @@ impl AdmissionDecision {
         }
     }
 
-    /// How many holistic rounds the trial analysis behind this decision
-    /// took — the per-request cost an operator dashboard would track.
-    pub fn iterations(&self) -> usize {
-        self.report().iterations
+    /// The candidate's per-frame bounds inside the trial report, when the
+    /// analysis got far enough to produce them.
+    pub fn candidate_report(&self) -> Option<&FlowReport> {
+        self.report().flow(self.id())
     }
 
-    /// The per-round convergence trace of the trial analysis.
+    /// What the decision cost across every analysis run behind it.
+    pub fn cost(&self) -> DecisionCost {
+        match self {
+            AdmissionDecision::Accepted { cost, .. } => *cost,
+            AdmissionDecision::Rejected { cost, .. } => *cost,
+        }
+    }
+
+    /// How many holistic rounds the analyses behind this decision took —
+    /// the per-request cost an operator dashboard would track.
+    pub fn iterations(&self) -> usize {
+        self.cost().rounds
+    }
+
+    /// The per-round convergence trace of the trial analysis that produced
+    /// the final report.
     pub fn trace(&self) -> &ConvergenceTrace {
         &self.report().trace
     }
+}
+
+/// Derive the structured victim of a rejection from the trial report.
+fn victim_of(report: &AnalysisReport, candidate: FlowId) -> Option<AdmissionVictim> {
+    let missed = report.missed_flows();
+    let candidate_misses = missed.contains(&candidate);
+    let existing: Vec<FlowId> = missed.into_iter().filter(|&f| f != candidate).collect();
+    match (candidate_misses, existing.is_empty()) {
+        (true, true) => Some(AdmissionVictim::Candidate),
+        (true, false) => Some(AdmissionVictim::Both { flows: existing }),
+        (false, false) => Some(AdmissionVictim::Existing { flows: existing }),
+        (false, true) => None,
+    }
+}
+
+/// The converged state of the accepted set, kept between requests by the
+/// warm engine.
+#[derive(Debug, Clone)]
+struct WarmCache {
+    /// The converged jitter iterate of the last verified analysis.  After
+    /// a departure this may sit *above* the accepted set's fixed point for
+    /// the affected flows — still a valid seed on acyclic instances (the
+    /// fixed point is unique), with the cold fallback covering spurious
+    /// aborts.
+    jitters: JitterMap,
+    /// Converged per-flow reports that are known fresh.  Flows missing
+    /// here (their reports were invalidated by a departure) are always
+    /// re-verified on the next trial.
+    reports: BTreeMap<FlowId, FlowReport>,
 }
 
 /// An admission controller for one operator-managed network.
@@ -67,16 +231,36 @@ pub struct AdmissionController {
     topology: Topology,
     accepted: FlowSet,
     config: AnalysisConfig,
+    mode: AdmissionMode,
+    cache: Option<WarmCache>,
 }
 
 impl AdmissionController {
-    /// Create a controller with no accepted flows.
+    /// Create a controller with no accepted flows, using the incremental
+    /// warm engine ([`AdmissionMode::Warm`]).
     pub fn new(topology: Topology, config: AnalysisConfig) -> Self {
         AdmissionController {
             topology,
             accepted: FlowSet::new(),
             config,
+            mode: AdmissionMode::default(),
+            cache: None,
         }
+    }
+
+    /// Override the trial-analysis mode (cold restarts vs incremental warm
+    /// starts); decisions are byte-identical either way.
+    pub fn with_mode(mut self, mode: AdmissionMode) -> Self {
+        self.mode = mode;
+        if mode == AdmissionMode::Cold {
+            self.cache = None;
+        }
+        self
+    }
+
+    /// The trial-analysis mode in use.
+    pub fn mode(&self) -> AdmissionMode {
+        self.mode
     }
 
     /// The currently accepted flow set.
@@ -105,6 +289,19 @@ impl AdmissionController {
         self.request_with_encapsulation(flow, route, priority, EncapsulationConfig::paper())
     }
 
+    /// Ask to admit every flow of `requests` in order, stopping at the
+    /// first structural error.  Rejections do not stop the batch (each
+    /// later trial simply runs against the set accepted so far).
+    pub fn request_all(
+        &mut self,
+        requests: impl IntoIterator<Item = (GmfFlow, Route, Priority)>,
+    ) -> Result<Vec<AdmissionDecision>, AnalysisError> {
+        requests
+            .into_iter()
+            .map(|(flow, route, priority)| self.request(flow, route, priority))
+            .collect()
+    }
+
     /// Ask to admit `flow` with an explicit packetization configuration.
     pub fn request_with_encapsulation(
         &mut self,
@@ -119,27 +316,176 @@ impl AdmissionController {
 
         let mut trial = self.accepted.clone();
         let candidate_id = trial.add_with_encapsulation(flow, route, priority, encapsulation);
-        let report = analyze(&self.topology, &trial, &self.config)?;
+        let ctx = AnalysisContext::new(&self.topology, &trial)?;
 
+        // The warm path: seed from the cached converged map, re-verify only
+        // the flows the candidate can influence.  A warm run that fails to
+        // converge proves nothing (its seed may sit above the fixed point
+        // after departures), so the engine then restarts cold; either way
+        // the decision and its bounds match a cold analysis byte for byte.
+        let mut cost = DecisionCost {
+            rounds: 0,
+            flow_analyses: 0,
+            warm: false,
+        };
+        let mut run: Option<FixedPointRun> = None;
+        if self.mode == AdmissionMode::Warm && self.cache.is_some() {
+            match self.try_warm_trial(&ctx, &trial, candidate_id) {
+                Ok(Some(warm)) => {
+                    cost.rounds += warm.report.iterations;
+                    cost.flow_analyses += warm.flow_analyses;
+                    if warm.report.converged {
+                        cost.warm = true;
+                        run = Some(warm);
+                    }
+                }
+                Ok(None) => {}
+                // A seed above the fixed point (stale after departures)
+                // can turn jitter-dependent inner iterations into hard
+                // errors a cold run never hits.  The verdict must not
+                // depend on the seed, so restart cold — structural errors
+                // reproduce identically there.
+                Err(_) => {}
+            }
+        }
+        let run = match run {
+            Some(run) => run,
+            None => {
+                let cold = iterate(&ctx, &self.config)?;
+                cost.rounds += cold.report.iterations;
+                cost.flow_analyses += cold.flow_analyses;
+                cold
+            }
+        };
+        drop(ctx);
+
+        let FixedPointRun {
+            report, jitters, ..
+        } = run;
         if report.schedulable {
             self.accepted = trial;
+            if self.mode == AdmissionMode::Warm {
+                // A schedulable report is always converged, so the engine
+                // handed back the map it evaluated the bounds at.
+                self.cache = jitters.map(|jitters| WarmCache {
+                    jitters,
+                    reports: report.flows.iter().map(|f| (f.flow, f.clone())).collect(),
+                });
+            }
             Ok(AdmissionDecision::Accepted {
                 id: candidate_id,
                 report,
+                cost,
             })
         } else {
             let reason = report
                 .failure
                 .clone()
                 .unwrap_or_else(|| "deadline miss".to_string());
-            Ok(AdmissionDecision::Rejected { reason, report })
+            // Attribute the failure only when the analysis converged: an
+            // aborted or non-converged trial carries partial / non-final
+            // bounds, and a deadline "miss" read off them could name the
+            // wrong flow.
+            let victim = if report.converged {
+                victim_of(&report, candidate_id)
+            } else {
+                None
+            };
+            Ok(AdmissionDecision::Rejected {
+                id: candidate_id,
+                reason,
+                victim,
+                report,
+                cost,
+            })
         }
+    }
+
+    /// Run the warm-started, dependency-scoped trial analysis, or return
+    /// `None` when warm-starting is unsound or unavailable for this trial
+    /// (cyclic dependency graph, unwalkable route).
+    fn try_warm_trial(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        trial: &FlowSet,
+        candidate_id: FlowId,
+    ) -> Result<Option<FixedPointRun>, AnalysisError> {
+        let cache = self.cache.as_ref().expect("warm path requires a cache");
+        // One dependency-graph construction answers both questions: is the
+        // trial acyclic (warm starts are unsound otherwise) and what the
+        // candidate can influence.
+        let Some(affected) = acyclic_affected_flows(trial, candidate_id) else {
+            return Ok(None);
+        };
+
+        // Re-verify the affected flows plus everything whose cached report
+        // a departure invalidated; freeze the rest.
+        let mut active: BTreeSet<FlowId> = affected;
+        let mut frozen: BTreeMap<FlowId, FlowReport> = BTreeMap::new();
+        for binding in trial.bindings() {
+            if active.contains(&binding.id) {
+                continue;
+            }
+            match cache.reports.get(&binding.id) {
+                Some(report) => {
+                    frozen.insert(binding.id, report.clone());
+                }
+                None => {
+                    active.insert(binding.id);
+                }
+            }
+        }
+
+        // Seed: cached converged jitters for the accepted flows, the
+        // paper's initial (source-jitter) entries for the candidate.  The
+        // cache never holds entries under the candidate's id — rejected
+        // trial ids are reused, but rejections leave the cache untouched.
+        let mut seed = cache.jitters.clone();
+        debug_assert!(seed.iter().all(|(&(flow, _), _)| flow != candidate_id));
+        seed.set_initial(trial.get(candidate_id).map_err(AnalysisError::Net)?);
+
+        let scope = Scope {
+            active: &active,
+            frozen: &frozen,
+        };
+        iterate_scoped(ctx, &self.config, seed, &scope).map(Some)
+    }
+
+    /// Release (tear down) an accepted flow — the departure half of the
+    /// admission protocol.  Returns the removed binding.
+    ///
+    /// The warm cache survives the departure: only the cached reports of
+    /// flows the departed flow could influence are invalidated (they are
+    /// re-verified on the next request); everything else stays frozen.
+    pub fn release(&mut self, id: FlowId) -> Result<gmf_net::FlowBinding, AnalysisError> {
+        // Compute the invalidation set on the *pre-removal* set: the
+        // departed flow's interference edges still exist there.
+        let affected = if self.cache.is_some() && self.accepted.contains(id) {
+            affected_flows(&self.accepted, id)
+        } else {
+            None
+        };
+        let binding = self.accepted.remove(id).map_err(AnalysisError::Net)?;
+        if let Some(cache) = self.cache.as_mut() {
+            match affected {
+                Some(affected) => {
+                    cache.jitters.remove_flow(id);
+                    for flow in affected {
+                        cache.reports.remove(&flow);
+                    }
+                }
+                // No dependency information: drop the whole cache and let
+                // the next request restart cold.
+                None => self.cache = None,
+            }
+        }
+        Ok(binding)
     }
 
     /// Re-run the analysis of the currently accepted set (e.g. after the
     /// operator changed the analysis configuration).
     pub fn reanalyze(&self) -> Result<AnalysisReport, AnalysisError> {
-        analyze(&self.topology, &self.accepted, &self.config)
+        crate::holistic::analyze(&self.topology, &self.accepted, &self.config)
     }
 }
 
@@ -154,32 +500,42 @@ mod tests {
         (AdmissionController::new(t, AnalysisConfig::paper()), net)
     }
 
+    fn voice(deadline_ms: f64) -> GmfFlow {
+        voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(deadline_ms),
+            Time::from_millis(0.5),
+        )
+    }
+
     #[test]
     fn admits_feasible_flows_and_accumulates_them() {
         let (mut ctl, net) = controller();
         assert_eq!(ctl.n_accepted(), 0);
+        assert_eq!(ctl.mode(), AdmissionMode::Warm);
 
         let route = shortest_path(ctl.topology(), net.hosts[1], net.hosts[3]).unwrap();
-        let voice = voip_flow(
-            "voice",
-            VoiceCodec::G711,
-            Time::from_millis(20.0),
-            Time::from_millis(0.5),
-        );
-        let d = ctl.request(voice, route, Priority(7)).unwrap();
+        let d = ctl.request(voice(20.0), route, Priority(7)).unwrap();
         assert!(d.is_accepted());
         assert_eq!(ctl.n_accepted(), 1);
         assert!(d.report().schedulable);
-        // The decision exposes the cost of the trial analysis: how many
-        // holistic rounds it took, with one trace entry per round.
+        // The decision exposes the cost of the trial analyses: how many
+        // holistic rounds they took, with one trace entry per round of the
+        // final run.
         assert!(d.iterations() >= 1);
-        assert_eq!(d.trace().len(), d.iterations());
+        assert_eq!(d.trace().len(), d.report().iterations);
+        assert!(d.cost().flow_analyses >= 1);
+        // The candidate's own report is addressable by its id.
+        assert_eq!(d.candidate_report().unwrap().flow, d.id());
 
         let route = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
         let video = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
         let d = ctl.request(video, route, Priority(5)).unwrap();
         assert!(d.is_accepted());
         assert_eq!(ctl.n_accepted(), 2);
+        // The second trial ran warm off the cached converged map.
+        assert!(d.cost().warm);
 
         // Re-analysing the accepted set is still schedulable.
         assert!(ctl.reanalyze().unwrap().schedulable);
@@ -191,14 +547,8 @@ mod tests {
         // The voice call enters through host 1 so it does not share the
         // (priority-blind) access link of the video source.
         let voice_route = shortest_path(ctl.topology(), net.hosts[1], net.hosts[3]).unwrap();
-        let voice = voip_flow(
-            "voice",
-            VoiceCodec::G711,
-            Time::from_millis(20.0),
-            Time::from_millis(0.5),
-        );
         assert!(ctl
-            .request(voice, voice_route, Priority(7))
+            .request(voice(20.0), voice_route, Priority(7))
             .unwrap()
             .is_accepted());
 
@@ -209,9 +559,22 @@ mod tests {
         let d = ctl.request(video, route.clone(), Priority(6)).unwrap();
         assert!(!d.is_accepted());
         match &d {
-            AdmissionDecision::Rejected { reason, report } => {
+            AdmissionDecision::Rejected {
+                id,
+                reason,
+                victim,
+                report,
+                ..
+            } => {
                 assert!(reason.contains("video") || reason.contains("overload"));
                 assert!(!report.schedulable);
+                // The rejection names the candidate's trial id, and when
+                // the analysis converged, attributes the miss to it.
+                assert_eq!(*id, d.id());
+                if report.converged {
+                    assert_eq!(*victim, Some(AdmissionVictim::Candidate));
+                    assert_eq!(report.flow(*id).unwrap().flow, *id);
+                }
             }
             _ => unreachable!(),
         }
@@ -219,31 +582,25 @@ mod tests {
         assert_eq!(ctl.n_accepted(), 1);
         assert!(ctl.reanalyze().unwrap().schedulable);
 
-        // The same video flow with a realistic deadline is admitted.
+        // The same video flow with a realistic deadline is admitted, and
+        // the rejected trial id is reused (it never entered the set).
         let video = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
-        assert!(ctl
-            .request(video, route, Priority(6))
-            .unwrap()
-            .is_accepted());
+        let d2 = ctl.request(video, route, Priority(6)).unwrap();
+        assert!(d2.is_accepted());
+        assert_eq!(d2.id(), d.id());
         assert_eq!(ctl.n_accepted(), 2);
     }
 
     #[test]
-    fn rejection_protects_already_admitted_flows() {
+    fn rejection_protects_already_admitted_flows_and_names_them() {
         let (mut ctl, net) = controller();
         // Admit a voice flow with a tight deadline on the shared 10 Mbit/s
         // access link of host 0.
         let route03 = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
-        let voice = voip_flow(
-            "voice",
-            VoiceCodec::G711,
-            Time::from_millis(4.0),
-            Time::from_millis(0.5),
-        );
-        assert!(ctl
-            .request(voice, route03.clone(), Priority(7))
-            .unwrap()
-            .is_accepted());
+        let tight = ctl
+            .request(voice(4.0), route03.clone(), Priority(7))
+            .unwrap();
+        assert!(tight.is_accepted());
 
         // A big low-priority video flow sharing the same source link pushes
         // the voice flow's first-hop (priority-blind) bound past 4 ms, so it
@@ -253,6 +610,141 @@ mod tests {
         let d = ctl.request(video, route03, Priority(1)).unwrap();
         assert!(!d.is_accepted());
         assert_eq!(ctl.n_accepted(), 1);
+        match &d {
+            AdmissionDecision::Rejected { victim, report, .. } => {
+                if report.converged {
+                    assert_eq!(
+                        *victim,
+                        Some(AdmissionVictim::Existing {
+                            flows: vec![tight.id()],
+                        }),
+                    );
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn warm_decisions_match_cold_decisions_bytewise() {
+        let requests = |net: &gmf_net::PaperNetwork, t: &Topology| {
+            vec![
+                (
+                    voice(20.0),
+                    shortest_path(t, net.hosts[1], net.hosts[3]).unwrap(),
+                    Priority(7),
+                ),
+                (
+                    paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0)),
+                    shortest_path(t, net.hosts[0], net.hosts[3]).unwrap(),
+                    Priority(5),
+                ),
+                (
+                    // An impossible deadline: rejected by both engines.
+                    paper_figure3_flow("video2", Time::from_millis(2.0), Time::from_millis(1.0)),
+                    shortest_path(t, net.hosts[2], net.hosts[3]).unwrap(),
+                    Priority(6),
+                ),
+                (
+                    voice(25.0),
+                    shortest_path(t, net.hosts[2], net.hosts[0]).unwrap(),
+                    Priority(7),
+                ),
+            ]
+        };
+        let (t, net) = paper_figure1();
+        let mut warm = AdmissionController::new(t.clone(), AnalysisConfig::paper());
+        let mut cold = AdmissionController::new(t.clone(), AnalysisConfig::paper())
+            .with_mode(AdmissionMode::Cold);
+        let warm_decisions = warm.request_all(requests(&net, &t)).unwrap();
+        let cold_decisions = cold.request_all(requests(&net, &t)).unwrap();
+        assert_eq!(warm_decisions.len(), 4);
+        let mut saw_scoped_saving = false;
+        for (w, c) in warm_decisions.iter().zip(&cold_decisions) {
+            assert_eq!(w.is_accepted(), c.is_accepted());
+            assert_eq!(w.id(), c.id());
+            // Bounds, verdicts and failure attribution are byte-identical;
+            // only the iteration traces may differ.
+            assert_eq!(w.report().flows, c.report().flows);
+            assert_eq!(w.report().schedulable, c.report().schedulable);
+            assert_eq!(w.report().failure, c.report().failure);
+            saw_scoped_saving |= w.cost().flow_analyses < c.cost().flow_analyses;
+        }
+        assert_eq!(warm.accepted(), cold.accepted());
+        // The warm engine did strictly less per-flow work on at least one
+        // decision of this scenario.
+        assert!(saw_scoped_saving);
+    }
+
+    #[test]
+    fn release_departs_a_flow_and_reopens_capacity() {
+        let (mut ctl, net) = controller();
+        let route03 = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
+        let first = ctl
+            .request(voice(4.0), route03.clone(), Priority(7))
+            .unwrap();
+        assert!(first.is_accepted());
+
+        // The big video flow does not fit next to the tight voice call...
+        let video = paper_figure3_flow("video", Time::from_millis(500.0), Time::from_millis(1.0));
+        let d = ctl
+            .request(video.clone(), route03.clone(), Priority(1))
+            .unwrap();
+        assert!(!d.is_accepted());
+
+        // ...but after the voice call departs, it does.
+        let departed = ctl.release(first.id()).unwrap();
+        assert_eq!(departed.id, first.id());
+        assert_eq!(ctl.n_accepted(), 0);
+        let d = ctl.request(video, route03, Priority(1)).unwrap();
+        assert!(d.is_accepted(), "{:?}", d.report().failure);
+        assert_eq!(ctl.n_accepted(), 1);
+        // Departed ids are never reused.
+        assert_ne!(d.id(), first.id());
+
+        // Releasing an unknown id is an error and changes nothing.
+        assert!(ctl.release(first.id()).is_err());
+        assert_eq!(ctl.n_accepted(), 1);
+    }
+
+    #[test]
+    fn release_and_readmission_restore_identical_bounds() {
+        let (t, net) = paper_figure1();
+        for mode in [AdmissionMode::Cold, AdmissionMode::Warm] {
+            let mut ctl =
+                AdmissionController::new(t.clone(), AnalysisConfig::paper()).with_mode(mode);
+            let voice_route = shortest_path(&t, net.hosts[1], net.hosts[3]).unwrap();
+            let video_route = shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap();
+            let video =
+                paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
+            let v = ctl
+                .request(voice(20.0), voice_route.clone(), Priority(7))
+                .unwrap();
+            let before = ctl
+                .request(video.clone(), video_route.clone(), Priority(5))
+                .unwrap();
+            assert!(v.is_accepted() && before.is_accepted());
+
+            // Tear the video down and bring it back: every surviving flow's
+            // report and the re-admitted flow's bounds are unchanged (only
+            // its id is fresh).
+            ctl.release(before.id()).unwrap();
+            let after = ctl.request(video, video_route, Priority(5)).unwrap();
+            assert!(after.is_accepted());
+            assert_ne!(after.id(), before.id());
+            let b = before.candidate_report().unwrap();
+            let a = after.candidate_report().unwrap();
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.frames.len(), b.frames.len());
+            for (fa, fb) in a.frames.iter().zip(&b.frames) {
+                assert_eq!(fa.bound, fb.bound, "mode {mode}");
+                assert_eq!(fa.hops, fb.hops);
+            }
+            assert_eq!(
+                after.report().flow(v.id()).unwrap(),
+                before.report().flow(v.id()).unwrap(),
+            );
+        }
     }
 
     #[test]
@@ -267,14 +759,24 @@ mod tests {
             gmf_net::SwitchConfig::paper(),
         );
         let bogus = gmf_net::shortest_path(&line_topology, a, b).unwrap();
-        let voice = voip_flow(
-            "voice",
-            VoiceCodec::G711,
-            Time::from_millis(20.0),
-            Time::ZERO,
-        );
-        let result = ctl.request(voice, bogus, Priority(7));
+        let result = ctl.request(voice(20.0), bogus, Priority(7));
         assert!(result.is_err());
         assert_eq!(ctl.n_accepted(), 0);
+    }
+
+    #[test]
+    fn decision_serde_roundtrip_includes_victim_and_cost() {
+        let (mut ctl, net) = controller();
+        let route = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
+        ctl.request(voice(4.0), route.clone(), Priority(7)).unwrap();
+        let video = paper_figure3_flow("video", Time::from_millis(500.0), Time::from_millis(1.0));
+        let d = ctl.request(video, route, Priority(1)).unwrap();
+        assert!(!d.is_accepted());
+        let json = serde_json::to_string(&d).unwrap();
+        let back: AdmissionDecision = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(AdmissionMode::default(), AdmissionMode::Warm);
+        assert_eq!(AdmissionMode::Cold.to_string(), "cold");
+        assert_eq!(AdmissionMode::Warm.to_string(), "warm");
     }
 }

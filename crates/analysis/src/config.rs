@@ -93,6 +93,15 @@ impl AnalysisConfig {
         self
     }
 
+    /// Override the outer (holistic jitter) iteration budget (`0` is
+    /// treated as 1).  Warm-started admission trials inherit the same
+    /// budget as cold runs; tests use small budgets to exercise the
+    /// non-convergence paths.
+    pub fn with_max_holistic_iterations(mut self, iterations: usize) -> Self {
+        self.max_holistic_iterations = iterations.max(1);
+        self
+    }
+
     /// Override the worker-thread count of the holistic engine (`0` is
     /// treated as 1).
     pub fn with_threads(mut self, threads: usize) -> Self {

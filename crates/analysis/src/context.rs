@@ -66,19 +66,27 @@ impl JitterMap {
     pub fn initial(flows: &FlowSet) -> Self {
         let mut map = JitterMap::default();
         for binding in flows.bindings() {
-            let first_hop = binding
-                .route
-                .hops()
-                .next()
-                .expect("routes have at least one hop");
-            let resource = ResourceId::Link {
-                from: first_hop.from,
-                to: first_hop.to,
-            };
-            let jitters = binding.flow.frames().iter().map(|f| f.jitter).collect();
-            map.values.insert((binding.id, resource), jitters);
+            map.set_initial(binding);
         }
         map
+    }
+
+    /// Set one flow's initial entries (its source jitter on its first
+    /// link), replacing any stored entry at that resource.  This is how a
+    /// warm-started admission trial seeds the candidate without building
+    /// the whole initial map of the trial set.
+    pub fn set_initial(&mut self, binding: &gmf_net::FlowBinding) {
+        let first_hop = binding
+            .route
+            .hops()
+            .next()
+            .expect("routes have at least one hop");
+        let resource = ResourceId::Link {
+            from: first_hop.from,
+            to: first_hop.to,
+        };
+        let jitters = binding.flow.frames().iter().map(|f| f.jitter).collect();
+        self.values.insert((binding.id, resource), jitters);
     }
 
     /// Set the jitter of frame `k` of `flow` at `resource`.
@@ -165,6 +173,24 @@ impl JitterMap {
     /// Iterate over all stored entries.
     pub fn iter(&self) -> impl Iterator<Item = (&(FlowId, ResourceId), &Vec<Time>)> {
         self.values.iter()
+    }
+
+    /// Copy every entry of `other` whose flow satisfies `keep` into
+    /// `self`, replacing existing entries — one pass over `other`
+    /// regardless of how many flows are kept (the scoped warm rounds
+    /// carry *all* frozen flows' jitters with one call per round).
+    pub fn adopt_flows_where(&mut self, other: &JitterMap, mut keep: impl FnMut(FlowId) -> bool) {
+        for (&(flow, resource), values) in other.values.iter() {
+            if keep(flow) {
+                self.values.insert((flow, resource), values.clone());
+            }
+        }
+    }
+
+    /// Drop every entry of `flow` (a departure: the flow no longer exists,
+    /// so its jitters must not seed future warm starts).
+    pub fn remove_flow(&mut self, flow: FlowId) {
+        self.values.retain(|&(f, _), _| f != flow);
     }
 }
 
@@ -332,6 +358,47 @@ mod tests {
         map4.set(FlowId(1), resource, 0, Time::ZERO, 1);
         assert!(map.approx_eq(&map4));
         assert!(map.iter().count() >= 2);
+    }
+
+    #[test]
+    fn adopt_and_remove_flow_entries() {
+        let (_, fs, n) = setup();
+        let mut map = JitterMap::initial(&fs);
+        let resource = ResourceId::SwitchIngress { node: n[2] };
+        map.set(FlowId(0), resource, 1, Time::from_millis(2.0), 9);
+
+        // Removing a flow drops all of its entries and nothing else.
+        let mut pruned = map.clone();
+        pruned.remove_flow(FlowId(0));
+        assert_eq!(pruned.get(FlowId(0), resource, 1), Time::ZERO);
+        assert!(pruned.iter().all(|(&(f, _), _)| f != FlowId(0)));
+        assert!(pruned.iter().any(|(&(f, _), _)| f == FlowId(1)));
+
+        // The predicate adoption restores any subset in one pass.
+        let mut partial = pruned.clone();
+        partial.adopt_flows_where(&map, |f| f == FlowId(0));
+        assert_eq!(partial, map);
+        let mut none = pruned.clone();
+        none.adopt_flows_where(&map, |_| false);
+        assert_eq!(none, pruned);
+
+        // Adoption replaces stale entries rather than merging them.
+        let mut stale = map.clone();
+        stale.set(FlowId(0), resource, 1, Time::from_millis(9.0), 9);
+        stale.adopt_flows_where(&map, |f| f == FlowId(0));
+        assert_eq!(stale, map);
+
+        // Re-seeding one flow's initial entries matches the full initial
+        // map restricted to that flow.
+        let fresh = JitterMap::initial(&fs);
+        let mut reseeded = JitterMap::default();
+        reseeded.set_initial(fs.get(FlowId(1)).unwrap());
+        for (&(flow, resource), values) in reseeded.iter() {
+            assert_eq!(flow, FlowId(1));
+            for (frame, &value) in values.iter().enumerate() {
+                assert_eq!(value, fresh.get(flow, resource, frame));
+            }
+        }
     }
 
     #[test]

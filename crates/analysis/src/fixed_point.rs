@@ -83,6 +83,19 @@
 //! [`ConvergenceTrace`] records what happened each round (residual and
 //! step kind), which is also how the benches measure the iteration
 //! savings.
+//!
+//! **Warm starts and incremental re-verification.**  [`iterate_from`]
+//! seeds the iteration with an arbitrary [`JitterMap`] instead of the
+//! paper's initial map.  On acyclic instances the fixed point is unique
+//! and `G^{depth+1}` is a constant map, so a seed taken from the converged
+//! map of a closely related flow set (the previous admission decision)
+//! lands on byte-identical bounds in far fewer rounds.  On top of that,
+//! [`affected_flows`] computes which flows a candidate can influence at
+//! all — everything unreachable from it in the dependency graph keeps its
+//! cached converged [`FlowReport`] verbatim and is never re-analysed
+//! ([`Scope`]).  [`crate::admission::AdmissionController`] combines both
+//! into its incremental admission engine, with a cold restart whenever the
+//! dependency graph is cyclic or a warm run fails to converge.
 
 use crate::config::AnalysisConfig;
 use crate::context::{AnalysisContext, JitterMap};
@@ -214,63 +227,63 @@ const MAX_ABSORBS: usize = 2;
 /// nearly drained.
 const MID_TAIL_FRACTION: f64 = 0.35;
 
-/// `true` if the jitter dependency graph of the flow set is acyclic.
+/// A node of the jitter dependency graph: the jitter of one flow at one
+/// resource of its route.
+type DepNode = (gmf_model::FlowId, crate::context::ResourceId);
+
+/// The Figure 6 pipeline walk of one flow: its resources in route order,
+/// each paired with the underlying directed link whose flow set interferes
+/// at that resource.  `None` if the route is structurally broken (a
+/// condition the analysis itself reports as an error).
+fn flow_stages(
+    binding: &gmf_net::FlowBinding,
+) -> Option<
+    Vec<(
+        crate::context::ResourceId,
+        (gmf_net::NodeId, gmf_net::NodeId),
+    )>,
+> {
+    use crate::context::ResourceId;
+    let route = &binding.route;
+    let source = route.source();
+    let first_succ = route.successor(source).ok()?;
+    let mut stages = vec![(
+        ResourceId::Link {
+            from: source,
+            to: first_succ,
+        },
+        (source, first_succ),
+    )];
+    for &switch in route.switches() {
+        let succ = route.successor(switch).ok()?;
+        let prec = route.predecessor(switch).ok()?;
+        stages.push((ResourceId::SwitchIngress { node: switch }, (prec, switch)));
+        stages.push((
+            ResourceId::Link {
+                from: switch,
+                to: succ,
+            },
+            (switch, succ),
+        ));
+    }
+    Some(stages)
+}
+
+/// The edges of the jitter dependency graph of `flows`.
 ///
 /// Nodes are `(flow, resource)` pairs.  The jitter a flow accumulates at
 /// resource `r_{i+1}` of its route is its jitter at `r_i` plus its response
 /// at `r_i`, and that response reads the jitter of every interfering flow
 /// at `r_i` — so there is an edge `(A, r_i) → (A, r_{i+1})` and an edge
 /// `(B, r_i) → (A, r_{i+1})` for every `B` sharing `r_i`'s underlying link
-/// with `A`.  When this graph is acyclic, `G^depth` is a constant map: the
-/// holistic equations have a *unique* fixed point and any convergent
-/// iteration — accelerated or not — lands on exactly the same lattice
-/// point.  When it has a cycle (mutually chasing flows on a ring), larger
-/// self-consistent solutions exist above the least fixed point and an
-/// extrapolation overshoot could latch onto one; the engine therefore
-/// disables acceleration for cyclic instances.
-///
-/// Every workload in the paper (converging stars, unidirectional lines,
-/// the Figure 1 network) is acyclic: opposite link directions are distinct
-/// resources and never interfere.
-fn dependency_is_acyclic(ctx: &AnalysisContext<'_>) -> bool {
-    use crate::context::ResourceId;
-    use std::collections::BTreeMap;
-
-    // The per-flow resource sequence, mirroring the Figure 6 pipeline walk,
-    // together with the underlying directed link whose flow set interferes
-    // at that resource.
-    type Node = (gmf_model::FlowId, ResourceId);
-    let mut edges: BTreeMap<Node, Vec<Node>> = BTreeMap::new();
-    for binding in ctx.flows().bindings() {
-        let route = &binding.route;
-        let source = route.source();
-        let Ok(first_succ) = route.successor(source) else {
-            return false;
-        };
-        // (resource, interference link) in route order.
-        let mut stages: Vec<(ResourceId, (gmf_net::NodeId, gmf_net::NodeId))> = vec![(
-            ResourceId::Link {
-                from: source,
-                to: first_succ,
-            },
-            (source, first_succ),
-        )];
-        for &switch in route.switches() {
-            let Ok(succ) = route.successor(switch) else {
-                return false;
-            };
-            let Ok(prec) = route.predecessor(switch) else {
-                return false;
-            };
-            stages.push((ResourceId::SwitchIngress { node: switch }, (prec, switch)));
-            stages.push((
-                ResourceId::Link {
-                    from: switch,
-                    to: succ,
-                },
-                (switch, succ),
-            ));
-        }
+/// with `A`.  `None` if any route is structurally broken.
+fn dependency_edges(
+    flows: &gmf_net::FlowSet,
+) -> Option<std::collections::BTreeMap<DepNode, Vec<DepNode>>> {
+    let mut edges: std::collections::BTreeMap<DepNode, Vec<DepNode>> =
+        std::collections::BTreeMap::new();
+    for binding in flows.bindings() {
+        let stages = flow_stages(binding)?;
         for window in stages.windows(2) {
             let (resource, (from, to)) = window[0];
             let (next_resource, _) = window[1];
@@ -279,15 +292,43 @@ fn dependency_is_acyclic(ctx: &AnalysisContext<'_>) -> bool {
                 .entry((binding.id, resource))
                 .or_default()
                 .push(target);
-            for other in ctx.flows().flows_on_link(from, to) {
+            for other in flows.flows_on_link(from, to) {
                 if other != binding.id {
                     edges.entry((other, resource)).or_default().push(target);
                 }
             }
         }
     }
+    Some(edges)
+}
 
-    // Iterative three-colour DFS over the dependency graph.
+/// `true` if the jitter dependency graph of the flow set is acyclic.
+///
+/// When the graph is acyclic, `G^depth` is a constant map: the holistic
+/// equations have a *unique* fixed point and any convergent iteration —
+/// accelerated, warm-started from a cached map, or plain Picard — lands on
+/// exactly the same lattice point.  When it has a cycle (mutually chasing
+/// flows on a ring), larger self-consistent solutions exist above the
+/// least fixed point and an extrapolation overshoot (or a stale warm-start
+/// seed) could latch onto one; the engine therefore disables acceleration
+/// — and the admission controller disables warm starts — for cyclic
+/// instances.
+///
+/// Every workload in the paper (converging stars, unidirectional lines,
+/// the Figure 1 network) is acyclic: opposite link directions are distinct
+/// resources and never interfere.
+pub(crate) fn dependency_is_acyclic(flows: &gmf_net::FlowSet) -> bool {
+    match dependency_edges(flows) {
+        Some(edges) => !edges_have_cycle(&edges),
+        None => false,
+    }
+}
+
+/// Iterative three-colour DFS cycle check over a prepared edge map.
+fn edges_have_cycle(edges: &std::collections::BTreeMap<DepNode, Vec<DepNode>>) -> bool {
+    use std::collections::BTreeMap;
+    type Node = DepNode;
+
     #[derive(Clone, Copy, PartialEq)]
     enum Colour {
         InProgress,
@@ -309,7 +350,7 @@ fn dependency_is_acyclic(ctx: &AnalysisContext<'_>) -> bool {
                 let next = targets[*child];
                 *child += 1;
                 match colour.get(&next) {
-                    Some(Colour::InProgress) => return false,
+                    Some(Colour::InProgress) => return true,
                     Some(Colour::Done) => {}
                     None => {
                         colour.insert(next, Colour::InProgress);
@@ -322,7 +363,97 @@ fn dependency_is_acyclic(ctx: &AnalysisContext<'_>) -> bool {
             }
         }
     }
-    true
+    false
+}
+
+/// The flows whose analysis can change when `seed` is added to (or removed
+/// from) `flows` — the scope of re-verification for an incremental
+/// admission decision.
+///
+/// A flow `F` is *affected* iff the response bound of `F` at some resource
+/// `r` of its route can change, which happens exactly when a flow sharing
+/// `r`'s underlying interference link either is `seed` itself (its demand
+/// appears or disappears from the interference sum) or has a changed
+/// generalized jitter at `r`.  Changed jitters are the closure of `seed`'s
+/// own nodes under the dependency edges: `jitter(A, r_{i+1})` is a function
+/// of the jitters at `r_i` of every flow interfering with `A` there.
+///
+/// Flows *not* in the returned set keep byte-identical bounds: every input
+/// of every one of their per-resource analyses is untouched by `seed`, so a
+/// cached converged [`crate::report::FlowReport`] stays valid verbatim.
+///
+/// Returns `None` when a route is structurally broken (the caller falls
+/// back to re-verifying everything).
+pub(crate) fn affected_flows(
+    flows: &gmf_net::FlowSet,
+    seed: gmf_model::FlowId,
+) -> Option<std::collections::BTreeSet<gmf_model::FlowId>> {
+    let edges = dependency_edges(flows)?;
+    affected_flows_in(flows, seed, &edges)
+}
+
+/// [`affected_flows`] + acyclicity in one dependency-graph construction —
+/// the per-request combination the warm admission path needs.  `None` when
+/// the graph is cyclic (warm starts are unsound there) or a route is
+/// structurally broken.
+pub(crate) fn acyclic_affected_flows(
+    flows: &gmf_net::FlowSet,
+    seed: gmf_model::FlowId,
+) -> Option<std::collections::BTreeSet<gmf_model::FlowId>> {
+    let edges = dependency_edges(flows)?;
+    if edges_have_cycle(&edges) {
+        return None;
+    }
+    affected_flows_in(flows, seed, &edges)
+}
+
+/// The [`affected_flows`] closure over a prepared edge map.
+fn affected_flows_in(
+    flows: &gmf_net::FlowSet,
+    seed: gmf_model::FlowId,
+    edges: &std::collections::BTreeMap<DepNode, Vec<DepNode>>,
+) -> Option<std::collections::BTreeSet<gmf_model::FlowId>> {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let stages: BTreeMap<gmf_model::FlowId, _> = flows
+        .bindings()
+        .iter()
+        .map(|b| Some((b.id, flow_stages(b)?)))
+        .collect::<Option<_>>()?;
+
+    // Closure of the seed flow's own nodes under the dependency edges:
+    // every (flow, resource) whose jitter value can differ between the
+    // with-seed and without-seed fixed points.
+    let mut changed: BTreeSet<DepNode> = stages[&seed]
+        .iter()
+        .map(|&(resource, _)| (seed, resource))
+        .collect();
+    let mut worklist: Vec<DepNode> = changed.iter().copied().collect();
+    while let Some(node) = worklist.pop() {
+        for &next in edges.get(&node).into_iter().flatten() {
+            if changed.insert(next) {
+                worklist.push(next);
+            }
+        }
+    }
+
+    let mut affected = BTreeSet::new();
+    affected.insert(seed);
+    for binding in flows.bindings() {
+        if affected.contains(&binding.id) {
+            continue;
+        }
+        let touched = stages[&binding.id].iter().any(|&(resource, (from, to))| {
+            flows
+                .flows_on_link(from, to)
+                .iter()
+                .any(|&other| other == seed || changed.contains(&(other, resource)))
+        });
+        if touched {
+            affected.insert(binding.id);
+        }
+    }
+    Some(affected)
 }
 
 /// Everything one `G` evaluation produces.
@@ -340,9 +471,33 @@ enum RoundOutcome {
     },
 }
 
-/// Evaluate `G` at `jitters`: analyse every flow of the context's flow set
-/// against the given map, in parallel over `threads` workers, and fold the
-/// assignments into the next round's map.
+/// A dependency-derived re-verification scope for an incremental
+/// (warm-started) run: only `active` flows are re-analysed each round;
+/// every other flow's converged [`FlowReport`] is carried verbatim and its
+/// jitter entries are copied through from the current iterate.
+///
+/// Correctness rests on [`affected_flows`]: a flow outside `active` has no
+/// analysis input that can differ from the cached converged run, so both
+/// its report and its jitters are already at their (unique, acyclic-case)
+/// fixed-point values.  Scoping therefore implies an *acyclic* dependency
+/// graph — callers must have checked it (see [`acyclic_affected_flows`]);
+/// the engine trusts the scope and skips rebuilding the graph for the
+/// Anderson gate.
+pub(crate) struct Scope<'s> {
+    /// Flows to re-analyse every round (the candidate plus everything
+    /// reachable from it in the dependency graph, plus any flow whose
+    /// cached report was invalidated by an earlier departure).
+    pub active: &'s std::collections::BTreeSet<gmf_model::FlowId>,
+    /// Converged reports of the inactive flows, merged verbatim into every
+    /// round's report vector.  Must cover exactly the flows of the context
+    /// that are not in `active`.
+    pub frozen: &'s std::collections::BTreeMap<gmf_model::FlowId, FlowReport>,
+}
+
+/// Evaluate `G` at `jitters`: analyse every (active) flow of the context's
+/// flow set against the given map, in parallel over `threads` workers, and
+/// fold the assignments into the next round's map.  Returns the outcome
+/// and the number of per-flow analyses actually performed.
 ///
 /// Flows are analysed in flow-index order semantics: results are collected
 /// in that order, the next map is folded in that order, and the first
@@ -352,8 +507,16 @@ fn evaluate_round(
     ctx: &AnalysisContext<'_>,
     jitters: &JitterMap,
     config: &AnalysisConfig,
-) -> Result<RoundOutcome, AnalysisError> {
+    scope: Option<&Scope<'_>>,
+) -> Result<(RoundOutcome, usize), AnalysisError> {
     let bindings = ctx.flows().bindings();
+    let active: Vec<&gmf_net::FlowBinding> = match scope {
+        None => bindings.iter().collect(),
+        Some(s) => bindings
+            .iter()
+            .filter(|b| s.active.contains(&b.id))
+            .collect(),
+    };
     let threads = Threads::new(config.threads);
 
     // With one worker the results come from a lazy iterator, so the scan
@@ -363,53 +526,80 @@ fn evaluate_round(
     // precedence is first-in-flow-order either way, so the outcome is
     // byte-identical at any thread count.
     type FlowResult = Result<(Vec<FrameBound>, Vec<JitterAssignments>), AnalysisError>;
-    let results: Box<dyn Iterator<Item = FlowResult>> = if threads.get() == 1 {
+    let mut results: Box<dyn Iterator<Item = FlowResult> + '_> = if threads.get() == 1 {
         Box::new(
-            bindings
+            active
                 .iter()
                 .map(|binding| analyze_flow(ctx, jitters, config, binding.id)),
         )
     } else {
         Box::new(
-            par_map(threads, bindings, |_, binding| {
+            par_map(threads, &active, |_, binding| {
                 analyze_flow(ctx, jitters, config, binding.id)
             })
             .into_iter(),
         )
     };
 
+    let mut analyzed = 0usize;
     let mut reports = Vec::with_capacity(bindings.len());
-    let mut all_assignments = Vec::with_capacity(bindings.len());
-    for (binding, result) in bindings.iter().zip(results) {
-        match result {
-            Ok((bounds, assignments)) => {
-                reports.push(FlowReport {
-                    flow: binding.id,
-                    name: binding.flow.name().to_string(),
-                    frames: bounds,
-                });
-                all_assignments.push(assignments);
+    let mut fresh_assignments: Vec<(gmf_model::FlowId, usize, Vec<JitterAssignments>)> =
+        Vec::with_capacity(active.len());
+    for binding in bindings {
+        let is_active = scope.is_none_or(|s| s.active.contains(&binding.id));
+        if is_active {
+            let result = results.next().expect("one result per active flow");
+            analyzed += 1;
+            match result {
+                Ok((bounds, assignments)) => {
+                    fresh_assignments.push((binding.id, bounds.len(), assignments));
+                    reports.push(FlowReport {
+                        flow: binding.id,
+                        name: binding.flow.name().to_string(),
+                        frames: bounds,
+                    });
+                }
+                Err(err) if err.is_unschedulable() => {
+                    return Ok((
+                        RoundOutcome::Unschedulable {
+                            partial: reports,
+                            failure: err.to_string(),
+                        },
+                        analyzed,
+                    ));
+                }
+                Err(err) => return Err(err),
             }
-            Err(err) if err.is_unschedulable() => {
-                return Ok(RoundOutcome::Unschedulable {
-                    partial: reports,
-                    failure: err.to_string(),
-                });
-            }
-            Err(err) => return Err(err),
+        } else {
+            // Cloning the frozen report into every round keeps the scoped
+            // path shape-identical to the cold one (reports always in full
+            // flow order); the R×F clone cost is accepted — rounds are few
+            // and intermediate vectors are small next to the analyses they
+            // replace.
+            let frozen = scope
+                .expect("inactive flows only exist under a scope")
+                .frozen
+                .get(&binding.id)
+                .expect("scoped rounds carry a frozen report for every inactive flow");
+            reports.push(frozen.clone());
         }
     }
 
     let mut next = JitterMap::initial(ctx.flows());
-    for (report, assignments) in reports.iter().zip(&all_assignments) {
-        let n_frames = report.frames.len();
+    if let Some(s) = scope {
+        // Frozen flows' jitters are already at their fixed-point values;
+        // carry them through unchanged (single pass over the map) so the
+        // fold below only moves the active components.
+        next.adopt_flows_where(jitters, |flow| s.frozen.contains_key(&flow));
+    }
+    for (flow, n_frames, assignments) in &fresh_assignments {
         for (frame_index, frame_assignments) in assignments.iter().enumerate() {
             for &(resource, jitter) in frame_assignments {
-                next.set(report.flow, resource, frame_index, jitter, n_frames);
+                next.set(*flow, resource, frame_index, jitter, *n_frames);
             }
         }
     }
-    Ok(RoundOutcome::Evaluated { reports, next })
+    Ok((RoundOutcome::Evaluated { reports, next }, analyzed))
 }
 
 /// What [`anderson_candidate`] produced, distinguished so the
@@ -508,15 +698,81 @@ struct AndersonState {
     enabled: bool,
 }
 
-/// Run the holistic jitter iteration on a prepared context.
+/// Everything one holistic fixed-point run produces: the report, the
+/// converged jitter map (for warm-start caching) and the run's cost.
+#[derive(Debug, Clone)]
+pub struct FixedPointRun {
+    /// The analysis report (what [`crate::holistic::analyze`] returns).
+    pub report: AnalysisReport,
+    /// The converged jitter iterate `x*` — present iff the run converged.
+    /// The report's bounds are exactly the evaluation `G(x*)`, so seeding a
+    /// later warm-started run with this map reproduces them byte for byte.
+    pub jitters: Option<JitterMap>,
+    /// Number of per-flow pipeline analyses performed (≈ rounds × flows
+    /// analysed per round; fewer when a round aborts early).  This is the
+    /// admission-control cost metric the churn experiment tracks.
+    pub flow_analyses: usize,
+}
+
+/// Run the holistic jitter iteration from the paper's initial map (source
+/// jitter on first links, zero elsewhere).
 ///
-/// This is the engine behind [`crate::holistic::analyze`]; callers should
-/// use that entry point.  `ctx` must wrap a non-empty flow set.
+/// This is the engine behind [`crate::holistic::analyze`]; analysis
+/// callers should use that entry point.  `ctx` must wrap a non-empty flow
+/// set.
 pub(crate) fn iterate(
     ctx: &AnalysisContext<'_>,
     config: &AnalysisConfig,
-) -> Result<AnalysisReport, AnalysisError> {
-    let mut x = JitterMap::initial(ctx.flows());
+) -> Result<FixedPointRun, AnalysisError> {
+    iterate_inner(ctx, config, JitterMap::initial(ctx.flows()), None)
+}
+
+/// Run the holistic jitter iteration warm-started from `initial`.
+///
+/// On an *acyclic* jitter dependency graph (see the module docs) the fixed
+/// point is unique and `G^{depth+1}` is a constant map, so the run
+/// converges to byte-identical bounds from **any** initial map — a cached
+/// converged map of a closely related flow set lands in far fewer rounds
+/// than the cold start.  Two caveats the caller owns:
+///
+/// * on a **cyclic** instance a seed above the least fixed point can latch
+///   onto a larger self-consistent solution — warm-start only when
+///   the dependency graph is acyclic (the admission controller gates on
+///   exactly that and falls back to a cold restart otherwise);
+/// * a seed *above* the fixed point (e.g. cached jitters after a flow
+///   departure) can make an intermediate busy-period iteration exceed the
+///   horizon even though the instance is schedulable — treat a
+///   non-converged warm run as "unknown" and restart cold rather than
+///   taking its verdict.
+pub fn iterate_from(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+    initial: JitterMap,
+) -> Result<FixedPointRun, AnalysisError> {
+    iterate_inner(ctx, config, initial, None)
+}
+
+/// [`iterate_from`] restricted to a re-verification scope: only
+/// `scope.active` flows are re-analysed; the rest keep their frozen
+/// converged reports and jitters.  See [`Scope`] for the correctness
+/// argument.
+pub(crate) fn iterate_scoped(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+    initial: JitterMap,
+    scope: &Scope<'_>,
+) -> Result<FixedPointRun, AnalysisError> {
+    iterate_inner(ctx, config, initial, Some(scope))
+}
+
+fn iterate_inner(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+    initial: JitterMap,
+    scope: Option<&Scope<'_>>,
+) -> Result<FixedPointRun, AnalysisError> {
+    let mut x = initial;
+    let mut flow_analyses = 0usize;
     let mut last_reports: Vec<FlowReport> = Vec::new();
     let mut trace = ConvergenceTrace::default();
     // `x` starts as the initial map and is otherwise an image of `G` except
@@ -531,11 +787,18 @@ pub(crate) fn iterate(
         peak_residual: Time::ZERO,
         fallback: None,
         absorbs: 0,
-        enabled: config.strategy == FixedPointStrategy::Anderson1 && dependency_is_acyclic(ctx),
+        // A scope certifies acyclicity already (freezing is only sound
+        // there, and the admission controller gates on it), so the graph
+        // is not rebuilt for the Anderson gate on scoped runs.
+        enabled: config.strategy == FixedPointStrategy::Anderson1
+            && (scope.is_some() || dependency_is_acyclic(ctx.flows())),
     };
 
     for iteration in 1..=config.max_holistic_iterations {
-        let round = evaluate_round(ctx, &x, config);
+        let round = evaluate_round(ctx, &x, config, scope);
+        if let Ok((_, analyzed)) = &round {
+            flow_analyses += analyzed;
+        }
 
         // A failure while evaluating `G` at an *extrapolated* iterate
         // (unschedulable outcome or hard error) may be an artefact of the
@@ -543,7 +806,7 @@ pub(crate) fn iterate(
         // set: a Picard run of the same instance could converge fine.
         // Discard the candidate, resume from the image it extrapolated
         // from, and run plain Picard for the rest of the analysis.
-        if !input_is_image && !matches!(round, Ok(RoundOutcome::Evaluated { .. })) {
+        if !input_is_image && !matches!(round, Ok((RoundOutcome::Evaluated { .. }, _))) {
             trace.rounds.push(RoundTrace {
                 iteration,
                 residual: Time::ZERO,
@@ -560,7 +823,7 @@ pub(crate) fn iterate(
             continue;
         }
 
-        let (reports, gx) = match round? {
+        let (reports, gx) = match round?.0 {
             RoundOutcome::Evaluated { reports, next } => (reports, next),
             RoundOutcome::Unschedulable { partial, failure } => {
                 // The aborted round still counts as an iteration, so it
@@ -571,13 +834,17 @@ pub(crate) fn iterate(
                     residual: Time::ZERO,
                     step: StepKind::Picard,
                 });
-                return Ok(AnalysisReport {
-                    flows: partial,
-                    converged: false,
-                    iterations: iteration,
-                    schedulable: false,
-                    failure: Some(failure),
-                    trace,
+                return Ok(FixedPointRun {
+                    report: AnalysisReport {
+                        flows: partial,
+                        converged: false,
+                        iterations: iteration,
+                        schedulable: false,
+                        failure: Some(failure),
+                        trace,
+                    },
+                    jitters: None,
+                    flow_analyses,
                 });
             }
         };
@@ -626,13 +893,20 @@ pub(crate) fn iterate(
                     .join(", ");
                 Some(format!("deadline missed by: {miss}"))
             };
-            return Ok(AnalysisReport {
-                flows: reports,
-                converged: true,
-                iterations: iteration,
-                schedulable,
-                failure,
-                trace,
+            return Ok(FixedPointRun {
+                report: AnalysisReport {
+                    flows: reports,
+                    converged: true,
+                    iterations: iteration,
+                    schedulable,
+                    failure,
+                    trace,
+                },
+                // The reports above are exactly the evaluation `G(x)`, so
+                // `x` (not `gx`) is the map to cache: re-evaluating `G` at
+                // it reproduces them byte for byte.
+                jitters: Some(x),
+                flow_analyses,
             });
         }
 
@@ -695,18 +969,22 @@ pub(crate) fn iterate(
     }
 
     // The jitter iteration did not stabilise within the budget.
-    Ok(AnalysisReport {
-        flows: last_reports,
-        converged: false,
-        iterations: config.max_holistic_iterations,
-        schedulable: false,
-        failure: Some(
-            AnalysisError::HolisticNoConvergence {
-                iterations: config.max_holistic_iterations,
-            }
-            .to_string(),
-        ),
-        trace,
+    Ok(FixedPointRun {
+        report: AnalysisReport {
+            flows: last_reports,
+            converged: false,
+            iterations: config.max_holistic_iterations,
+            schedulable: false,
+            failure: Some(
+                AnalysisError::HolisticNoConvergence {
+                    iterations: config.max_holistic_iterations,
+                }
+                .to_string(),
+            ),
+            trace,
+        },
+        jitters: None,
+        flow_analyses,
     })
 }
 

@@ -59,7 +59,7 @@ pub fn analyze(
         });
     }
 
-    fixed_point::iterate(&ctx, config)
+    fixed_point::iterate(&ctx, config).map(|run| run.report)
 }
 
 #[cfg(test)]

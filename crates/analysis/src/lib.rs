@@ -62,7 +62,9 @@ pub mod pipeline;
 pub mod report;
 pub mod stage;
 
-pub use admission::{AdmissionController, AdmissionDecision};
+pub use admission::{
+    AdmissionController, AdmissionDecision, AdmissionMode, AdmissionVictim, DecisionCost,
+};
 pub use baseline::{
     analyze_sporadic_baseline, sporadic_collapse, utilization_check, UtilizationCheck,
 };
@@ -73,7 +75,8 @@ pub use egress::egress_response;
 pub use error::{AnalysisError, StageKind};
 pub use first_hop::first_hop_response;
 pub use fixed_point::{
-    ConvergenceTrace, FixedPointStrategy, RoundTrace, StepKind as FixedPointStepKind,
+    iterate_from, ConvergenceTrace, FixedPointRun, FixedPointStrategy, RoundTrace,
+    StepKind as FixedPointStepKind,
 };
 pub use holistic::analyze;
 pub use ingress::ingress_response;
@@ -83,7 +86,9 @@ pub use stage::StageResult;
 
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
-    pub use crate::admission::{AdmissionController, AdmissionDecision};
+    pub use crate::admission::{
+        AdmissionController, AdmissionDecision, AdmissionMode, AdmissionVictim, DecisionCost,
+    };
     pub use crate::baseline::{analyze_sporadic_baseline, sporadic_collapse, utilization_check};
     pub use crate::config::AnalysisConfig;
     pub use crate::context::{AnalysisContext, JitterMap, ResourceId};

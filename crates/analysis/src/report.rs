@@ -144,6 +144,18 @@ impl AnalysisReport {
     pub fn n_frame_bounds(&self) -> usize {
         self.flows.iter().map(|f| f.frames.len()).sum()
     }
+
+    /// Ids of the flows with at least one frame missing its deadline, in
+    /// report (flow-id) order.  Empty both for schedulable sets and for
+    /// analyses that aborted (overload / divergence) before bounding the
+    /// offending flow.
+    pub fn missed_flows(&self) -> Vec<FlowId> {
+        self.flows
+            .iter()
+            .filter(|f| !f.meets_all_deadlines())
+            .map(|f| f.flow)
+            .collect()
+    }
 }
 
 impl fmt::Display for AnalysisReport {
@@ -255,6 +267,14 @@ mod tests {
         assert!(report.flow(FlowId(5)).is_none());
         assert_eq!(report.worst_bound(), Some(Time::from_millis(40.0)));
         assert_eq!(report.n_frame_bounds(), 1);
+        assert!(report.missed_flows().is_empty());
+        let mut missing = report.clone();
+        missing.flows.push(FlowReport {
+            flow: FlowId(3),
+            name: "late".into(),
+            frames: vec![frame(120.0, 100.0)],
+        });
+        assert_eq!(missing.missed_flows(), vec![FlowId(3)]);
         let text = report.to_string();
         assert!(text.contains("schedulable: true"));
         assert!(text.contains("video"));

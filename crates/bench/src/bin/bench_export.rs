@@ -12,14 +12,15 @@
 //! count can be tuned with `GMF_BENCH_EXPORT_SAMPLES` (default 7).
 
 use gmf_analysis::{
-    analyze, first_hop_response, AnalysisConfig, AnalysisContext, FixedPointStrategy, JitterMap,
+    analyze, first_hop_response, AdmissionMode, AnalysisConfig, AnalysisContext,
+    FixedPointStrategy, JitterMap,
 };
 use gmf_bench::{
-    long_tail_bench_scenario, median_ns, print_header, print_table, synthetic_converging_set,
-    HOLISTIC_SYNTHETIC_AXIS, HOLISTIC_THREAD_AXIS,
+    churn_bench_config, long_tail_bench_scenario, median_ns, print_header, print_table,
+    synthetic_converging_set, CHURN_BENCH_SEED, HOLISTIC_SYNTHETIC_AXIS, HOLISTIC_THREAD_AXIS,
 };
 use gmf_model::{paper_figure3_flow, BitRate, EncapsulationConfig, FlowId, LinkDemand, Time};
-use gmf_workloads::paper_scenario;
+use gmf_workloads::{paper_scenario, run_churn};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use switch_sim::{SimConfig, Simulator};
@@ -119,6 +120,24 @@ fn main() {
             &format!("holistic_longtail/{name}"),
             median_ns(samples, || {
                 black_box(analyze(black_box(&topology), &flows, &config).unwrap());
+            }),
+        );
+    }
+
+    // B5 — admission churn: cold restarts vs the incremental warm engine
+    // on the shared churn script (same workload as the Criterion
+    // `churn_admission` axis and E11).
+    let churn = churn_bench_config();
+    for (name, mode) in [("cold", AdmissionMode::Cold), ("warm", AdmissionMode::Warm)] {
+        record(
+            &format!("churn_admission/{name}"),
+            median_ns(samples, || {
+                black_box(run_churn(
+                    black_box(CHURN_BENCH_SEED),
+                    &churn,
+                    &paper_config,
+                    mode,
+                ));
             }),
         );
     }

@@ -154,6 +154,30 @@ pub fn long_tail_bench_scenario() -> (gmf_net::Topology, gmf_net::FlowSet) {
     long_tail_line_scenario(6, 6)
 }
 
+/// The churn workload the `churn_admission` bench axis, `bench_export`
+/// and E11 (`exp_admission_churn`) all replay: arrivals and departures on
+/// the sweep's converging star, sized so the live set stays around a
+/// dozen flows.
+///
+/// A single definition keeps the three surfaces honest: a
+/// `churn_admission/cold-vs-warm` entry in `BENCH.json` always times
+/// exactly the script the Criterion bench and the experiment binary run.
+pub fn churn_bench_config() -> gmf_workloads::ChurnConfig {
+    gmf_workloads::ChurnConfig {
+        n_events: 64,
+        departure_fraction: 0.35,
+        flow_utilization: (0.01, 0.05),
+        n_sinks: 4,
+        sweep: gmf_workloads::SweepConfig {
+            n_sources: 8,
+            ..gmf_workloads::SweepConfig::default()
+        },
+    }
+}
+
+/// The master seed of the churn benches and E11.
+pub const CHURN_BENCH_SEED: u64 = 2008;
+
 /// Time `f` and return the median duration in nanoseconds over `samples`
 /// runs (fast bodies are batched so each sample spans at least ~100 µs).
 ///

@@ -92,9 +92,60 @@ impl FlowBinding {
 }
 
 /// The set of flows offered to (or admitted into) the network.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Flow identifiers are *stable across removals*: [`FlowSet::add`] hands out
+/// ids from a monotone counter, so [`FlowSet::remove`] never causes an id to
+/// be reused and a `FlowId` held by an admission controller (or a cached
+/// analysis artefact) keeps naming the same flow for the lifetime of the
+/// set.  Bindings are kept sorted by id (insertion order), so lookups are a
+/// binary search and iteration order is deterministic.
+///
+/// The serialized form carries the bindings only (scenario files written
+/// before removals existed stay loadable); deserialization re-derives the
+/// id counter as `max(id) + 1`.  Consequently id stability holds within
+/// one in-memory set — analysis artefacts keyed by `FlowId` must not be
+/// carried across a save/load of a set whose highest-id flow departed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[serde(into = "FlowSetSerde")]
 pub struct FlowSet {
     bindings: Vec<FlowBinding>,
+    /// The id the next [`FlowSet::add`] will hand out.  Invariant: strictly
+    /// greater than every id in `bindings`.
+    next_id: usize,
+}
+
+/// The wire form of a [`FlowSet`]: the bindings alone.  The id counter is
+/// re-derived on load, so files from before the counter existed parse.
+#[derive(Serialize, Deserialize)]
+struct FlowSetSerde {
+    bindings: Vec<FlowBinding>,
+}
+
+impl From<FlowSet> for FlowSetSerde {
+    fn from(set: FlowSet) -> FlowSetSerde {
+        FlowSetSerde {
+            bindings: set.bindings,
+        }
+    }
+}
+
+impl<'de> serde::de::Deserialize<'de> for FlowSet {
+    fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wire = FlowSetSerde::deserialize(deserializer)?;
+        let mut bindings = wire.bindings;
+        bindings.sort_by_key(|b| b.id);
+        // A duplicated id would make the binary-search accessors resolve
+        // to an arbitrary copy and removal leave a shadowing twin behind;
+        // reject the file loudly instead.
+        if let Some(window) = bindings.windows(2).find(|w| w[0].id == w[1].id) {
+            return Err(<D::Error as serde::de::Error>::custom(format!(
+                "duplicate flow id {} in FlowSet",
+                window[0].id
+            )));
+        }
+        let next_id = bindings.last().map(|b| b.id.0 + 1).unwrap_or(0);
+        Ok(FlowSet { bindings, next_id })
+    }
 }
 
 impl FlowSet {
@@ -116,7 +167,8 @@ impl FlowSet {
         priority: Priority,
         encapsulation: EncapsulationConfig,
     ) -> FlowId {
-        let id = FlowId(self.bindings.len());
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
         self.bindings.push(FlowBinding {
             id,
             flow,
@@ -125,6 +177,16 @@ impl FlowSet {
             encapsulation,
         });
         id
+    }
+
+    /// Remove a flow (a departure, in admission-control terms), returning
+    /// its binding.  The ids of the remaining flows are unchanged and the
+    /// removed id is never reused by a later [`FlowSet::add`].
+    pub fn remove(&mut self, id: FlowId) -> Result<FlowBinding, NetError> {
+        match self.bindings.binary_search_by_key(&id, |b| b.id) {
+            Ok(index) => Ok(self.bindings.remove(index)),
+            Err(_) => Err(NetError::UnknownFlow(id.0)),
+        }
     }
 
     /// Number of flows.
@@ -149,7 +211,16 @@ impl FlowSet {
 
     /// Look up a binding.
     pub fn get(&self, id: FlowId) -> Result<&FlowBinding, NetError> {
-        self.bindings.get(id.0).ok_or(NetError::UnknownFlow(id.0))
+        self.bindings
+            .binary_search_by_key(&id, |b| b.id)
+            .ok()
+            .map(|index| &self.bindings[index])
+            .ok_or(NetError::UnknownFlow(id.0))
+    }
+
+    /// `true` if the set contains a flow with the given id.
+    pub fn contains(&self, id: FlowId) -> bool {
+        self.bindings.binary_search_by_key(&id, |b| b.id).is_ok()
     }
 
     /// Check that every route of the set is valid in `topology`.
@@ -394,6 +465,82 @@ mod tests {
         assert!(Priority::HIGHEST > Priority::LOWEST);
         assert!(Priority(3) > Priority(1));
         assert_eq!(Priority(3).to_string(), "prio3");
+    }
+
+    #[test]
+    fn remove_keeps_ids_stable_and_never_reuses_them() {
+        let (t, mut fs, n) = setup();
+        assert_eq!(fs.len(), 3);
+        assert!(fs.contains(FlowId(1)));
+
+        // Remove the middle flow: the neighbours keep their ids.
+        let removed = fs.remove(FlowId(1)).unwrap();
+        assert_eq!(removed.id, FlowId(1));
+        assert_eq!(removed.flow.name(), "video");
+        assert_eq!(fs.len(), 2);
+        assert!(!fs.contains(FlowId(1)));
+        assert!(fs.get(FlowId(1)).is_err());
+        assert_eq!(fs.get(FlowId(0)).unwrap().flow.name(), "voice");
+        assert_eq!(fs.get(FlowId(2)).unwrap().flow.name(), "bulk");
+
+        // The freed id is not reused: the next add gets a brand-new id.
+        let voice2 = voip_flow(
+            "voice2",
+            VoiceCodec::G711,
+            Time::from_millis(10.0),
+            Time::ZERO,
+        );
+        let route = Route::new(&t, vec![n[0], n[2], n[3]]).unwrap();
+        let id = fs.add(voice2, route, Priority(6));
+        assert_eq!(id, FlowId(3));
+        assert_eq!(fs.get(FlowId(3)).unwrap().flow.name(), "voice2");
+
+        // Set-valued helpers keep working on the sparse id space.
+        assert_eq!(fs.flows_on_link(n[2], n[3]).len(), 3);
+        assert!(fs.hep(FlowId(2), n[2], n[3]).unwrap().contains(&FlowId(0)));
+        assert!(matches!(
+            fs.remove(FlowId(1)),
+            Err(NetError::UnknownFlow(1))
+        ));
+
+        // Removing everything leaves a usable empty set.
+        for id in fs.ids().collect::<Vec<_>>() {
+            fs.remove(id).unwrap();
+        }
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn removal_survives_a_serde_roundtrip() {
+        let (_, mut fs, _) = setup();
+        fs.remove(FlowId(0)).unwrap();
+        let json = serde_json::to_string(&fs).unwrap();
+        // The wire form is the bindings alone — files written before the
+        // id counter existed parse identically.
+        assert!(!json.contains("next_id"));
+        let back: FlowSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(fs, back);
+        // A file carrying the same id twice is rejected, not silently
+        // adopted into a set whose binary-search accessors would misfire.
+        let twin = {
+            let mut fs = fs.clone();
+            let duplicate = fs.get(FlowId(2)).unwrap().clone();
+            fs.bindings.push(duplicate);
+            serde_json::to_string(&fs).unwrap()
+        };
+        let err = serde_json::from_str::<FlowSet>(&twin).unwrap_err();
+        assert!(err.to_string().contains("duplicate flow id"), "{err}");
+        // The monotone id counter round-trips too: the next id is fresh.
+        let mut back = back;
+        let bulk = cbr_flow(
+            "later",
+            1_000,
+            Time::from_millis(50.0),
+            Time::from_millis(200.0),
+            Time::ZERO,
+        );
+        let route = back.get(FlowId(1)).unwrap().route.clone();
+        assert_eq!(back.add(bulk, route, Priority(3)), FlowId(3));
     }
 
     #[test]

@@ -11,17 +11,21 @@
 //! * [`sweep`] — acceptance-ratio sweeps comparing the GMF analysis with
 //!   the sporadic-collapse baseline and the utilization-only necessary
 //!   test;
+//! * [`churn`] — deterministic arrival/departure scripts replayed through
+//!   the admission controller (the incremental-engine experiment);
 //! * [`scenario`] — JSON scenario files for saving / re-running exact
 //!   experiment inputs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod churn;
 pub mod paper;
 pub mod scenario;
 pub mod sweep;
 pub mod synthetic;
 
+pub use churn::{run_churn, ChurnConfig, ChurnOutcome};
 pub use paper::{
     conference_video, paper_scenario, paper_scenario_with, paper_video_only_scenario,
     PaperScenarioFlows, Scenario,
@@ -34,6 +38,7 @@ pub use synthetic::{random_flow_collection, random_gmf_flow, uunifast, Synthetic
 
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
+    pub use crate::churn::{run_churn, ChurnConfig, ChurnOutcome};
     pub use crate::paper::{paper_scenario, paper_video_only_scenario, Scenario};
     pub use crate::scenario::ScenarioFile;
     pub use crate::sweep::{acceptance_sweep, AcceptancePoint, SweepConfig};

@@ -75,6 +75,28 @@ impl Default for SweepConfig {
     }
 }
 
+impl SweepConfig {
+    /// Check the configuration for values that would silently corrupt a
+    /// sweep rather than fail it loudly: `sets_per_point == 0` makes every
+    /// acceptance ratio `0/0 = NaN`, `flows_per_set == 0` makes every set
+    /// vacuously schedulable, and `n_sources == 0` leaves the star with no
+    /// hosts to route from.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sets_per_point == 0 {
+            return Err(
+                "sets_per_point must be at least 1 (0 yields NaN acceptance ratios)".into(),
+            );
+        }
+        if self.flows_per_set == 0 {
+            return Err("flows_per_set must be at least 1".into());
+        }
+        if self.n_sources == 0 {
+            return Err("n_sources must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Build the star topology and route a collection of flows from random
 /// source hosts to the common sink (host 0), assigning deadline-monotonic
 /// priorities.  Returns `(topology, flow set, sink)`.
@@ -99,12 +121,19 @@ pub fn build_converging_flow_set<R: Rng>(
 }
 
 /// Run the acceptance sweep over the given utilization levels.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (see [`SweepConfig::validate`]) — most
+/// importantly `sets_per_point == 0`, which would silently turn every
+/// acceptance ratio into `NaN`.
 pub fn acceptance_sweep<R: Rng>(
     rng: &mut R,
     utilizations: &[f64],
     config: &SweepConfig,
     analysis: &AnalysisConfig,
 ) -> Vec<AcceptancePoint> {
+    config.validate().expect("invalid sweep configuration");
     utilizations
         .iter()
         .map(|&utilization| acceptance_point(rng, utilization, config, analysis))
@@ -168,6 +197,10 @@ fn acceptance_point<R: Rng>(
 /// (The per-point RNG streams differ from the single-stream
 /// [`acceptance_sweep`], so the two functions agree in distribution but not
 /// sample-for-sample.)
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (see [`SweepConfig::validate`]).
 pub fn acceptance_sweep_par(
     seed: u64,
     utilizations: &[f64],
@@ -175,16 +208,13 @@ pub fn acceptance_sweep_par(
     analysis: &AnalysisConfig,
     threads: usize,
 ) -> Vec<AcceptancePoint> {
+    config.validate().expect("invalid sweep configuration");
     par_map(
         Threads::new(threads),
         utilizations,
         |index, &utilization| {
-            // Derive a well-spread per-point seed: splitmix64 of (seed, index).
-            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^= z >> 31;
-            let mut rng = ChaCha8Rng::seed_from_u64(z);
+            // Well-spread per-point seed: splitmix64 of (seed, index).
+            let mut rng = ChaCha8Rng::seed_from_u64(gmf_par::derive_seed(seed, index as u64));
             acceptance_point(&mut rng, utilization, config, analysis)
         },
     )
@@ -261,6 +291,44 @@ mod tests {
             assert!(p.gmf_accepted >= p.sporadic_accepted - 1e-9);
             assert_eq!(p.trials, config.sets_per_point);
         }
+    }
+
+    #[test]
+    fn zero_sets_per_point_is_rejected_not_nan() {
+        // Regression: `acceptance_point` divides by `sets_per_point`, so a
+        // zero used to yield a silent NaN acceptance ratio.
+        let config = SweepConfig {
+            sets_per_point: 0,
+            ..SweepConfig::default()
+        };
+        assert!(config.validate().unwrap_err().contains("sets_per_point"));
+        assert!(SweepConfig {
+            flows_per_set: 0,
+            ..SweepConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SweepConfig {
+            n_sources: 0,
+            ..SweepConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SweepConfig::default().validate().is_ok());
+
+        let result = std::panic::catch_unwind(|| {
+            acceptance_sweep(
+                &mut ChaCha8Rng::seed_from_u64(1),
+                &[0.5],
+                &config,
+                &AnalysisConfig::paper(),
+            )
+        });
+        assert!(result.is_err(), "a zero-trial sweep must panic, not NaN");
+        let result = std::panic::catch_unwind(|| {
+            acceptance_sweep_par(1, &[0.5], &config, &AnalysisConfig::paper(), 2)
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -44,7 +44,7 @@ fn main() {
                     );
                 }
             }
-            AdmissionDecision::Rejected { reason, report } => {
+            AdmissionDecision::Rejected { reason, report, .. } => {
                 println!();
                 println!("call #{call} ({from} -> {to}) REJECTED after {admitted} admitted calls");
                 println!("reason: {reason}");
