@@ -219,10 +219,12 @@ struct WarmCache {
     /// fixed point is unique), with the cold fallback covering spurious
     /// aborts.
     jitters: JitterMap,
-    /// Converged per-flow reports that are known fresh.  Flows missing
-    /// here (their reports were invalidated by a departure) are always
-    /// re-verified on the next trial.
-    reports: BTreeMap<FlowId, FlowReport>,
+    /// Converged per-flow reports that are known fresh, shared with the
+    /// scoped engine rounds (which carry them by `Arc` instead of cloning
+    /// them once per round).  Flows missing here (their reports were
+    /// invalidated by a departure) are always re-verified on the next
+    /// trial.
+    reports: BTreeMap<FlowId, std::sync::Arc<FlowReport>>,
 }
 
 /// An admission controller for one operator-managed network.
@@ -369,7 +371,11 @@ impl AdmissionController {
                 // handed back the map it evaluated the bounds at.
                 self.cache = jitters.map(|jitters| WarmCache {
                     jitters,
-                    reports: report.flows.iter().map(|f| (f.flow, f.clone())).collect(),
+                    reports: report
+                        .flows
+                        .iter()
+                        .map(|f| (f.flow, std::sync::Arc::new(f.clone())))
+                        .collect(),
                 });
             }
             Ok(AdmissionDecision::Accepted {
@@ -419,16 +425,17 @@ impl AdmissionController {
         };
 
         // Re-verify the affected flows plus everything whose cached report
-        // a departure invalidated; freeze the rest.
+        // a departure invalidated; freeze the rest (shared, not cloned —
+        // the engine carries frozen reports by `Arc`).
         let mut active: BTreeSet<FlowId> = affected;
-        let mut frozen: BTreeMap<FlowId, FlowReport> = BTreeMap::new();
+        let mut frozen: BTreeMap<FlowId, std::sync::Arc<FlowReport>> = BTreeMap::new();
         for binding in trial.bindings() {
             if active.contains(&binding.id) {
                 continue;
             }
             match cache.reports.get(&binding.id) {
                 Some(report) => {
-                    frozen.insert(binding.id, report.clone());
+                    frozen.insert(binding.id, std::sync::Arc::clone(report));
                 }
                 None => {
                     active.insert(binding.id);

@@ -48,6 +48,16 @@ pub struct AnalysisConfig {
     /// inline on the caller's thread; any value produces byte-identical
     /// reports.
     pub threads: usize,
+    /// Skip re-analysing a flow in a holistic round when every jitter slot
+    /// its analysis reads is *exactly* unchanged from the round that
+    /// produced its cached report (Jacobi memoization).  Within one round
+    /// every flow is analysed against the same immutable previous-round
+    /// map, so unchanged inputs reproduce the cached outputs bit for bit —
+    /// the report, the convergence trace and the verdict are byte-identical
+    /// with the flag on or off; only the `flow_analyses` cost counters
+    /// shrink.  `true` by default; the ablation experiments switch it off
+    /// to measure the saving.
+    pub skip_unchanged_flows: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -60,6 +70,7 @@ impl Default for AnalysisConfig {
             refine_first_hop_blocking: false,
             strategy: FixedPointStrategy::Picard,
             threads: 1,
+            skip_unchanged_flows: true,
         }
     }
 }
@@ -108,6 +119,14 @@ impl AnalysisConfig {
         self.threads = threads.max(1);
         self
     }
+
+    /// Enable or disable the dirty-flow round skipping of the holistic
+    /// engine (reports are byte-identical either way; only the
+    /// `flow_analyses` cost counters differ).
+    pub fn with_skip_unchanged_flows(mut self, skip: bool) -> Self {
+        self.skip_unchanged_flows = skip;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +162,9 @@ mod tests {
         let c = AnalysisConfig::default();
         assert_eq!(c.strategy, FixedPointStrategy::Picard);
         assert_eq!(c.threads, 1);
+        // Round skipping is on by default — it is invisible in the bounds.
+        assert!(c.skip_unchanged_flows);
+        assert!(!c.with_skip_unchanged_flows(false).skip_unchanged_flows);
     }
 
     #[test]

@@ -126,39 +126,78 @@ impl JitterMap {
             .unwrap_or(Time::ZERO)
     }
 
+    /// Walk `self` and `other` in one merged key-ordered pass, calling
+    /// `visit` with each key's value pair (an empty slice stands in for a
+    /// missing entry).  Stops early when `visit` returns `false`.
+    ///
+    /// Both maps are `BTreeMap`s, so their iterators are already sorted:
+    /// the classic two-pointer merge visits every key of the union exactly
+    /// once without materialising a key-union set (the previous
+    /// implementation collected the full union into a fresh `BTreeSet` —
+    /// twice per holistic round).
+    fn merged_walk(&self, other: &JitterMap, mut visit: impl FnMut(&[Time], &[Time]) -> bool) {
+        let mut a = self.values.iter().peekable();
+        let mut b = other.values.iter().peekable();
+        loop {
+            const EMPTY: &[Time] = &[];
+            let (va, vb): (&[Time], &[Time]) = match (a.peek(), b.peek()) {
+                (Some(&(ka, va)), Some(&(kb, vb))) => match ka.cmp(kb) {
+                    std::cmp::Ordering::Less => {
+                        a.next();
+                        (va.as_slice(), EMPTY)
+                    }
+                    std::cmp::Ordering::Greater => {
+                        b.next();
+                        (EMPTY, vb.as_slice())
+                    }
+                    std::cmp::Ordering::Equal => {
+                        a.next();
+                        b.next();
+                        (va.as_slice(), vb.as_slice())
+                    }
+                },
+                (Some(&(_, va)), None) => {
+                    a.next();
+                    (va.as_slice(), EMPTY)
+                }
+                (None, Some(&(_, vb))) => {
+                    b.next();
+                    (EMPTY, vb.as_slice())
+                }
+                (None, None) => return,
+            };
+            if !visit(va, vb) {
+                return;
+            }
+        }
+    }
+
     /// `true` if every entry of `self` equals the corresponding entry of
     /// `other` within the convergence tolerance.  Entries missing from one
     /// side are treated as zero.
     pub fn approx_eq(&self, other: &JitterMap) -> bool {
-        let keys: std::collections::BTreeSet<_> =
-            self.values.keys().chain(other.values.keys()).collect();
-        for key in keys {
-            let empty = Vec::new();
-            let a = self.values.get(key).unwrap_or(&empty);
-            let b = other.values.get(key).unwrap_or(&empty);
+        let mut equal = true;
+        self.merged_walk(other, |a, b| {
             let len = a.len().max(b.len());
             for idx in 0..len {
                 let va = a.get(idx).copied().unwrap_or(Time::ZERO);
                 let vb = b.get(idx).copied().unwrap_or(Time::ZERO);
                 if !va.approx_eq(vb) {
+                    equal = false;
                     return false;
                 }
             }
-        }
-        true
+            true
+        });
+        equal
     }
 
     /// The largest absolute componentwise difference between `self` and
     /// `other` — the residual the holistic fixed-point engine records per
     /// round.  Entries missing from one side are treated as zero.
     pub fn max_abs_diff(&self, other: &JitterMap) -> Time {
-        let keys: std::collections::BTreeSet<_> =
-            self.values.keys().chain(other.values.keys()).collect();
         let mut worst = Time::ZERO;
-        for key in keys {
-            let empty = Vec::new();
-            let a = self.values.get(key).unwrap_or(&empty);
-            let b = other.values.get(key).unwrap_or(&empty);
+        self.merged_walk(other, |a, b| {
             let len = a.len().max(b.len());
             for idx in 0..len {
                 let va = a.get(idx).copied().unwrap_or(Time::ZERO);
@@ -166,7 +205,8 @@ impl JitterMap {
                 let diff = if va >= vb { va - vb } else { vb - va };
                 worst = worst.max(diff);
             }
-        }
+            true
+        });
         worst
     }
 
@@ -175,53 +215,68 @@ impl JitterMap {
         self.values.iter()
     }
 
-    /// Copy every entry of `other` whose flow satisfies `keep` into
-    /// `self`, replacing existing entries — one pass over `other`
-    /// regardless of how many flows are kept (the scoped warm rounds
-    /// carry *all* frozen flows' jitters with one call per round).
-    pub fn adopt_flows_where(&mut self, other: &JitterMap, mut keep: impl FnMut(FlowId) -> bool) {
-        for (&(flow, resource), values) in other.values.iter() {
-            if keep(flow) {
-                self.values.insert((flow, resource), values.clone());
-            }
-        }
-    }
-
     /// Drop every entry of `flow` (a departure: the flow no longer exists,
     /// so its jitters must not seed future warm starts).
     pub fn remove_flow(&mut self, flow: FlowId) {
         self.values.retain(|&(f, _), _| f != flow);
     }
+
+    /// Insert a whole per-(flow, resource) frame vector, replacing any
+    /// stored entry.  This is the dense engine's boundary exit
+    /// (`DenseJitters::to_keyed`).
+    pub(crate) fn insert_raw(&mut self, flow: FlowId, resource: ResourceId, values: Vec<Time>) {
+        self.values.insert((flow, resource), values);
+    }
 }
 
-/// Cached per-link demands and references to the topology and flow set.
+/// Cached per-link demands, the dense-index plan and references to the
+/// topology and flow set.
 ///
 /// The context is read-only during a single holistic round; the jitter map
-/// is threaded separately so that rounds are explicit.
+/// is threaded separately so that rounds are explicit.  Besides the keyed
+/// demand cache of the public API, construction interns flows and
+/// resources into dense indices and precomputes every flow's per-stage
+/// interference tables (see [`crate::dense`]) — the engine's hot loops
+/// never touch a tree map or rescan the flow set.
 #[derive(Debug, Clone)]
 pub struct AnalysisContext<'a> {
     topology: &'a Topology,
     flows: &'a FlowSet,
-    demands: BTreeMap<(FlowId, NodeId, NodeId), LinkDemand>,
+    /// Demand storage, indexed by the dense plan's demand ids.
+    demands: Vec<LinkDemand>,
+    /// Keyed view of `demands` backing the public [`Self::demand`] API.
+    demand_lookup: BTreeMap<(FlowId, NodeId, NodeId), u32>,
+    /// The interner and interference tables.
+    plan: crate::dense::DensePlan,
 }
 
 impl<'a> AnalysisContext<'a> {
-    /// Build the context, pre-computing the demand of every flow on every
-    /// link of its route.
+    /// Build the context: pre-compute the demand of every flow on every
+    /// link of its route, intern flows and resources, lay out the jitter
+    /// arena and build the per-stage interference tables.
     pub fn new(topology: &'a Topology, flows: &'a FlowSet) -> Result<Self, AnalysisError> {
-        let mut demands = BTreeMap::new();
-        for binding in flows.bindings() {
-            for hop in binding.route.hops() {
-                let link = topology.link_between(hop.from, hop.to)?;
-                let demand = LinkDemand::new(&binding.flow, &binding.encapsulation, link.speed);
-                demands.insert((binding.id, hop.from, hop.to), demand);
-            }
-        }
+        let mut demands = Vec::new();
+        let mut demand_lookup = BTreeMap::new();
+        let plan =
+            crate::dense::DensePlan::build(topology, flows, &mut demands, &mut demand_lookup)?;
         Ok(AnalysisContext {
             topology,
             flows,
             demands,
+            demand_lookup,
+            plan,
         })
+    }
+
+    /// The dense plan (interner, arena layout, interference tables).
+    pub(crate) fn plan(&self) -> &crate::dense::DensePlan {
+        &self.plan
+    }
+
+    /// A demand by its dense index (hot-loop form of [`Self::demand`]).
+    #[inline]
+    pub(crate) fn demand_by_index(&self, index: u32) -> &LinkDemand {
+        &self.demands[index as usize]
     }
 
     /// The network topology.
@@ -245,8 +300,9 @@ impl<'a> AnalysisContext<'a> {
     /// (flow, link) pair the flow does not traverse is a programming error
     /// and panics.
     pub fn demand(&self, flow: FlowId, from: NodeId, to: NodeId) -> &LinkDemand {
-        self.demands
+        self.demand_lookup
             .get(&(flow, from, to))
+            .map(|&index| &self.demands[index as usize])
             .unwrap_or_else(|| panic!("no cached demand for {flow} on link({},{})", from.0, to.0))
     }
 
@@ -361,7 +417,7 @@ mod tests {
     }
 
     #[test]
-    fn adopt_and_remove_flow_entries() {
+    fn remove_and_reseed_flow_entries() {
         let (_, fs, n) = setup();
         let mut map = JitterMap::initial(&fs);
         let resource = ResourceId::SwitchIngress { node: n[2] };
@@ -373,20 +429,6 @@ mod tests {
         assert_eq!(pruned.get(FlowId(0), resource, 1), Time::ZERO);
         assert!(pruned.iter().all(|(&(f, _), _)| f != FlowId(0)));
         assert!(pruned.iter().any(|(&(f, _), _)| f == FlowId(1)));
-
-        // The predicate adoption restores any subset in one pass.
-        let mut partial = pruned.clone();
-        partial.adopt_flows_where(&map, |f| f == FlowId(0));
-        assert_eq!(partial, map);
-        let mut none = pruned.clone();
-        none.adopt_flows_where(&map, |_| false);
-        assert_eq!(none, pruned);
-
-        // Adoption replaces stale entries rather than merging them.
-        let mut stale = map.clone();
-        stale.set(FlowId(0), resource, 1, Time::from_millis(9.0), 9);
-        stale.adopt_flows_where(&map, |f| f == FlowId(0));
-        assert_eq!(stale, map);
 
         // Re-seeding one flow's initial entries matches the full initial
         // map restricted to that flow.

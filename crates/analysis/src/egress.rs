@@ -166,6 +166,144 @@ pub fn egress_response(
     })
 }
 
+/// The dense per-round state of one flow's egress stage.
+///
+/// As at the ingress, everything fallible in equations (28)–(35) — the
+/// overload check, the busy period seeded at `MFT` and the queueing times
+/// `w(q)` — is frame-independent and solved once per round at build;
+/// [`EgressDense::response`] maximises eq. (32) over the precomputed
+/// instances and adds the frame's own transmission time and the link's
+/// propagation delay (eq. 33).
+pub(crate) struct EgressDense {
+    tsum_i: Time,
+    own_demand: u32,
+    propagation: Time,
+    /// `w(q)` for `q < Q_i` (eq. 31), solved at build.
+    w: Vec<Time>,
+}
+
+impl EgressDense {
+    /// Run the overload check (eq. 34, extended with the CIRC service
+    /// cost) and solve the busy period and every `w(q)` against the
+    /// current iterate.
+    pub(crate) fn build(
+        ctx: &AnalysisContext<'_>,
+        jitters: &crate::dense::DenseJitters,
+        config: &AnalysisConfig,
+        flow: gmf_model::FlowId,
+        stage: &crate::dense::StagePlan,
+    ) -> Result<Self, AnalysisError> {
+        let circ = stage.circ;
+        if stage.utilization >= 1.0 {
+            return Err(AnalysisError::Overload {
+                stage: StageKind::EgressLink,
+                flow,
+                utilization: stage.utilization,
+                resource: stage.resource.to_string(),
+            });
+        }
+        let d_i = ctx.demand_by_index(stage.own_demand);
+        let tsum_i = d_i.tsum();
+        let mft = d_i.mft();
+        let csum_i = d_i.csum();
+
+        // extra_j: accumulated jitter of flow j on this output link (the
+        // egress interferer table holds `hep` only — no self entry).
+        let extras: Vec<(u32, Time)> = stage
+            .interferers
+            .iter()
+            .map(|i| (i.demand, jitters.max_jitter(i.pair)))
+            .collect();
+
+        let interference = |window_base: Time| -> Time {
+            let mut total = Time::ZERO;
+            for &(demand, extra) in &extras {
+                let d = ctx.demand_by_index(demand);
+                let window = window_base + extra;
+                total += d.mx(window) + circ * d.nx(window);
+            }
+            total
+        };
+
+        // Busy period, equations (28)–(29).
+        let busy_period = match fixed_point(
+            mft,
+            config.horizon,
+            config.max_fixed_point_iterations,
+            |t| mft + interference(t),
+        ) {
+            FixedPointOutcome::Converged(t) => t,
+            FixedPointOutcome::ExceededHorizon { .. } => {
+                return Err(AnalysisError::HorizonExceeded {
+                    stage: StageKind::EgressLink,
+                    flow,
+                    horizon: config.horizon,
+                    resource: stage.resource.to_string(),
+                })
+            }
+            FixedPointOutcome::IterationBudgetExhausted { .. } => {
+                return Err(AnalysisError::NoConvergence {
+                    stage: StageKind::EgressLink,
+                    flow,
+                    iterations: config.max_fixed_point_iterations,
+                })
+            }
+        };
+
+        let instances = busy_period.div_ceil(tsum_i).max(1);
+
+        // Queueing time per instance, equations (30)–(31).
+        let mut w = Vec::with_capacity(instances as usize);
+        for q in 0..instances {
+            let own = mft + csum_i * q;
+            let wq = match fixed_point(
+                own,
+                config.horizon,
+                config.max_fixed_point_iterations,
+                |w| own + interference(w),
+            ) {
+                FixedPointOutcome::Converged(w) => w,
+                FixedPointOutcome::ExceededHorizon { .. } => {
+                    return Err(AnalysisError::HorizonExceeded {
+                        stage: StageKind::EgressLink,
+                        flow,
+                        horizon: config.horizon,
+                        resource: stage.resource.to_string(),
+                    })
+                }
+                FixedPointOutcome::IterationBudgetExhausted { .. } => {
+                    return Err(AnalysisError::NoConvergence {
+                        stage: StageKind::EgressLink,
+                        flow,
+                        iterations: config.max_fixed_point_iterations,
+                    })
+                }
+            };
+            w.push(wq);
+        }
+
+        Ok(EgressDense {
+            tsum_i,
+            own_demand: stage.own_demand,
+            propagation: stage.propagation,
+            w,
+        })
+    }
+
+    /// Equations (32)–(33): maximise the response over the precomputed
+    /// instances and add the frame's own transmission and the propagation
+    /// delay.
+    pub(crate) fn response(&self, ctx: &AnalysisContext<'_>, frame: usize) -> Time {
+        let c_k = ctx.demand_by_index(self.own_demand).c(frame);
+        let mut worst = Time::ZERO;
+        for (q, &wq) in self.w.iter().enumerate() {
+            let response = wq - self.tsum_i * (q as u64) + c_k;
+            worst = worst.max(response);
+        }
+        worst + self.propagation
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

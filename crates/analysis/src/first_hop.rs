@@ -178,6 +178,165 @@ pub fn first_hop_response(
     })
 }
 
+/// The dense per-round state of one flow's first-hop stage: extras
+/// resolved to arena reads once, interferer demands resolved to indices,
+/// and the queueing-time fixed points `w(q)` memoised across frames (they
+/// depend on `q` but not on the frame, yet the keyed path re-solved them
+/// for every frame of the cycle).
+///
+/// The busy period (eq. 15) *is* frame-dependent — it is seeded at the
+/// frame's own transmission time — so it stays in
+/// [`FirstHopDense::response`]; the `w(q)` memo is extended lazily in
+/// ascending `q` order, which reproduces the keyed engine's error order
+/// exactly (a later frame that needs a deeper `q` than its predecessors is
+/// the first to solve — and the first to fail — that recurrence).
+pub(crate) struct FirstHopDense {
+    flow: gmf_model::FlowId,
+    resource: crate::context::ResourceId,
+    /// `(demand index, extra_j, is_self)` per interferer, in id order.
+    extras: Vec<(u32, Time, bool)>,
+    own_demand: u32,
+    propagation: Time,
+    /// `w(q)` least fixed points computed so far (index = `q`).
+    w_memo: Vec<Time>,
+}
+
+impl FirstHopDense {
+    /// Resolve the stage's extras against the current iterate and run the
+    /// overload check (eq. 20) — everything frame-independent and
+    /// fallible-once.
+    pub(crate) fn build(
+        jitters: &crate::dense::DenseJitters,
+        config: &AnalysisConfig,
+        flow: gmf_model::FlowId,
+        stage: &crate::dense::StagePlan,
+    ) -> Result<Self, AnalysisError> {
+        if stage.utilization >= 1.0 {
+            return Err(AnalysisError::Overload {
+                stage: StageKind::FirstHop,
+                flow,
+                utilization: stage.utilization,
+                resource: stage.resource.to_string(),
+            });
+        }
+        let extras = stage
+            .interferers
+            .iter()
+            .map(|i| {
+                let mut extra = jitters.max_jitter(i.pair);
+                if config.refine_first_hop_blocking && !i.is_self {
+                    extra += i.blocking_c;
+                }
+                (i.demand, extra, i.is_self)
+            })
+            .collect();
+        Ok(FirstHopDense {
+            flow,
+            resource: stage.resource,
+            extras,
+            own_demand: stage.own_demand,
+            propagation: stage.propagation,
+            w_memo: Vec::new(),
+        })
+    }
+
+    /// The first-hop response-time bound of `frame` — the same equations
+    /// (15)–(19) as [`first_hop_response`], evaluated over the dense
+    /// tables.
+    pub(crate) fn response(
+        &mut self,
+        ctx: &AnalysisContext<'_>,
+        config: &AnalysisConfig,
+        frame: usize,
+    ) -> Result<Time, AnalysisError> {
+        let d_i = ctx.demand_by_index(self.own_demand);
+        let c_k = d_i.c(frame);
+        let tsum_i = d_i.tsum();
+        let csum_i = d_i.csum();
+
+        // Busy period, equation (15), seeded at the frame's own C.
+        let busy_period = match fixed_point(
+            c_k,
+            config.horizon,
+            config.max_fixed_point_iterations,
+            |t| {
+                let mut total = Time::ZERO;
+                for &(demand, extra, _) in &self.extras {
+                    total += ctx.demand_by_index(demand).mx(t + extra);
+                }
+                total
+            },
+        ) {
+            FixedPointOutcome::Converged(t) => t,
+            FixedPointOutcome::ExceededHorizon { .. } => {
+                return Err(AnalysisError::HorizonExceeded {
+                    stage: StageKind::FirstHop,
+                    flow: self.flow,
+                    horizon: config.horizon,
+                    resource: self.resource.to_string(),
+                })
+            }
+            FixedPointOutcome::IterationBudgetExhausted { .. } => {
+                return Err(AnalysisError::NoConvergence {
+                    stage: StageKind::FirstHop,
+                    flow: self.flow,
+                    iterations: config.max_fixed_point_iterations,
+                })
+            }
+        };
+
+        let instances = busy_period.div_ceil(tsum_i).max(1);
+
+        // Queueing time per instance (eqs. 16–17): frame-independent, so
+        // solved once per `q` across the whole cycle.
+        let mut worst = Time::ZERO;
+        for q in 0..instances {
+            if self.w_memo.len() <= q as usize {
+                let own = csum_i * q;
+                let w = match fixed_point(
+                    own,
+                    config.horizon,
+                    config.max_fixed_point_iterations,
+                    |w| {
+                        let mut total = own;
+                        for &(demand, extra, is_self) in &self.extras {
+                            if is_self {
+                                continue;
+                            }
+                            total += ctx.demand_by_index(demand).mx(w + extra);
+                        }
+                        total
+                    },
+                ) {
+                    FixedPointOutcome::Converged(w) => w,
+                    FixedPointOutcome::ExceededHorizon { .. } => {
+                        return Err(AnalysisError::HorizonExceeded {
+                            stage: StageKind::FirstHop,
+                            flow: self.flow,
+                            horizon: config.horizon,
+                            resource: self.resource.to_string(),
+                        })
+                    }
+                    FixedPointOutcome::IterationBudgetExhausted { .. } => {
+                        return Err(AnalysisError::NoConvergence {
+                            stage: StageKind::FirstHop,
+                            flow: self.flow,
+                            iterations: config.max_fixed_point_iterations,
+                        })
+                    }
+                };
+                self.w_memo.push(w);
+            }
+            // Equation (18).
+            let response = self.w_memo[q as usize] - tsum_i * q + c_k;
+            worst = worst.max(response);
+        }
+
+        // Equation (19).
+        Ok(worst + self.propagation)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -99,13 +99,15 @@
 
 use crate::config::AnalysisConfig;
 use crate::context::{AnalysisContext, JitterMap};
+use crate::dense::{DenseJitters, DensePlan};
 use crate::error::AnalysisError;
-use crate::pipeline::{analyze_flow, JitterAssignments};
+use crate::pipeline::analyze_flow_dense;
 use crate::report::{AnalysisReport, FlowReport, FrameBound};
 use gmf_model::Time;
-use gmf_par::{par_map, Threads};
+use gmf_par::{par_map_interleaved, Threads};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// How the holistic engine advances the jitter iterate between rounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -280,6 +282,7 @@ fn flow_stages(
 fn dependency_edges(
     flows: &gmf_net::FlowSet,
 ) -> Option<std::collections::BTreeMap<DepNode, Vec<DepNode>>> {
+    let link_index = flows.link_index();
     let mut edges: std::collections::BTreeMap<DepNode, Vec<DepNode>> =
         std::collections::BTreeMap::new();
     for binding in flows.bindings() {
@@ -292,7 +295,7 @@ fn dependency_edges(
                 .entry((binding.id, resource))
                 .or_default()
                 .push(target);
-            for other in flows.flows_on_link(from, to) {
+            for &other in link_index.flows_on_link(from, to) {
                 if other != binding.id {
                     edges.entry((other, resource)).or_default().push(target);
                 }
@@ -415,6 +418,7 @@ fn affected_flows_in(
 ) -> Option<std::collections::BTreeSet<gmf_model::FlowId>> {
     use std::collections::{BTreeMap, BTreeSet};
 
+    let link_index = flows.link_index();
     let stages: BTreeMap<gmf_model::FlowId, _> = flows
         .bindings()
         .iter()
@@ -444,7 +448,7 @@ fn affected_flows_in(
             continue;
         }
         let touched = stages[&binding.id].iter().any(|&(resource, (from, to))| {
-            flows
+            link_index
                 .flows_on_link(from, to)
                 .iter()
                 .any(|&other| other == seed || changed.contains(&(other, resource)))
@@ -456,19 +460,31 @@ fn affected_flows_in(
     Some(affected)
 }
 
-/// Everything one `G` evaluation produces.
+/// Everything one `G` evaluation produces.  Reports are `Arc`-shared:
+/// frozen and round-skipped flows hand the same allocation to every round
+/// instead of deep-copying `R × F` report clones across the run.
 enum RoundOutcome {
     /// Every flow analysed: the per-flow reports and the next jitter map.
     Evaluated {
-        reports: Vec<FlowReport>,
-        next: JitterMap,
+        reports: Vec<Arc<FlowReport>>,
+        next: DenseJitters,
     },
     /// A flow could not be bounded (overload / horizon excess): the reports
     /// of the flows *before* it in flow order, and why.
     Unschedulable {
-        partial: Vec<FlowReport>,
+        partial: Vec<Arc<FlowReport>>,
         failure: String,
     },
+}
+
+/// Turn the engine's shared reports into the owned vector an
+/// [`AnalysisReport`] carries — one unwrap (or clone, for reports still
+/// shared with a caller's cache) per flow at the end of the run.
+fn unwrap_reports(reports: Vec<Arc<FlowReport>>) -> Vec<FlowReport> {
+    reports
+        .into_iter()
+        .map(|report| Arc::try_unwrap(report).unwrap_or_else(|shared| (*shared).clone()))
+        .collect()
 }
 
 /// A dependency-derived re-verification scope for an incremental
@@ -488,35 +504,83 @@ pub(crate) struct Scope<'s> {
     /// reachable from it in the dependency graph, plus any flow whose
     /// cached report was invalidated by an earlier departure).
     pub active: &'s std::collections::BTreeSet<gmf_model::FlowId>,
-    /// Converged reports of the inactive flows, merged verbatim into every
-    /// round's report vector.  Must cover exactly the flows of the context
-    /// that are not in `active`.
-    pub frozen: &'s std::collections::BTreeMap<gmf_model::FlowId, FlowReport>,
+    /// Converged reports of the inactive flows, shared into every round's
+    /// report vector.  Must cover exactly the flows of the context that
+    /// are not in `active`.
+    pub frozen: &'s std::collections::BTreeMap<gmf_model::FlowId, Arc<FlowReport>>,
 }
 
-/// Evaluate `G` at `jitters`: analyse every (active) flow of the context's
-/// flow set against the given map, in parallel over `threads` workers, and
-/// fold the assignments into the next round's map.  Returns the outcome
-/// and the number of per-flow analyses actually performed.
+/// What the engine remembers about one flow's last analysis: its report
+/// and its per-stage jitter assignments, both reusable verbatim while the
+/// flow's inputs (see [`crate::dense::FlowPlan::input_pairs`]) are
+/// unchanged.
+struct FlowCache {
+    report: Arc<FlowReport>,
+    /// Frame-major, stage-minor accumulated jitters (the dense form of
+    /// [`crate::pipeline::JitterAssignments`]).
+    assignments: Vec<Vec<Time>>,
+}
+
+/// How [`evaluate_round`] treats each flow of the context.
+#[derive(Clone, Copy, PartialEq)]
+enum FlowRole {
+    /// Outside the scope: frozen report, jitters copied through.
+    Inactive,
+    /// In scope, but its input slots are exactly unchanged since its last
+    /// analysis: the cached report and assignments are reused without
+    /// re-analysing (Jacobi memoization — correct by construction).
+    Skipped,
+    /// In scope with changed inputs (or no cached analysis): re-analysed.
+    Dirty,
+}
+
+/// Evaluate `G` at `jitters`: analyse every *dirty* flow of the context's
+/// flow set against the given arena, in parallel over `threads` workers,
+/// and fold the assignments (fresh or cached) into the next round's arena.
+/// Returns the outcome and the number of per-flow analyses actually
+/// performed.
 ///
 /// Flows are analysed in flow-index order semantics: results are collected
 /// in that order, the next map is folded in that order, and the first
 /// erroring flow in that order decides the outcome — so the result is
-/// byte-identical to the sequential loop at any thread count.
+/// byte-identical to the sequential loop at any thread count.  Skipping is
+/// equally invisible: a skipped flow's inputs are *exactly* equal to those
+/// of its cached analysis, so re-analysing it would reproduce the cached
+/// report and assignments bit for bit — and a skipped flow can never be
+/// the round's first error, because its cached analysis succeeded on the
+/// same inputs.
 fn evaluate_round(
     ctx: &AnalysisContext<'_>,
-    jitters: &JitterMap,
+    jitters: &DenseJitters,
     config: &AnalysisConfig,
     scope: Option<&Scope<'_>>,
+    cache: &mut [Option<FlowCache>],
+    last_input: Option<&DenseJitters>,
 ) -> Result<(RoundOutcome, usize), AnalysisError> {
+    let plan = ctx.plan();
     let bindings = ctx.flows().bindings();
-    let active: Vec<&gmf_net::FlowBinding> = match scope {
-        None => bindings.iter().collect(),
-        Some(s) => bindings
-            .iter()
-            .filter(|b| s.active.contains(&b.id))
-            .collect(),
-    };
+
+    let roles: Vec<FlowRole> = bindings
+        .iter()
+        .enumerate()
+        .map(|(index, binding)| {
+            if !scope.is_none_or(|s| s.active.contains(&binding.id)) {
+                FlowRole::Inactive
+            } else if config.skip_unchanged_flows
+                && cache[index].is_some()
+                && last_input.is_some_and(|previous| {
+                    jitters.pairs_equal(plan, previous, &plan.flows[index].input_pairs)
+                })
+            {
+                FlowRole::Skipped
+            } else {
+                FlowRole::Dirty
+            }
+        })
+        .collect();
+    let dirty: Vec<usize> = (0..bindings.len())
+        .filter(|&index| roles[index] == FlowRole::Dirty)
+        .collect();
     let threads = Threads::new(config.threads);
 
     // With one worker the results come from a lazy iterator, so the scan
@@ -525,77 +589,96 @@ fn evaluate_round(
     // with several workers everything is evaluated eagerly up front.  Error
     // precedence is first-in-flow-order either way, so the outcome is
     // byte-identical at any thread count.
-    type FlowResult = Result<(Vec<FrameBound>, Vec<JitterAssignments>), AnalysisError>;
+    type FlowResult = Result<(Vec<FrameBound>, Vec<Vec<Time>>), AnalysisError>;
     let mut results: Box<dyn Iterator<Item = FlowResult> + '_> = if threads.get() == 1 {
         Box::new(
-            active
+            dirty
                 .iter()
-                .map(|binding| analyze_flow(ctx, jitters, config, binding.id)),
+                .map(|&index| analyze_flow_dense(ctx, jitters, config, index)),
         )
     } else {
         Box::new(
-            par_map(threads, &active, |_, binding| {
-                analyze_flow(ctx, jitters, config, binding.id)
+            par_map_interleaved(threads, &dirty, |_, &index| {
+                analyze_flow_dense(ctx, jitters, config, index)
             })
             .into_iter(),
         )
     };
 
     let mut analyzed = 0usize;
-    let mut reports = Vec::with_capacity(bindings.len());
-    let mut fresh_assignments: Vec<(gmf_model::FlowId, usize, Vec<JitterAssignments>)> =
-        Vec::with_capacity(active.len());
-    for binding in bindings {
-        let is_active = scope.is_none_or(|s| s.active.contains(&binding.id));
-        if is_active {
-            let result = results.next().expect("one result per active flow");
-            analyzed += 1;
-            match result {
-                Ok((bounds, assignments)) => {
-                    fresh_assignments.push((binding.id, bounds.len(), assignments));
-                    reports.push(FlowReport {
-                        flow: binding.id,
-                        name: binding.flow.name().to_string(),
-                        frames: bounds,
-                    });
-                }
-                Err(err) if err.is_unschedulable() => {
-                    return Ok((
-                        RoundOutcome::Unschedulable {
-                            partial: reports,
-                            failure: err.to_string(),
-                        },
-                        analyzed,
-                    ));
-                }
-                Err(err) => return Err(err),
+    let mut reports: Vec<Arc<FlowReport>> = Vec::with_capacity(bindings.len());
+    for (index, binding) in bindings.iter().enumerate() {
+        match roles[index] {
+            FlowRole::Inactive => {
+                let frozen = scope
+                    .expect("inactive flows only exist under a scope")
+                    .frozen
+                    .get(&binding.id)
+                    .expect("scoped rounds carry a frozen report for every inactive flow");
+                reports.push(Arc::clone(frozen));
             }
-        } else {
-            // Cloning the frozen report into every round keeps the scoped
-            // path shape-identical to the cold one (reports always in full
-            // flow order); the R×F clone cost is accepted — rounds are few
-            // and intermediate vectors are small next to the analyses they
-            // replace.
-            let frozen = scope
-                .expect("inactive flows only exist under a scope")
-                .frozen
-                .get(&binding.id)
-                .expect("scoped rounds carry a frozen report for every inactive flow");
-            reports.push(frozen.clone());
+            FlowRole::Skipped => {
+                let cached = cache[index]
+                    .as_ref()
+                    .expect("skipped flows have a cached analysis");
+                reports.push(Arc::clone(&cached.report));
+            }
+            FlowRole::Dirty => {
+                let result = results.next().expect("one result per dirty flow");
+                analyzed += 1;
+                match result {
+                    Ok((bounds, assignments)) => {
+                        let report = Arc::new(FlowReport {
+                            flow: binding.id,
+                            name: binding.flow.name().to_string(),
+                            frames: bounds,
+                        });
+                        reports.push(Arc::clone(&report));
+                        cache[index] = Some(FlowCache {
+                            report,
+                            assignments,
+                        });
+                    }
+                    Err(err) if err.is_unschedulable() => {
+                        return Ok((
+                            RoundOutcome::Unschedulable {
+                                partial: reports,
+                                failure: err.to_string(),
+                            },
+                            analyzed,
+                        ));
+                    }
+                    Err(err) => return Err(err),
+                }
+            }
         }
     }
+    drop(results);
 
-    let mut next = JitterMap::initial(ctx.flows());
-    if let Some(s) = scope {
-        // Frozen flows' jitters are already at their fixed-point values;
-        // carry them through unchanged (single pass over the map) so the
-        // fold below only moves the active components.
-        next.adopt_flows_where(jitters, |flow| s.frozen.contains_key(&flow));
-    }
-    for (flow, n_frames, assignments) in &fresh_assignments {
-        for (frame_index, frame_assignments) in assignments.iter().enumerate() {
-            for &(resource, jitter) in frame_assignments {
-                next.set(*flow, resource, frame_index, jitter, *n_frames);
+    let mut next = DenseJitters::initial(plan, ctx.flows());
+    for (index, role) in roles.iter().enumerate() {
+        let flow_plan = &plan.flows[index];
+        match role {
+            // Frozen flows' jitters are already at their fixed-point
+            // values; carry them through unchanged so the fold below only
+            // moves the active components.
+            FlowRole::Inactive => {
+                for stage in &flow_plan.stages {
+                    next.copy_pair_from(plan, jitters, stage.pair);
+                }
+            }
+            // Active flows (fresh or skipped) fold their assignments —
+            // a skipped flow's cached assignments are exactly what
+            // re-analysing it would have produced.
+            FlowRole::Skipped | FlowRole::Dirty => {
+                let cached = cache[index]
+                    .as_ref()
+                    .expect("active flows have a cached analysis after the scan");
+                for (frame, frame_assignments) in cached.assignments.iter().enumerate() {
+                    for (stage, &jitter) in frame_assignments.iter().enumerate() {
+                        next.set(plan, flow_plan.stages[stage].pair, frame, jitter);
+                    }
+                }
             }
         }
     }
@@ -607,13 +690,50 @@ fn evaluate_round(
 enum Candidate {
     /// A candidate passed every safeguard and should become the next
     /// iterate.
-    Extrapolated(JitterMap),
+    Extrapolated(DenseJitters),
     /// A candidate was computed but tripped the monotone / horizon
     /// safeguard.
     SafeguardRejected,
     /// No component was strictly contracting: there was nothing to
     /// extrapolate and the round is a plain Picard round.
     NothingToExtrapolate,
+}
+
+/// What the diagonal extrapolation decides for one jitter component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SlotStep {
+    /// Not strictly contracting: keep the plain Picard value `s2`.
+    Keep,
+    /// Strictly contracting: lift to the damped Aitken-Δ² estimate.
+    Lift(Time),
+    /// The lift would pass the horizon, lose finiteness or fall below the
+    /// Picard step: the whole candidate must be rejected.
+    Reject,
+}
+
+/// The per-component secant step of the Anderson(1) candidate, from three
+/// consecutive Picard-chained values `s0 → s1 = G(s0) → s2 = G(s1)` of one
+/// slot.
+fn extrapolate_slot(s0: Time, s1: Time, s2: Time, horizon: Time) -> SlotStep {
+    let d1 = (s1 - s0).as_secs();
+    let d2 = (s2 - s1).as_secs();
+    // Extrapolate only strictly contracting monotone components
+    // (0 < d2 < d1); everything else keeps the Picard value.
+    if d2 > 0.0 && d2 < d1 {
+        let ratio = d2 / d1;
+        let beta = (ratio / (1.0 - ratio)).min(BETA_MAX);
+        let accelerated = Time::from_secs(s2.as_secs() + ETA * beta * d2);
+        if !accelerated.is_finite() || accelerated > horizon {
+            return SlotStep::Reject;
+        }
+        // Monotone safeguard: never fall below the Picard step.
+        if accelerated < s2 {
+            return SlotStep::Reject;
+        }
+        SlotStep::Lift(accelerated)
+    } else {
+        SlotStep::Keep
+    }
 }
 
 /// The Anderson(1) candidate built from three consecutive Picard-chained
@@ -632,37 +752,28 @@ enum Candidate {
 /// an undershot candidate stays in the monotone from-below region and costs
 /// nothing, while an overshot one costs a reverted round.
 fn anderson_candidate(
-    x: &JitterMap,
-    gx: &JitterMap,
-    prev_x: &JitterMap,
+    plan: &DensePlan,
+    x: &DenseJitters,
+    gx: &DenseJitters,
+    prev_x: &DenseJitters,
     horizon: Time,
 ) -> Candidate {
-    let mut candidate = JitterMap::default();
+    let mut candidate = DenseJitters::zeroed(plan);
     let mut extrapolated_any = false;
-    for (&(flow, resource), values) in gx.iter() {
-        let n_frames = values.len();
-        for (frame, &s2) in values.iter().enumerate() {
-            let s0 = prev_x.get(flow, resource, frame);
-            let s1 = x.get(flow, resource, frame);
-            let d1 = (s1 - s0).as_secs();
-            let d2 = (s2 - s1).as_secs();
-            // Extrapolate only strictly contracting monotone components
-            // (0 < d2 < d1); everything else keeps the Picard value.
-            let mut accelerated = s2;
-            if d2 > 0.0 && d2 < d1 {
-                let ratio = d2 / d1;
-                let beta = (ratio / (1.0 - ratio)).min(BETA_MAX);
-                accelerated = Time::from_secs(s2.as_secs() + ETA * beta * d2);
-                if !accelerated.is_finite() || accelerated > horizon {
-                    return Candidate::SafeguardRejected;
+    for pair in 0..plan.n_pairs() as u32 {
+        for idx in plan.range(pair) {
+            let s0 = prev_x.slots()[idx];
+            let s1 = x.slots()[idx];
+            let s2 = gx.slots()[idx];
+            let value = match extrapolate_slot(s0, s1, s2, horizon) {
+                SlotStep::Keep => s2,
+                SlotStep::Lift(accelerated) => {
+                    extrapolated_any = true;
+                    accelerated
                 }
-                // Monotone safeguard: never fall below the Picard step.
-                if accelerated < s2 {
-                    return Candidate::SafeguardRejected;
-                }
-                extrapolated_any = true;
-            }
-            candidate.set(flow, resource, frame, accelerated, n_frames);
+                SlotStep::Reject => return Candidate::SafeguardRejected,
+            };
+            candidate.set_slot(pair, idx, value);
         }
     }
     if extrapolated_any {
@@ -676,7 +787,7 @@ fn anderson_candidate(
 struct AndersonState {
     /// The iterate *before* the current one, when the chain
     /// `prev_x → x → gx` is three consecutive Picard steps.
-    prev_x: Option<JitterMap>,
+    prev_x: Option<DenseJitters>,
     /// The previous round's residual — extrapolation is gated on the
     /// residual actually shrinking (the first rounds of a run often *grow*
     /// it while jitter fronts still propagate downstream).
@@ -691,7 +802,7 @@ struct AndersonState {
     /// computed from the inflated jitters exceeds the horizon, say), the
     /// failure is an artefact of the extrapolation, not a property of the
     /// flow set — the engine reverts here and re-runs the round plainly.
-    fallback: Option<JitterMap>,
+    fallback: Option<DenseJitters>,
     /// Post-hoc invariant violations (absorbed overshoots) so far.
     absorbs: usize,
     /// Acceleration still allowed?
@@ -771,10 +882,16 @@ fn iterate_inner(
     initial: JitterMap,
     scope: Option<&Scope<'_>>,
 ) -> Result<FixedPointRun, AnalysisError> {
-    let mut x = initial;
+    let plan = ctx.plan();
+    let mut x = DenseJitters::from_keyed(plan, ctx.flows(), &initial);
     let mut flow_analyses = 0usize;
-    let mut last_reports: Vec<FlowReport> = Vec::new();
+    let mut last_reports: Vec<Arc<FlowReport>> = Vec::new();
     let mut trace = ConvergenceTrace::default();
+    // Per-flow memo backing the dirty-flow round skipping: each flow's last
+    // analysis, valid while its input slots match `last_input` (the arena
+    // the memo entries were computed against).
+    let mut cache: Vec<Option<FlowCache>> = (0..plan.flows.len()).map(|_| None).collect();
+    let mut last_input: Option<DenseJitters> = None;
     // `x` starts as the initial map and is otherwise an image of `G` except
     // right after an accepted Anderson step.
     let mut input_is_image = true;
@@ -795,10 +912,20 @@ fn iterate_inner(
     };
 
     for iteration in 1..=config.max_holistic_iterations {
-        let round = evaluate_round(ctx, &x, config, scope);
+        let round = evaluate_round(ctx, &x, config, scope, &mut cache, last_input.as_ref());
         if let Ok((_, analyzed)) = &round {
             flow_analyses += analyzed;
         }
+        // After a *completed* round every cache entry is valid against the
+        // arena it just read: refreshed entries were computed at `x`, kept
+        // entries had inputs exactly equal to their own reference arena.
+        // (When skipping is off the memo is never consulted — skip the
+        // per-round arena clone.)
+        last_input = if config.skip_unchanged_flows {
+            Some(x.clone())
+        } else {
+            None
+        };
 
         // A failure while evaluating `G` at an *extrapolated* iterate
         // (unschedulable outcome or hard error) may be an artefact of the
@@ -816,6 +943,14 @@ fn iterate_inner(
                 .fallback
                 .take()
                 .expect("a non-image iterate always has a revert target");
+            // The aborted round left the memo MIXED: flows it re-analysed
+            // before failing are cached against the discarded candidate,
+            // flows after the failure point still against the older image
+            // — and the candidate agrees with the revert target on every
+            // unlifted slot, so an input-equality check against it could
+            // wrongly reuse those older entries.  Drop the reference arena
+            // so the next round re-analyses everything.
+            last_input = None;
             input_is_image = true;
             anderson.prev_x = None;
             anderson.last_residual = None;
@@ -834,9 +969,10 @@ fn iterate_inner(
                     residual: Time::ZERO,
                     step: StepKind::Picard,
                 });
+                drop(cache);
                 return Ok(FixedPointRun {
                     report: AnalysisReport {
-                        flows: partial,
+                        flows: unwrap_reports(partial),
                         converged: false,
                         iterations: iteration,
                         schedulable: false,
@@ -859,12 +995,11 @@ fn iterate_inner(
         // the image G(x) — but further acceleration is throttled.
         let mut absorbed = false;
         if !input_is_image {
-            let invariant_broken = gx.iter().any(|(&(flow, resource), values)| {
-                values.iter().enumerate().any(|(frame, &value)| {
-                    let assumed = x.get(flow, resource, frame);
-                    value < assumed && !value.approx_eq(assumed)
-                })
-            });
+            let invariant_broken = gx
+                .slots()
+                .iter()
+                .zip(x.slots())
+                .any(|(&value, &assumed)| value < assumed && !value.approx_eq(assumed));
             if invariant_broken {
                 absorbed = true;
                 anderson.absorbs += 1;
@@ -893,19 +1028,21 @@ fn iterate_inner(
                     .join(", ");
                 Some(format!("deadline missed by: {miss}"))
             };
+            // The reports are exactly the evaluation `G(x)`, so `x` (not
+            // `gx`) is the map to cache: re-evaluating `G` at it
+            // reproduces them byte for byte.
+            let jitters = Some(x.to_keyed(plan));
+            drop(cache);
             return Ok(FixedPointRun {
                 report: AnalysisReport {
-                    flows: reports,
+                    flows: unwrap_reports(reports),
                     converged: true,
                     iterations: iteration,
                     schedulable,
                     failure,
                     trace,
                 },
-                // The reports above are exactly the evaluation `G(x)`, so
-                // `x` (not `gx`) is the map to cache: re-evaluating `G` at
-                // it reproduces them byte for byte.
-                jitters: Some(x),
+                jitters,
                 flow_analyses,
             });
         }
@@ -929,7 +1066,7 @@ fn iterate_inner(
                 let mid_tail =
                     residual.as_secs() >= MID_TAIL_FRACTION * anderson.peak_residual.as_secs();
                 if shrinking && mid_tail {
-                    match anderson_candidate(&x, &gx, prev_x, config.horizon) {
+                    match anderson_candidate(plan, &x, &gx, prev_x, config.horizon) {
                         Candidate::Extrapolated(candidate) => {
                             step = StepKind::Anderson;
                             next = Some(candidate);
@@ -969,9 +1106,10 @@ fn iterate_inner(
     }
 
     // The jitter iteration did not stabilise within the budget.
+    drop(cache);
     Ok(FixedPointRun {
         report: AnalysisReport {
-            flows: last_reports,
+            flows: unwrap_reports(last_reports),
             converged: false,
             iterations: config.max_holistic_iterations,
             schedulable: false,
@@ -1139,37 +1277,28 @@ mod tests {
     }
 
     #[test]
-    fn anderson_candidate_extrapolates_a_linear_recursion() {
-        use crate::context::ResourceId;
-        use gmf_model::FlowId;
-        use gmf_net::NodeId;
+    fn slot_extrapolation_lifts_a_linear_recursion() {
         // Scalar linear iteration x ← a + b·x with fixed point a/(1−b):
-        // the damped Aitken candidate must land η of the remaining distance
+        // the damped Aitken step must land η of the remaining distance
         // past the Picard step, i.e. just short of the fixed point.
-        let resource = ResourceId::Link {
-            from: NodeId(0),
-            to: NodeId(1),
-        };
         let (a, b) = (1.0f64, 0.5f64);
         let g = |v: f64| a + b * v;
-        let mk = |v: f64| {
-            let mut m = JitterMap::default();
-            m.set(FlowId(0), resource, 0, Time::from_secs(v), 1);
-            m
-        };
         let x0 = 0.0;
         let x1 = g(x0);
         let x2 = g(x1);
-        let Candidate::Extrapolated(candidate) =
-            anderson_candidate(&mk(x1), &mk(x2), &mk(x0), Time::from_secs(1e6))
-        else {
+        let SlotStep::Lift(got) = extrapolate_slot(
+            Time::from_secs(x0),
+            Time::from_secs(x1),
+            Time::from_secs(x2),
+            Time::from_secs(1e6),
+        ) else {
             panic!("a contracting linear chain is extrapolated");
         };
+        let got = got.as_secs();
         let fixed_point = a / (1.0 - b);
         let (d1, d2) = (x1 - x0, x2 - x1);
         let ratio = d2 / d1;
         let expected = x2 + ETA * (ratio / (1.0 - ratio)).min(BETA_MAX) * d2;
-        let got = candidate.get(FlowId(0), resource, 0).as_secs();
         assert!(
             (got - expected).abs() < 1e-12,
             "candidate {got} vs expected {expected} (fixed point {fixed_point})"
@@ -1182,57 +1311,59 @@ mod tests {
     }
 
     #[test]
-    fn anderson_candidate_rejects_non_contracting_history() {
-        use crate::context::ResourceId;
-        use gmf_model::FlowId;
-        use gmf_net::NodeId;
-        let resource = ResourceId::Link {
-            from: NodeId(0),
-            to: NodeId(1),
-        };
-        let mk = |v: f64| {
-            let mut m = JitterMap::default();
-            m.set(FlowId(0), resource, 0, Time::from_secs(v), 1);
-            m
-        };
-        // A stalled component (x == gx): nothing to extrapolate — a plain
-        // Picard round, not a safeguard rejection.
-        assert!(matches!(
-            anderson_candidate(&mk(2.0), &mk(2.0), &mk(1.0), Time::from_secs(1e6)),
-            Candidate::NothingToExtrapolate
-        ));
+    fn slot_extrapolation_rejects_non_contracting_history() {
+        let t = Time::from_secs;
+        // A stalled component (x == gx): nothing to extrapolate — the slot
+        // keeps its Picard value, not a safeguard rejection.
+        assert_eq!(
+            extrapolate_slot(t(1.0), t(2.0), t(2.0), t(1e6)),
+            SlotStep::Keep
+        );
         // Expanding gains (1 → 2 → 4): not contracting, nothing to do.
-        assert!(matches!(
-            anderson_candidate(&mk(2.0), &mk(4.0), &mk(1.0), Time::from_secs(1e6)),
-            Candidate::NothingToExtrapolate
-        ));
-        // A candidate that would jump past the horizon trips the
-        // safeguard.  Gains 1.0 then 0.99: even the capped jump exceeds a
-        // horizon of 2.
-        assert!(matches!(
-            anderson_candidate(&mk(1.0), &mk(1.99), &mk(0.0), Time::from_secs(2.0)),
-            Candidate::SafeguardRejected
-        ));
+        assert_eq!(
+            extrapolate_slot(t(1.0), t(2.0), t(4.0), t(1e6)),
+            SlotStep::Keep
+        );
+        // A lift that would jump past the horizon trips the safeguard.
+        // Gains 1.0 then 0.99: even the capped jump exceeds a horizon of 2.
+        assert_eq!(
+            extrapolate_slot(t(0.0), t(1.0), t(1.99), t(2.0)),
+            SlotStep::Reject
+        );
     }
 
     #[test]
     fn anderson_candidate_moves_only_contracting_components() {
-        use crate::context::ResourceId;
-        use gmf_model::FlowId;
-        use gmf_net::NodeId;
-        let resource = ResourceId::Link {
-            from: NodeId(0),
-            to: NodeId(1),
-        };
-        // Component 0 contracts (0 → 1 → 1.5); component 1 has already
-        // locked onto its exact value (2 → 2 → 2) and must not move.
+        // A real single-flow context gives the candidate builder a plan
+        // whose arena has one pair per walk resource; seed a two-slot
+        // history where only the first-link slot contracts.
+        let (t, net) = paper_figure1();
+        let mut fs = FlowSet::new();
+        let voice = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(20.0),
+            Time::from_millis(0.5),
+        );
+        fs.add(
+            voice,
+            shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap(),
+            Priority(7),
+        );
+        let ctx = crate::context::AnalysisContext::new(&t, &fs).unwrap();
+        let plan = ctx.plan();
+        let first = plan.flows[0].first_link_pair;
+        let second = plan.flows[0].stages[1].pair;
         let mk = |v0: f64, v1: f64| {
-            let mut m = JitterMap::default();
-            m.set(FlowId(0), resource, 0, Time::from_secs(v0), 2);
-            m.set(FlowId(0), resource, 1, Time::from_secs(v1), 2);
+            let mut m = crate::dense::DenseJitters::zeroed(plan);
+            m.set(plan, first, 0, Time::from_secs(v0));
+            m.set(plan, second, 0, Time::from_secs(v1));
             m
         };
+        // First-link slot contracts (0 → 1 → 1.5); the other slot has
+        // locked onto its exact value (2 → 2 → 2) and must not move.
         let Candidate::Extrapolated(candidate) = anderson_candidate(
+            plan,
             &mk(1.0, 2.0),
             &mk(1.5, 2.0),
             &mk(0.0, 2.0),
@@ -1241,10 +1372,11 @@ mod tests {
             panic!("the contracting component is extrapolated");
         };
         assert_eq!(
-            candidate.get(FlowId(0), resource, 1),
+            candidate.get(plan, second, 0),
             Time::from_secs(2.0),
             "a locked component keeps its exact value"
         );
-        assert!(candidate.get(FlowId(0), resource, 0) > Time::from_secs(1.5));
+        assert!(candidate.get(plan, first, 0) > Time::from_secs(1.5));
+        assert!(candidate.max_jitter(first) > Time::from_secs(1.5));
     }
 }

@@ -181,6 +181,156 @@ pub fn ingress_response(
     })
 }
 
+/// The dense per-round state of one flow's switch-ingress stage.
+///
+/// Every fallible or expensive part of equations (21)–(27) is
+/// frame-independent: the overload check, the busy period (eq. 22, seeded
+/// at `CIRC(N)`) and the queueing times `w(q)` (eq. 24).  They are solved
+/// once per round here; [`IngressDense::response`] only maximises eq. (25)
+/// over the precomputed `w(q)` with the frame's own service-round count —
+/// the keyed path re-solved every recurrence for every frame of the cycle.
+pub(crate) struct IngressDense {
+    circ: Time,
+    tsum_i: Time,
+    own_demand: u32,
+    refine_own_frames: bool,
+    /// `w(q)` for `q < Q_i` (eq. 24), solved at build.
+    w: Vec<Time>,
+}
+
+impl IngressDense {
+    /// Run the overload check and solve the busy period and every `w(q)`
+    /// against the current iterate.
+    pub(crate) fn build(
+        ctx: &AnalysisContext<'_>,
+        jitters: &crate::dense::DenseJitters,
+        config: &AnalysisConfig,
+        flow: gmf_model::FlowId,
+        stage: &crate::dense::StagePlan,
+    ) -> Result<Self, AnalysisError> {
+        let circ = stage.circ;
+        if stage.utilization >= 1.0 {
+            return Err(AnalysisError::Overload {
+                stage: StageKind::SwitchIngress,
+                flow,
+                utilization: stage.utilization,
+                resource: stage.resource.to_string(),
+            });
+        }
+        let d_i = ctx.demand_by_index(stage.own_demand);
+        let tsum_i = d_i.tsum();
+
+        // extra_j: accumulated jitter of flow j at reception on this node.
+        let extras: Vec<(u32, Time, bool)> = stage
+            .interferers
+            .iter()
+            .map(|i| (i.demand, jitters.max_jitter(i.pair), i.is_self))
+            .collect();
+
+        // Busy period, equation (22).
+        let busy_period = match fixed_point(
+            circ,
+            config.horizon,
+            config.max_fixed_point_iterations,
+            |t| {
+                let mut rounds: u64 = 0;
+                for &(demand, extra, _) in &extras {
+                    rounds += ctx.demand_by_index(demand).nx(t + extra);
+                }
+                circ * rounds
+            },
+        ) {
+            FixedPointOutcome::Converged(t) => t,
+            FixedPointOutcome::ExceededHorizon { .. } => {
+                return Err(AnalysisError::HorizonExceeded {
+                    stage: StageKind::SwitchIngress,
+                    flow,
+                    horizon: config.horizon,
+                    resource: stage.resource.to_string(),
+                })
+            }
+            FixedPointOutcome::IterationBudgetExhausted { .. } => {
+                return Err(AnalysisError::NoConvergence {
+                    stage: StageKind::SwitchIngress,
+                    flow,
+                    iterations: config.max_fixed_point_iterations,
+                })
+            }
+        };
+
+        let instances = busy_period.div_ceil(tsum_i).max(1);
+        let own_rounds_per_cycle: u64 = if config.refine_ingress_own_frames {
+            d_i.nsum()
+        } else {
+            1
+        };
+
+        // Queueing time per instance, equation (24).
+        let mut w = Vec::with_capacity(instances as usize);
+        for q in 0..instances {
+            let own = circ * (q * own_rounds_per_cycle);
+            let wq = match fixed_point(
+                own,
+                config.horizon,
+                config.max_fixed_point_iterations,
+                |w| {
+                    let mut rounds: u64 = 0;
+                    for &(demand, extra, is_self) in &extras {
+                        if is_self {
+                            continue;
+                        }
+                        rounds += ctx.demand_by_index(demand).nx(w + extra);
+                    }
+                    own + circ * rounds
+                },
+            ) {
+                FixedPointOutcome::Converged(w) => w,
+                FixedPointOutcome::ExceededHorizon { .. } => {
+                    return Err(AnalysisError::HorizonExceeded {
+                        stage: StageKind::SwitchIngress,
+                        flow,
+                        horizon: config.horizon,
+                        resource: stage.resource.to_string(),
+                    })
+                }
+                FixedPointOutcome::IterationBudgetExhausted { .. } => {
+                    return Err(AnalysisError::NoConvergence {
+                        stage: StageKind::SwitchIngress,
+                        flow,
+                        iterations: config.max_fixed_point_iterations,
+                    })
+                }
+            };
+            w.push(wq);
+        }
+
+        Ok(IngressDense {
+            circ,
+            tsum_i,
+            own_demand: stage.own_demand,
+            refine_own_frames: config.refine_ingress_own_frames,
+            w,
+        })
+    }
+
+    /// Equation (25)–(26): maximise the response over the precomputed
+    /// instances, charging the frame's own service rounds.
+    pub(crate) fn response(&self, ctx: &AnalysisContext<'_>, frame: usize) -> Time {
+        let own_rounds_final: u64 = if self.refine_own_frames {
+            ctx.demand_by_index(self.own_demand)
+                .n_ethernet_frames(frame)
+        } else {
+            1
+        };
+        let mut worst = Time::ZERO;
+        for (q, &wq) in self.w.iter().enumerate() {
+            let response = wq - self.tsum_i * (q as u64) + self.circ * own_rounds_final;
+            worst = worst.max(response);
+        }
+        worst
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,7 +25,10 @@
 //! * [`admission::AdmissionController`] — the admission controller built on
 //!   top of it;
 //! * [`baseline`] — the sporadic-collapse and utilization-only baselines
-//!   used for comparison experiments.
+//!   used for comparison experiments;
+//! * [`reference::analyze_reference`] — the deliberately simple keyed
+//!   Picard oracle the dense-index production engine is property-tested
+//!   against.
 //!
 //! ```
 //! use gmf_analysis::prelude::*;
@@ -52,6 +55,7 @@ pub mod baseline;
 pub mod busy_period;
 pub mod config;
 pub mod context;
+pub(crate) mod dense;
 pub mod egress;
 pub mod error;
 pub mod first_hop;
@@ -59,6 +63,7 @@ pub mod fixed_point;
 pub mod holistic;
 pub mod ingress;
 pub mod pipeline;
+pub mod reference;
 pub mod report;
 pub mod stage;
 
@@ -81,6 +86,7 @@ pub use fixed_point::{
 pub use holistic::analyze;
 pub use ingress::ingress_response;
 pub use pipeline::{analyze_flow, analyze_frame, hop_sum_matches, JitterAssignments};
+pub use reference::analyze_reference;
 pub use report::{AnalysisReport, FlowReport, FrameBound, HopBound};
 pub use stage::StageResult;
 

@@ -1,34 +1,74 @@
-//! `bench_export` — machine-readable benchmark medians for the CI perf
-//! trajectory.
+//! `bench_export` — machine-readable benchmark medians and analysis cost
+//! counters for the CI perf trajectory.
 //!
 //! Runs a curated set of the workspace's benchmark bodies (the same
 //! workloads as the Criterion benches B1–B4) a handful of times each and
-//! writes `BENCH.json`: a flat JSON object mapping benchmark name to the
-//! median per-iteration wall time in nanoseconds.  CI uploads the file as
-//! an artifact on every build, so regressions show up as a step in the
-//! trajectory rather than an anecdote.
+//! writes `BENCH.json`:
 //!
-//! Usage: `bench_export [OUTPUT_PATH]` (default `BENCH.json`).  Sample
-//! count can be tuned with `GMF_BENCH_EXPORT_SAMPLES` (default 7).
+//! ```json
+//! { "schema": 2,
+//!   "timings_ns": { "<bench>": <median ns per iteration>, ... },
+//!   "counters":   { "<counter>": <deterministic count>, ... } }
+//! ```
+//!
+//! `timings_ns` carries the wall-clock medians (machine-dependent);
+//! `counters` carries the engine's *deterministic* cost metrics — holistic
+//! rounds and per-flow analyses per workload, with dirty-flow skipping off
+//! and on — which must be bit-identical on every machine.
+//!
+//! **Baseline check** (`--baseline <path>`): compares the fresh run
+//! against a committed baseline and exits non-zero on regression.
+//! Counters must match exactly.  Timings are compared *normalised by the
+//! `link_demand_build_paper_flow` entry* — a pure-CPU yardstick that
+//! cancels overall machine speed out of the ratio — and fail when a
+//! normalised timing exceeds the baseline by more than
+//! `GMF_BENCH_TOLERANCE` (default 1.5; generous, for runner noise).
+//!
+//! Usage: `bench_export [OUTPUT_PATH] [--baseline PATH]` (default output
+//! `BENCH.json`).  Sample count: `GMF_BENCH_EXPORT_SAMPLES` (default 7).
 
 use gmf_analysis::{
-    analyze, first_hop_response, AdmissionMode, AnalysisConfig, AnalysisContext,
+    analyze, first_hop_response, iterate_from, AdmissionMode, AnalysisConfig, AnalysisContext,
     FixedPointStrategy, JitterMap,
 };
 use gmf_bench::{
-    churn_bench_config, long_tail_bench_scenario, median_ns, print_header, print_table,
-    synthetic_converging_set, CHURN_BENCH_SEED, HOLISTIC_SYNTHETIC_AXIS, HOLISTIC_THREAD_AXIS,
+    churn_bench_config, long_tail_bench_scenario, median_ns, mixed_depth_line_scenario,
+    print_header, print_table, synthetic_converging_set, CHURN_BENCH_SEED, HOLISTIC_SYNTHETIC_AXIS,
+    HOLISTIC_THREAD_AXIS,
 };
 use gmf_model::{paper_figure3_flow, BitRate, EncapsulationConfig, FlowId, LinkDemand, Time};
 use gmf_workloads::{paper_scenario, run_churn};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use switch_sim::{SimConfig, Simulator};
 
+/// The calibration timing used to normalise cross-machine comparisons.
+const CALIBRATION: &str = "link_demand_build_paper_flow";
+
+/// The `BENCH.json` schema (see module docs).
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchReport {
+    schema: u32,
+    timings_ns: BTreeMap<String, u64>,
+    counters: BTreeMap<String, u64>,
+}
+
 fn main() {
-    let output = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH.json".to_string());
+    let mut output = "BENCH.json".to_string();
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--baseline" {
+            baseline = args.next();
+            if baseline.is_none() {
+                eprintln!("--baseline requires a path");
+                std::process::exit(2);
+            }
+        } else {
+            output = arg;
+        }
+    }
     let samples = std::env::var("GMF_BENCH_EXPORT_SAMPLES")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -124,6 +164,43 @@ fn main() {
         );
     }
 
+    // B3b — the dense core's cost counters: holistic rounds and per-flow
+    // analyses per cold analyze, with dirty-flow skipping off and on.
+    // These are deterministic (identical on every machine and at every
+    // thread count) — the hard half of the perf-smoke gate.
+    let (mixed_topology, mixed_flows) = mixed_depth_line_scenario(10, 4);
+    record(
+        "analyze_cold/mixed_depth",
+        median_ns(samples, || {
+            black_box(analyze(black_box(&mixed_topology), &mixed_flows, &paper_config).unwrap());
+        }),
+    );
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    {
+        let (synth_topology, synth_flows) = synthetic_converging_set(16);
+        let cost_workloads = [
+            ("paper", &scenario.topology, &scenario.flows),
+            ("synthetic16", &synth_topology, &synth_flows),
+            ("longtail", &topology, &flows),
+            ("mixed_depth", &mixed_topology, &mixed_flows),
+        ];
+        for (name, workload_topology, workload_flows) in cost_workloads {
+            for (mode, skip) in [("full", false), ("skip", true)] {
+                let config = AnalysisConfig::paper().with_skip_unchanged_flows(skip);
+                let ctx = AnalysisContext::new(workload_topology, workload_flows).unwrap();
+                let run = iterate_from(&ctx, &config, JitterMap::initial(workload_flows)).unwrap();
+                counters.insert(
+                    format!("flow_analyses/{name}/{mode}"),
+                    run.flow_analyses as u64,
+                );
+                counters.insert(
+                    format!("rounds/{name}/{mode}"),
+                    run.report.iterations as u64,
+                );
+            }
+        }
+    }
+
     // B5 — admission churn: cold restarts vs the incremental warm engine
     // on the shared churn script (same workload as the Criterion
     // `churn_admission` axis and E11).
@@ -159,15 +236,101 @@ fn main() {
         }),
     );
 
-    // Human-readable table plus the machine-readable artifact.
+    // Human-readable tables plus the machine-readable artifact.
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|(name, ns)| vec![name.clone(), format!("{ns}")])
         .collect();
     print_table(&["bench", "median ns"], &rows);
+    println!();
+    let rows: Vec<Vec<String>> = counters
+        .iter()
+        .map(|(name, count)| vec![name.clone(), format!("{count}")])
+        .collect();
+    print_table(&["counter", "value"], &rows);
 
-    let json = serde_json::to_string_pretty(&results).expect("results serialize");
+    let report = BenchReport {
+        schema: 2,
+        timings_ns: results,
+        counters,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&output, json + "\n").expect("write BENCH.json");
     println!();
-    println!("wrote {} entries to {output}", results.len());
+    println!(
+        "wrote {} timings and {} counters to {output}",
+        report.timings_ns.len(),
+        report.counters.len()
+    );
+
+    if let Some(baseline_path) = baseline {
+        let failures = check_against_baseline(&report, &baseline_path);
+        if !failures.is_empty() {
+            eprintln!();
+            eprintln!("perf-smoke FAILED against baseline {baseline_path}:");
+            for failure in &failures {
+                eprintln!("  {failure}");
+            }
+            std::process::exit(1);
+        }
+        println!("perf-smoke OK against baseline {baseline_path}");
+    }
+}
+
+/// Compare a fresh report against a committed baseline: counters must
+/// match exactly; timings are normalised by [`CALIBRATION`] and may not
+/// regress by more than `GMF_BENCH_TOLERANCE` (default 1.5).
+fn check_against_baseline(report: &BenchReport, baseline_path: &str) -> Vec<String> {
+    let tolerance = std::env::var("GMF_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.5);
+    let baseline_json = match std::fs::read_to_string(baseline_path) {
+        Ok(json) => json,
+        Err(err) => return vec![format!("cannot read baseline {baseline_path}: {err}")],
+    };
+    let baseline: BenchReport = match serde_json::from_str(&baseline_json) {
+        Ok(baseline) => baseline,
+        Err(err) => return vec![format!("cannot parse baseline {baseline_path}: {err}")],
+    };
+
+    let mut failures = Vec::new();
+    // Deterministic counters: any difference is a real behaviour change
+    // (more rounds, more per-flow analyses) and fails regardless of noise.
+    for (name, expected) in &baseline.counters {
+        match report.counters.get(name) {
+            Some(actual) if actual == expected => {}
+            Some(actual) => {
+                failures.push(format!("counter {name}: {actual} != baseline {expected}"))
+            }
+            None => failures.push(format!("counter {name}: missing from this run")),
+        }
+    }
+
+    // Machine-dependent timings: compare speed relative to the
+    // calibration entry so a uniformly slower runner cancels out.
+    let (Some(&calib_now), Some(&calib_base)) = (
+        report.timings_ns.get(CALIBRATION),
+        baseline.timings_ns.get(CALIBRATION),
+    ) else {
+        failures.push(format!("calibration timing {CALIBRATION} missing"));
+        return failures;
+    };
+    for (name, &expected) in &baseline.timings_ns {
+        if name == CALIBRATION {
+            continue;
+        }
+        let Some(&actual) = report.timings_ns.get(name) else {
+            failures.push(format!("timing {name}: missing from this run"));
+            continue;
+        };
+        let normalised = (actual as f64 / calib_now as f64) / (expected as f64 / calib_base as f64);
+        if normalised > tolerance {
+            failures.push(format!(
+                "timing {name}: {actual} ns is {normalised:.2}x the baseline's \
+                 calibrated expectation (> {tolerance:.2}x)"
+            ));
+        }
+    }
+    failures
 }

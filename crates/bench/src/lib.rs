@@ -122,6 +122,99 @@ pub fn long_tail_line_scenario(
     (topology, flows)
 }
 
+/// The long-tail line with *mixed-depth* traffic: the whole-line voice
+/// pairs of [`long_tail_line_scenario`] plus one local leaf-to-leaf flow
+/// across every adjacent switch pair, in each direction.
+///
+/// The whole-line flows keep every backbone jitter moving for the full
+/// `≈ 2·n_switches`-round transport tail, but a local flow's inputs
+/// stabilise as soon as the jitter front has passed its two switches —
+/// early-line locals sit unchanged for most of the iteration.  This is the
+/// workload where the engine's dirty-flow round skipping shows its
+/// steady-state value (E12): the deep tail keeps iterating while the
+/// stabilised locals are no longer re-analysed.
+pub fn mixed_depth_line_scenario(
+    n_switches: usize,
+    pairs: usize,
+) -> (gmf_net::Topology, gmf_net::FlowSet) {
+    use gmf_model::{voip_flow, Time, VoiceCodec};
+    use gmf_net::{LinkProfile, Priority, Route, SwitchConfig};
+
+    let switch = SwitchConfig {
+        croute: Time::from_micros(450.0),
+        csend: Time::from_micros(1.0),
+        processors: 1,
+    };
+    let access = LinkProfile::ethernet_100m();
+    let mut topology = gmf_net::Topology::new();
+    let host_a = topology.add_end_host("hostA");
+    let mut switches = Vec::with_capacity(n_switches);
+    let mut leaves = Vec::with_capacity(n_switches);
+    for i in 0..n_switches {
+        let sw = topology.add_switch(switch, format!("sw{i}"));
+        let leaf = topology.add_end_host(format!("leaf{i}"));
+        topology
+            .add_duplex_link(leaf, sw, access)
+            .expect("fresh topology");
+        switches.push(sw);
+        leaves.push(leaf);
+    }
+    let host_b = topology.add_end_host("hostB");
+    topology
+        .add_duplex_link(host_a, switches[0], access)
+        .expect("fresh topology");
+    for pair in switches.windows(2) {
+        topology
+            .add_duplex_link(pair[0], pair[1], access)
+            .expect("fresh topology");
+    }
+    topology
+        .add_duplex_link(switches[n_switches - 1], host_b, access)
+        .expect("fresh topology");
+
+    let mut flows = gmf_net::FlowSet::new();
+    let voice = |name: &str| {
+        voip_flow(
+            name,
+            VoiceCodec::G711,
+            Time::from_millis(2000.0),
+            Time::from_millis(0.5),
+        )
+    };
+    let line_route = |nodes: Vec<gmf_net::NodeId>| Route::new(&topology, nodes).expect("line path");
+    for i in 0..pairs {
+        let mut forward = vec![host_a];
+        forward.extend(&switches);
+        forward.push(host_b);
+        flows.add(
+            voice(&format!("voice-ab-{i}")),
+            line_route(forward),
+            Priority(7),
+        );
+        let mut reverse = vec![host_b];
+        reverse.extend(switches.iter().rev());
+        reverse.push(host_a);
+        flows.add(
+            voice(&format!("voice-ba-{i}")),
+            line_route(reverse),
+            Priority(7),
+        );
+    }
+    for i in 0..n_switches - 1 {
+        flows.add(
+            voice(&format!("local-fwd-{i}")),
+            line_route(vec![leaves[i], switches[i], switches[i + 1], leaves[i + 1]]),
+            Priority(7),
+        );
+        flows.add(
+            voice(&format!("local-rev-{i}")),
+            line_route(vec![leaves[i + 1], switches[i + 1], switches[i], leaves[i]]),
+            Priority(7),
+        );
+    }
+    (topology, flows)
+}
+
 /// Flow-count axis of the `holistic_synthetic` bench.
 pub const HOLISTIC_SYNTHETIC_AXIS: [usize; 3] = [4, 8, 16];
 
@@ -137,13 +230,43 @@ pub const HOLISTIC_THREAD_AXIS: [usize; 3] = [1, 2, 4];
 /// always times exactly the workload the Criterion bench of the same name
 /// times — retuning the workload here retunes both surfaces together.
 pub fn synthetic_converging_set(n_flows: usize) -> (gmf_net::Topology, gmf_net::FlowSet) {
-    use gmf_workloads::{build_converging_flow_set, random_flow_collection, SweepConfig};
+    gmf_workloads::random_sweep_set(99, n_flows, 0.4, &gmf_workloads::SweepConfig::default())
+}
+
+/// A star with several sinks: the sweep generator's random flows dealt
+/// round-robin over `n_sinks` sink hosts (and the default source hosts).
+///
+/// Unlike the single-sink converging star, the jitter dependency graph
+/// decomposes into per-sink regions coupled only through the (constant)
+/// first-hop jitters, and the regions converge after different numbers of
+/// rounds.  That staggered convergence is exactly what the dirty-flow
+/// round skipping exploits — E12 uses this set to measure the saving, and
+/// it is the static analogue of the E11 churn workload's topology.
+pub fn multi_sink_star_set(
+    seed: u64,
+    n_flows: usize,
+    n_sinks: usize,
+) -> (gmf_net::Topology, gmf_net::FlowSet) {
+    use gmf_net::{shortest_path, star, Priority, PriorityPolicy};
+    use gmf_workloads::{random_flow_collection, SweepConfig};
     use rand::SeedableRng;
 
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
-    let sweep = SweepConfig::default();
-    let flows = random_flow_collection(&mut rng, n_flows, 0.4, &sweep.synthetic);
-    let (topology, set, _) = build_converging_flow_set(&mut rng, flows, &sweep);
+    let config = SweepConfig::default();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let flows = random_flow_collection(&mut rng, n_flows, 0.4, &config.synthetic);
+    let (topology, _switch, hosts) = star(config.n_sources + n_sinks, config.link, config.switch);
+    let sinks = &hosts[..n_sinks];
+    let sources = &hosts[n_sinks..];
+    let mut set = gmf_net::FlowSet::new();
+    for (index, flow) in flows.into_iter().enumerate() {
+        let source = sources[index % sources.len()];
+        let sink = sinks[index % sinks.len()];
+        let route = shortest_path(&topology, source, sink).expect("star is connected");
+        set.add(flow, route, Priority(0));
+    }
+    set.assign_priorities(PriorityPolicy::DeadlineMonotonic {
+        levels: config.priority_levels,
+    });
     (topology, set)
 }
 

@@ -156,6 +156,73 @@ where
         .collect()
 }
 
+/// [`par_map`] with an *interleaved* (strided) work assignment: worker `w`
+/// of `T` takes items `w, w+T, w+2T, …` instead of one contiguous chunk.
+///
+/// The output is still exactly
+/// `items.iter().enumerate().map(|(i, x)| f(i, x)).collect()` at any thread
+/// count — each worker's results are dealt back into the positions of its
+/// stride, so ordering never depends on scheduling.  Prefer this variant
+/// when per-item costs are *systematically uneven along the input order*
+/// (the holistic rounds map flows whose cycle lengths and route depths
+/// vary several-fold): contiguous chunking can hand one worker all the
+/// expensive items, while striding spreads them `1/T` apiece within a
+/// factor of one item's cost.
+pub fn par_map_interleaved<T, R, F>(threads: Threads, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.get().min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    // Each worker produces its stride's results in stride order; the deal
+    // below puts result `k` of worker `w` at index `w + k·workers`.  The
+    // caller's thread takes the last stride inline instead of idling in
+    // join, so `workers` threads means `workers - 1` spawns.
+    let mut strides: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers - 1)
+            .map(|w| {
+                scope.spawn(move || {
+                    (w..n)
+                        .step_by(workers)
+                        .map(|index| f(index, &items[index]))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let last: Vec<R> = (workers - 1..n)
+            .step_by(workers)
+            .map(|index| f(index, &items[index]))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(stride) => strides.push(stride),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        strides.push(last);
+    });
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (w, stride) in strides.into_iter().enumerate() {
+        for (k, result) in stride.into_iter().enumerate() {
+            slots[w + k * workers] = Some(result);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every slot is filled by exactly one stride"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +266,24 @@ mod tests {
         let items = vec![1, 2, 3];
         let out = par_map(Threads::new(64), &items, |_, x| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn interleaved_map_matches_sequential_at_any_thread_count() {
+        let items: Vec<usize> = (0..103).collect();
+        let expected: Vec<String> = items.iter().map(|x| format!("{x}:{}", x * x)).collect();
+        for threads in [1, 2, 3, 4, 8, 16, 200] {
+            let out = par_map_interleaved(Threads::new(threads), &items, |i, x| {
+                format!("{i}:{}", x * x)
+            });
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_map_interleaved(Threads::new(8), &empty, |_, x: &i32| *x).is_empty());
+        assert_eq!(
+            par_map_interleaved(Threads::new(8), &[21], |_, x| *x * 2),
+            vec![42]
+        );
     }
 
     #[test]

@@ -32,7 +32,8 @@ pub use paper::{
 };
 pub use scenario::ScenarioFile;
 pub use sweep::{
-    acceptance_sweep, acceptance_sweep_par, build_converging_flow_set, AcceptancePoint, SweepConfig,
+    acceptance_sweep, acceptance_sweep_par, build_converging_flow_set, random_sweep_set,
+    AcceptancePoint, SweepConfig,
 };
 pub use synthetic::{random_flow_collection, random_gmf_flow, uunifast, SyntheticConfig};
 

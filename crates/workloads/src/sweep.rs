@@ -120,6 +120,24 @@ pub fn build_converging_flow_set<R: Rng>(
     (topology, set, sink)
 }
 
+/// Build a seeded random converging flow set — the sweep generator's star
+/// with `n_flows` random flows at the given offered utilization.
+///
+/// One call, one deterministic workload: the property-test suites, the
+/// benches and the experiments all draw their "random sweep set" from this
+/// helper so they exercise exactly the same distribution.
+pub fn random_sweep_set(
+    seed: u64,
+    n_flows: usize,
+    utilization: f64,
+    config: &SweepConfig,
+) -> (Topology, FlowSet) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let flows = random_flow_collection(&mut rng, n_flows, utilization, &config.synthetic);
+    let (topology, set, _) = build_converging_flow_set(&mut rng, flows, config);
+    (topology, set)
+}
+
 /// Run the acceptance sweep over the given utilization levels.
 ///
 /// # Panics

@@ -10,10 +10,8 @@
 //!     `assert_eq!`-identical across worker-thread counts 1/2/8.
 
 use gmfnet::analysis::{analyze, AnalysisConfig, FixedPointStrategy};
-use gmfnet::workloads::{build_converging_flow_set, random_flow_collection, SweepConfig};
+use gmfnet::workloads::SweepConfig;
 use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Build a random converging flow set from the sweep generator.
 fn random_sweep_set(
@@ -21,11 +19,7 @@ fn random_sweep_set(
     n_flows: usize,
     utilization: f64,
 ) -> (gmfnet::net::Topology, gmfnet::net::FlowSet) {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let config = SweepConfig::default();
-    let flows = random_flow_collection(&mut rng, n_flows, utilization, &config.synthetic);
-    let (topology, set, _) = build_converging_flow_set(&mut rng, flows, &config);
-    (topology, set)
+    gmfnet::workloads::random_sweep_set(seed, n_flows, utilization, &SweepConfig::default())
 }
 
 proptest! {
