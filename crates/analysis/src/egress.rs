@@ -60,8 +60,30 @@ pub fn egress_response(
 
     let d_i = ctx.demand(flow, node, succ);
     let c_k = d_i.c(frame);
+    let n_k = d_i.n_ethernet_frames(frame);
     let tsum_i = d_i.tsum();
     let mft = d_i.mft();
+    let refine = config.refine_egress_own_frames;
+    // Per-own-Ethernet-frame charges under the refinement.  The printed
+    // equations charge one MFT of non-preemptive blocking and no send-task
+    // service wait for the packet's own frames; in the Click switch every
+    // own Ethernet frame (a) can be blocked by a lower-priority frame that
+    // started in its inter-fragment gap (one MFT each) and (b) waits up to
+    // one stride round `CIRC(N)` for its send task's turn once the NIC is
+    // idle.  Both repeat for every whole-cycle instance ahead of us in the
+    // busy period.
+    let own_frame_cost = mft + circ;
+    let blocking_k = if refine { own_frame_cost * n_k } else { mft };
+    let cycle_extra = if refine {
+        d_i.csum() + own_frame_cost * d_i.nsum()
+    } else {
+        d_i.csum()
+    };
+    let busy_seed = if refine {
+        own_frame_cost * d_i.max_n_ethernet_frames()
+    } else {
+        mft
+    };
 
     // Higher-or-equal priority flows on the same output link (eq. 2).
     let hep = ctx.flows().hep(flow, node, succ)?;
@@ -102,10 +124,10 @@ pub fn egress_response(
     };
 
     let busy_period = match fixed_point(
-        mft,
+        busy_seed,
         config.horizon,
         config.max_fixed_point_iterations,
-        |t| mft + interference(t, &extras),
+        |t| busy_seed + interference(t, &extras),
     ) {
         FixedPointOutcome::Converged(t) => t,
         FixedPointOutcome::ExceededHorizon { .. } => {
@@ -127,15 +149,22 @@ pub fn egress_response(
 
     let instances = busy_period.div_ceil(tsum_i).max(1);
 
-    // Queueing time and response per instance, equations (30)–(32).
+    // Queueing time and response per instance, equations (30)–(32).  Under
+    // the own-frames refinement a *fragmented* frame keeps its own
+    // transmission inside the interference window (higher-or-equal-priority
+    // frames arriving during the multi-fragment transmission are dequeued
+    // between fragments); the printed form adds `C_i^k` after the fixed
+    // point, which is exact only for single-frame packets.
     let mut worst = Time::ZERO;
     for q in 0..instances {
-        let own = mft + d_i.csum() * q;
+        let own = blocking_k + cycle_extra * q;
+        let fragmented = refine && n_k > 1;
+        let seed = if fragmented { own + c_k } else { own };
         let w = match fixed_point(
-            own,
+            seed,
             config.horizon,
             config.max_fixed_point_iterations,
-            |w| own + interference(w, &extras),
+            |w| seed + interference(w, &extras),
         ) {
             FixedPointOutcome::Converged(w) => w,
             FixedPointOutcome::ExceededHorizon { .. } => {
@@ -154,7 +183,11 @@ pub fn egress_response(
                 })
             }
         };
-        let response = w - tsum_i * q + c_k;
+        let response = if fragmented {
+            w - tsum_i * q
+        } else {
+            w - tsum_i * q + c_k
+        };
         worst = worst.max(response);
     }
 
@@ -168,24 +201,39 @@ pub fn egress_response(
 
 /// The dense per-round state of one flow's egress stage.
 ///
-/// As at the ingress, everything fallible in equations (28)–(35) — the
-/// overload check, the busy period seeded at `MFT` and the queueing times
-/// `w(q)` — is frame-independent and solved once per round at build;
+/// As at the ingress, everything frame-independent in equations (28)–(35)
+/// — the overload check, the busy period and the queueing times `w(q)` of
+/// *single-frame* packets — is solved once per round at build;
 /// [`EgressDense::response`] maximises eq. (32) over the precomputed
 /// instances and adds the frame's own transmission time and the link's
-/// propagation delay (eq. 33).
+/// propagation delay (eq. 33).  Under
+/// [`AnalysisConfig::refine_egress_own_frames`], a *fragmented* frame
+/// keeps its own transmission inside the interference window, which makes
+/// its fixed points frame-dependent — those solve on demand, in the keyed
+/// walk's frame order, exactly like the keyed engine.
 pub(crate) struct EgressDense {
+    flow: gmf_model::FlowId,
+    resource: crate::context::ResourceId,
+    circ: Time,
     tsum_i: Time,
+    mft: Time,
+    /// `CSUM_i` plus, under the refinement, `MFT · NSUM_i` per-fragment
+    /// blocking for every whole-cycle instance ahead of us.
+    cycle_extra: Time,
+    instances: u64,
     own_demand: u32,
     propagation: Time,
-    /// `w(q)` for `q < Q_i` (eq. 31), solved at build.
+    /// `(demand index, extra_j)` per hep interferer, in id order.
+    extras: Vec<(u32, Time)>,
+    /// `w(q)` for `q < Q_i` (eq. 31) of single-frame packets, solved at
+    /// build.
     w: Vec<Time>,
 }
 
 impl EgressDense {
     /// Run the overload check (eq. 34, extended with the CIRC service
-    /// cost) and solve the busy period and every `w(q)` against the
-    /// current iterate.
+    /// cost) and solve the busy period and every single-frame `w(q)`
+    /// against the current iterate.
     pub(crate) fn build(
         ctx: &AnalysisContext<'_>,
         jitters: &crate::dense::DenseJitters,
@@ -205,7 +253,18 @@ impl EgressDense {
         let d_i = ctx.demand_by_index(stage.own_demand);
         let tsum_i = d_i.tsum();
         let mft = d_i.mft();
-        let csum_i = d_i.csum();
+        let refine = config.refine_egress_own_frames;
+        let own_frame_cost = mft + circ;
+        let cycle_extra = if refine {
+            d_i.csum() + own_frame_cost * d_i.nsum()
+        } else {
+            d_i.csum()
+        };
+        let busy_seed = if refine {
+            own_frame_cost * d_i.max_n_ethernet_frames()
+        } else {
+            mft
+        };
 
         // extra_j: accumulated jitter of flow j on this output link (the
         // egress interferer table holds `hep` only — no self entry).
@@ -227,10 +286,10 @@ impl EgressDense {
 
         // Busy period, equations (28)–(29).
         let busy_period = match fixed_point(
-            mft,
+            busy_seed,
             config.horizon,
             config.max_fixed_point_iterations,
-            |t| mft + interference(t),
+            |t| busy_seed + interference(t),
         ) {
             FixedPointOutcome::Converged(t) => t,
             FixedPointOutcome::ExceededHorizon { .. } => {
@@ -252,10 +311,13 @@ impl EgressDense {
 
         let instances = busy_period.div_ceil(tsum_i).max(1);
 
-        // Queueing time per instance, equations (30)–(31).
+        // Queueing time per instance, equations (30)–(31), for
+        // single-frame packets (`blocking_k` = one MFT, plus one CIRC
+        // own-send-wait under the refinement).
+        let single_blocking = if refine { own_frame_cost } else { mft };
         let mut w = Vec::with_capacity(instances as usize);
         for q in 0..instances {
-            let own = mft + csum_i * q;
+            let own = single_blocking + cycle_extra * q;
             let wq = match fixed_point(
                 own,
                 config.horizon,
@@ -283,24 +345,80 @@ impl EgressDense {
         }
 
         Ok(EgressDense {
+            flow,
+            resource: stage.resource,
+            circ,
             tsum_i,
+            mft,
+            cycle_extra,
+            instances,
             own_demand: stage.own_demand,
             propagation: stage.propagation,
+            extras,
             w,
         })
     }
 
-    /// Equations (32)–(33): maximise the response over the precomputed
-    /// instances and add the frame's own transmission and the propagation
-    /// delay.
-    pub(crate) fn response(&self, ctx: &AnalysisContext<'_>, frame: usize) -> Time {
-        let c_k = ctx.demand_by_index(self.own_demand).c(frame);
-        let mut worst = Time::ZERO;
-        for (q, &wq) in self.w.iter().enumerate() {
-            let response = wq - self.tsum_i * (q as u64) + c_k;
-            worst = worst.max(response);
+    /// Equations (32)–(33): maximise the response over the instances and
+    /// add the frame's own transmission and the propagation delay.
+    /// Fragmented frames under the own-frames refinement solve their
+    /// frame-dependent fixed points here, in the keyed engine's order.
+    pub(crate) fn response(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        config: &AnalysisConfig,
+        frame: usize,
+    ) -> Result<Time, AnalysisError> {
+        let d_i = ctx.demand_by_index(self.own_demand);
+        let c_k = d_i.c(frame);
+        let n_k = d_i.n_ethernet_frames(frame);
+        if !(config.refine_egress_own_frames && n_k > 1) {
+            let mut worst = Time::ZERO;
+            for (q, &wq) in self.w.iter().enumerate() {
+                let response = wq - self.tsum_i * (q as u64) + c_k;
+                worst = worst.max(response);
+            }
+            return Ok(worst + self.propagation);
         }
-        worst + self.propagation
+
+        let interference = |window_base: Time| -> Time {
+            let mut total = Time::ZERO;
+            for &(demand, extra) in &self.extras {
+                let d = ctx.demand_by_index(demand);
+                let window = window_base + extra;
+                total += d.mx(window) + self.circ * d.nx(window);
+            }
+            total
+        };
+        let mut worst = Time::ZERO;
+        for q in 0..self.instances {
+            let base = (self.mft + self.circ) * n_k + self.cycle_extra * q + c_k;
+            let r = match fixed_point(
+                base,
+                config.horizon,
+                config.max_fixed_point_iterations,
+                |r| base + interference(r),
+            ) {
+                FixedPointOutcome::Converged(r) => r,
+                FixedPointOutcome::ExceededHorizon { .. } => {
+                    return Err(AnalysisError::HorizonExceeded {
+                        stage: StageKind::EgressLink,
+                        flow: self.flow,
+                        horizon: config.horizon,
+                        resource: self.resource.to_string(),
+                    })
+                }
+                FixedPointOutcome::IterationBudgetExhausted { .. } => {
+                    return Err(AnalysisError::NoConvergence {
+                        stage: StageKind::EgressLink,
+                        flow: self.flow,
+                        iterations: config.max_fixed_point_iterations,
+                    })
+                }
+            };
+            worst = worst.max(r - self.tsum_i * q);
+        }
+        Ok(worst + self.propagation)
     }
 }
 
@@ -431,6 +549,63 @@ mod tests {
             egress_response(&ctx_low, &mk_jitters(&fs_low), &cfg, FlowId(0), 0, SW4).unwrap();
         let r_eq = egress_response(&ctx_eq, &mk_jitters(&fs_eq), &cfg, FlowId(0), 0, SW4).unwrap();
         assert!(r_eq.response > r_low.response);
+    }
+
+    #[test]
+    fn own_frames_refinement_charges_fragmented_transmission_windows() {
+        // The paper-scenario video's I+P frame fragments into dozens of
+        // Ethernet frames: under the own-frames refinement its interference
+        // window covers its own multi-fragment transmission (during which
+        // higher-priority voice packets keep arriving and preempting
+        // between fragments) and every fragment pays a fresh blocking
+        // opportunity plus one stride round for its own send-task service —
+        // the bound grows strictly.  The printed equations treat the packet
+        // as an atom after `w(q)` and never charge its own CIRC waits.
+        let (t, fs) = setup(3, Priority(7));
+        let ctx = AnalysisContext::new(&t, &fs).unwrap();
+        let mut jitters = JitterMap::initial(&fs);
+        for v in 1..=3 {
+            jitters.set(
+                FlowId(v),
+                ResourceId::Link { from: SW4, to: SW6 },
+                0,
+                Time::from_millis(2.0),
+                1,
+            );
+        }
+        let printed = AnalysisConfig::paper();
+        let refined = AnalysisConfig {
+            refine_egress_own_frames: true,
+            ..AnalysisConfig::paper()
+        };
+        let r_printed = egress_response(&ctx, &jitters, &printed, FlowId(0), 0, SW4).unwrap();
+        let r_refined = egress_response(&ctx, &jitters, &refined, FlowId(0), 0, SW4).unwrap();
+        assert!(
+            r_refined.response > r_printed.response,
+            "refined {} must exceed printed {}",
+            r_refined.response,
+            r_printed.response
+        );
+        // The growth covers at least the extra per-fragment blocking plus
+        // one CIRC send-wait per own Ethernet frame.
+        let d = ctx.demand(FlowId(0), SW4, SW6);
+        let circ = t.circ(SW4).unwrap();
+        let n0 = d.n_ethernet_frames(0);
+        let floor = d.mft() * (n0 - 1) + circ * n0;
+        assert!(r_refined.response + Time::from_nanos(1.0) >= r_printed.response + floor);
+
+        // A single-frame packet in a one-instance busy period gains exactly
+        // its own send-task stride-round wait (one CIRC): the printed form
+        // is otherwise already sound for unfragmented frames.
+        let r_voice_printed = egress_response(&ctx, &jitters, &printed, FlowId(1), 0, SW4).unwrap();
+        let r_voice_refined = egress_response(&ctx, &jitters, &refined, FlowId(1), 0, SW4).unwrap();
+        if r_voice_printed.instances == 1 && r_voice_refined.instances == 1 {
+            assert!(
+                r_voice_refined.response + Time::from_nanos(1.0) >= r_voice_printed.response + circ
+            );
+        } else {
+            assert!(r_voice_refined.response >= r_voice_printed.response);
+        }
     }
 
     #[test]

@@ -219,7 +219,7 @@ pub(crate) fn analyze_flow_dense(
             let response = match &mut states[index] {
                 StageState::First(state) => state.response(ctx, config, frame)?,
                 StageState::Ingress(state) => state.response(ctx, frame),
-                StageState::Egress(state) => state.response(ctx, frame),
+                StageState::Egress(state) => state.response(ctx, config, frame)?,
             };
             hops.push(HopBound {
                 resource: stage.resource,

@@ -79,6 +79,30 @@ impl FrameBound {
     pub fn slack(&self) -> Time {
         self.deadline - self.bound
     }
+
+    /// Bound tightness of an observation: `observed / bound`.
+    ///
+    /// A sound analysis keeps every observed response at or below the
+    /// bound, so the ratio lies in `[0, 1]`; a value above `1` is a bound
+    /// violation.  Values near `1` mean the bound is tight (the workload
+    /// actually reaches it), small values mean slack — the conformance
+    /// harness (E13) tracks this per frame to watch bound slack over time.
+    /// Returns `None` for a degenerate zero bound.
+    pub fn tightness(&self, observed: Time) -> Option<f64> {
+        if self.bound.is_zero() {
+            return None;
+        }
+        Some(observed / self.bound)
+    }
+
+    /// `true` if `observed` does not exceed the bound, up to [`Time`]'s
+    /// relative epsilon (the conformance harness's per-frame soundness
+    /// check).  Simulated observations accumulate f64 release times, so a
+    /// strict comparison would flag spurious ~1e-14-relative "violations"
+    /// on observations that sit exactly on the bound.
+    pub fn dominates(&self, observed: Time) -> bool {
+        observed <= self.bound || observed.approx_eq(self.bound)
+    }
 }
 
 /// All frame bounds of one flow.
@@ -106,6 +130,33 @@ impl FlowReport {
     /// `true` if every frame meets its deadline.
     pub fn meets_all_deadlines(&self) -> bool {
         self.frames.iter().all(|f| f.meets_deadline())
+    }
+
+    /// The bound of frame `k`, if the report covers it.
+    pub fn frame_bound(&self, k: usize) -> Option<Time> {
+        self.frames.get(k).map(|f| f.bound)
+    }
+
+    /// Bound tightness (`observed / bound`) of frame `k` for an observed
+    /// response time; `None` if the report does not cover frame `k` (or
+    /// its bound is degenerate zero).  See [`FrameBound::tightness`].
+    pub fn frame_tightness(&self, k: usize, observed: Time) -> Option<f64> {
+        self.frames.get(k).and_then(|f| f.tightness(observed))
+    }
+
+    /// The largest tightness ratio over a set of per-frame observations
+    /// (`(frame index, observed response)` pairs); `None` when no
+    /// observation maps onto a frame of the report.
+    pub fn worst_tightness(
+        &self,
+        observations: impl IntoIterator<Item = (usize, Time)>,
+    ) -> Option<f64> {
+        observations
+            .into_iter()
+            .filter_map(|(k, observed)| self.frame_tightness(k, observed))
+            .fold(None, |acc, ratio| {
+                Some(acc.map_or(ratio, |a: f64| a.max(ratio)))
+            })
     }
 }
 
@@ -225,6 +276,50 @@ mod tests {
         let miss = frame(120.0, 100.0);
         assert!(!miss.meets_deadline());
         assert!(miss.slack().is_negative());
+    }
+
+    #[test]
+    fn tightness_is_observed_over_bound() {
+        let f = frame(40.0, 100.0);
+        assert!((f.tightness(Time::from_millis(36.0)).unwrap() - 0.9).abs() < 1e-9);
+        assert!((f.tightness(Time::from_millis(40.0)).unwrap() - 1.0).abs() < 1e-9);
+        // Above 1.0 is a violation; `dominates` draws the line.
+        assert!(f.tightness(Time::from_millis(44.0)).unwrap() > 1.0);
+        assert!(f.dominates(Time::from_millis(40.0)));
+        assert!(!f.dominates(Time::from_millis(40.1)));
+        // Accumulated-f64 noise on an exactly-tight observation is not a
+        // violation…
+        assert!(f.dominates(Time::from_millis(40.0 * (1.0 + 1e-14))));
+        // …but anything beyond the relative epsilon is.
+        assert!(!f.dominates(Time::from_millis(40.0 * (1.0 + 1e-9))));
+        // A degenerate zero bound yields no ratio instead of infinity.
+        let mut zero = frame(0.0, 100.0);
+        zero.bound = Time::ZERO;
+        assert_eq!(zero.tightness(Time::from_millis(1.0)), None);
+    }
+
+    #[test]
+    fn flow_report_tightness_accessors() {
+        let report = FlowReport {
+            flow: FlowId(0),
+            name: "video".into(),
+            frames: vec![frame(40.0, 100.0), frame(80.0, 100.0)],
+        };
+        assert_eq!(report.frame_bound(1), Some(Time::from_millis(80.0)));
+        assert_eq!(report.frame_bound(2), None);
+        assert!((report.frame_tightness(0, Time::from_millis(20.0)).unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(report.frame_tightness(2, Time::from_millis(20.0)), None);
+        // Worst over observations: frame 0 at 0.5, frame 1 at 0.75.
+        let worst = report
+            .worst_tightness([
+                (0, Time::from_millis(20.0)),
+                (1, Time::from_millis(60.0)),
+                (7, Time::from_millis(999.0)), // out of range, ignored
+            ])
+            .unwrap();
+        assert!((worst - 0.75).abs() < 1e-9);
+        assert_eq!(report.worst_tightness([(9, Time::from_millis(1.0))]), None);
+        assert_eq!(report.worst_tightness([]), None);
     }
 
     #[test]

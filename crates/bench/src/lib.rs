@@ -1,12 +1,14 @@
 //! Shared helpers for the experiment binaries and Criterion benches.
 //!
 //! Every experiment binary (`src/bin/exp_*.rs`) regenerates one figure,
-//! worked example or claim of the paper (see DESIGN.md §5 and
+//! worked example or claim of the paper (see DESIGN.md §6 and
 //! EXPERIMENTS.md) and prints it as an aligned text table plus, where a
 //! paper value exists, a `paper vs measured` line.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod conformance;
 
 /// Print a named experiment header.
 pub fn print_header(id: &str, title: &str) {

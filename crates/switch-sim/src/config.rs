@@ -20,6 +20,13 @@ pub enum JitterSpread {
 }
 
 /// How packet inter-arrival times are chosen relative to the GMF minimums.
+///
+/// The three adversarial policies (`CriticalInstant`, `MaxReleaseJitter`,
+/// `BurstyGops`) generate *legal* traffic — every gap still respects the
+/// flow's minimum inter-arrival times and every Ethernet frame is released
+/// within its generalized-jitter window — while actively pushing the
+/// observed response times toward the analytical bound.  The conformance
+/// harness (E13) runs every scenario under all of them.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ArrivalPolicy {
     /// Every frame arrives exactly its minimum inter-arrival time after the
@@ -32,6 +39,47 @@ pub enum ArrivalPolicy {
         /// Maximum relative slack added to every inter-arrival gap.
         slack: f64,
     },
+    /// Critical-instant phasing: dense minimum gaps *and* every flow's
+    /// first packet arrives at time zero, overriding
+    /// [`SimConfig::aligned_start`].  All flows hit every shared resource
+    /// together — the alignment the response-time analysis charges for.
+    CriticalInstant,
+    /// Dense minimum gaps in which the *first* packet of every flow holds
+    /// all of its Ethernet frames to the very end of the generalized-jitter
+    /// window while every later packet releases immediately: the spacing
+    /// between the first and second packet, as seen by the network, shrinks
+    /// by almost the full `GJ` — the classical worst case of jitter
+    /// analysis.
+    MaxReleaseJitter,
+    /// Dense minimum gaps *within* each GMF cycle, with a random idle pause
+    /// of up to `max_pause × TSUM` inserted between cycles.  Each GOP is a
+    /// maximal back-to-back burst, and every cycle re-randomises the flows'
+    /// relative phasing — one run samples many alignments in its search for
+    /// a bad one.
+    BurstyGops {
+        /// Upper bound of the inter-cycle pause, as a fraction of the
+        /// flow's cycle length `TSUM` (drawn uniformly per cycle).
+        max_pause: f64,
+    },
+}
+
+impl ArrivalPolicy {
+    /// `true` for the policies that force every flow to start at time zero
+    /// regardless of [`SimConfig::aligned_start`].
+    pub fn forces_aligned_start(&self) -> bool {
+        matches!(self, ArrivalPolicy::CriticalInstant)
+    }
+
+    /// Short stable label used in conformance reports and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalPolicy::Dense => "dense",
+            ArrivalPolicy::RandomSlack { .. } => "random-slack",
+            ArrivalPolicy::CriticalInstant => "critical-instant",
+            ArrivalPolicy::MaxReleaseJitter => "max-release-jitter",
+            ArrivalPolicy::BurstyGops { .. } => "bursty-gops",
+        }
+    }
 }
 
 /// Configuration of one simulation run.
@@ -111,5 +159,48 @@ mod tests {
             .with_seed(42);
         assert_eq!(c.horizon, Time::from_millis(500.0));
         assert_eq!(c.seed, 42);
+    }
+
+    #[test]
+    fn policy_labels_are_stable_and_distinct() {
+        let policies = [
+            ArrivalPolicy::Dense,
+            ArrivalPolicy::RandomSlack { slack: 0.5 },
+            ArrivalPolicy::CriticalInstant,
+            ArrivalPolicy::MaxReleaseJitter,
+            ArrivalPolicy::BurstyGops { max_pause: 1.0 },
+        ];
+        let labels: Vec<&str> = policies.iter().map(|p| p.label()).collect();
+        let mut unique = labels.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len(), "labels must be distinct");
+        assert_eq!(ArrivalPolicy::CriticalInstant.label(), "critical-instant");
+    }
+
+    #[test]
+    fn only_critical_instant_forces_alignment() {
+        assert!(ArrivalPolicy::CriticalInstant.forces_aligned_start());
+        assert!(!ArrivalPolicy::Dense.forces_aligned_start());
+        assert!(!ArrivalPolicy::MaxReleaseJitter.forces_aligned_start());
+        assert!(!ArrivalPolicy::BurstyGops { max_pause: 0.5 }.forces_aligned_start());
+        assert!(!ArrivalPolicy::RandomSlack { slack: 0.1 }.forces_aligned_start());
+    }
+
+    #[test]
+    fn adversarial_policies_roundtrip_through_serde() {
+        for policy in [
+            ArrivalPolicy::CriticalInstant,
+            ArrivalPolicy::MaxReleaseJitter,
+            ArrivalPolicy::BurstyGops { max_pause: 0.75 },
+        ] {
+            let cfg = SimConfig {
+                arrival: policy,
+                ..SimConfig::quick()
+            };
+            let json = serde_json::to_string(&cfg).unwrap();
+            let back: SimConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(cfg, back);
+        }
     }
 }

@@ -183,7 +183,15 @@ impl<'a> Engine<'a> {
             forwarding,
             destinations,
             reassembly: BTreeMap::new(),
-            stats: SimStats::new(false),
+            // Debug knob: `GMF_SIM_KEEP_SAMPLES=1` retains every per-packet
+            // sample on `SimStats` (memory-heavy; used to reconstruct the
+            // critical window of a conformance violation).  Unset, empty or
+            // `0` keeps retention off.
+            stats: SimStats::new(
+                std::env::var("GMF_SIM_KEEP_SAMPLES")
+                    .map(|v| !v.is_empty() && v != "0")
+                    .unwrap_or(false),
+            ),
             rng: ChaCha8Rng::seed_from_u64(config.seed),
         })
     }
@@ -199,7 +207,7 @@ impl<'a> Engine<'a> {
                 .expect("routes have at least one hop");
             let flow = &binding.flow;
 
-            let phase = if self.config.aligned_start {
+            let phase = if self.config.aligned_start || self.config.arrival.forces_aligned_start() {
                 Time::ZERO
             } else {
                 let first = flow.frame_cyclic(0).min_interarrival;
@@ -217,7 +225,7 @@ impl<'a> Engine<'a> {
                 self.stats.packets_released += 1;
 
                 for (fragment, &wire_bits) in packetization.frame_wire_bits.iter().enumerate() {
-                    let offset = self.fragment_offset(fragment, n_fragments, spec.jitter);
+                    let offset = self.fragment_offset(sequence, fragment, n_fragments, spec.jitter);
                     let frame = EthFrame {
                         packet: PacketId {
                             flow: binding.id,
@@ -241,9 +249,21 @@ impl<'a> Engine<'a> {
                 }
 
                 let gap = match self.config.arrival {
-                    ArrivalPolicy::Dense => spec.min_interarrival,
+                    ArrivalPolicy::Dense
+                    | ArrivalPolicy::CriticalInstant
+                    | ArrivalPolicy::MaxReleaseJitter => spec.min_interarrival,
                     ArrivalPolicy::RandomSlack { slack } => {
                         spec.min_interarrival * (1.0 + self.rng.gen_range(0.0..=slack.max(0.0)))
+                    }
+                    ArrivalPolicy::BurstyGops { max_pause } => {
+                        // Dense inside the cycle; a random pause before the
+                        // next GOP re-randomises the flows' relative phasing
+                        // (gaps only ever grow, so arrivals stay legal).
+                        let mut gap = spec.min_interarrival;
+                        if gmf_frame + 1 == flow.n_frames() {
+                            gap += flow.tsum() * self.rng.gen_range(0.0..=max_pause.max(0.0));
+                        }
+                        gap
                     }
                 };
                 release += gap;
@@ -252,8 +272,29 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn fragment_offset(&mut self, fragment: usize, n_fragments: usize, jitter: Time) -> Time {
-        if fragment == 0 || jitter.is_zero() {
+    fn fragment_offset(
+        &mut self,
+        sequence: u64,
+        fragment: usize,
+        n_fragments: usize,
+        jitter: Time,
+    ) -> Time {
+        if jitter.is_zero() {
+            return Time::ZERO;
+        }
+        if matches!(self.config.arrival, ArrivalPolicy::MaxReleaseJitter) {
+            // Adversarial release: the flow's first packet is held to the
+            // very end of its jitter window (every fragment, including the
+            // first), all later packets release immediately — the network
+            // sees the first two packets almost `GJ` closer together than
+            // their nominal minimum inter-arrival time.
+            return if sequence == 0 {
+                jitter * 0.999
+            } else {
+                Time::ZERO
+            };
+        }
+        if fragment == 0 {
             return Time::ZERO;
         }
         match self.config.jitter_spread {
@@ -671,6 +712,205 @@ mod tests {
             .run()
             .unwrap();
         assert_ne!(r1.stats, r3.stats);
+    }
+
+    /// Direct host-to-host cable carrying one explicit flow.
+    fn direct_link_with(flow: gmf_model::GmfFlow) -> (Topology, FlowSet) {
+        let mut t = Topology::new();
+        let a = t.add_end_host("a");
+        let b = t.add_end_host("b");
+        t.add_duplex_link(a, b, LinkProfile::ethernet_100m())
+            .unwrap();
+        let mut fs = FlowSet::new();
+        fs.add(flow, Route::new(&t, vec![a, b]).unwrap(), Priority(7));
+        (t, fs)
+    }
+
+    /// A three-frame CBR-style flow with 10 ms gaps (one "GOP" = 30 ms).
+    fn three_frame_flow(jitter: Time) -> gmf_model::GmfFlow {
+        use gmf_model::{Bits, FrameSpec, GmfFlow};
+        let frame = |payload: u64| FrameSpec {
+            payload: Bits::from_bytes(payload),
+            min_interarrival: Time::from_millis(10.0),
+            deadline: Time::from_millis(100.0),
+            jitter,
+        };
+        GmfFlow::new("gop", vec![frame(4000), frame(1000), frame(1000)]).unwrap()
+    }
+
+    #[test]
+    fn critical_instant_equals_dense_with_aligned_start() {
+        // CriticalInstant must override a randomised start: with
+        // `aligned_start: false` it still produces exactly the traffic of
+        // Dense with `aligned_start: true`.
+        let (t, net) = paper_figure1();
+        let mut fs = FlowSet::new();
+        let video = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
+        fs.add(
+            video,
+            shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap(),
+            Priority(6),
+        );
+        let voice = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(20.0),
+            Time::from_millis(0.5),
+        );
+        fs.add(
+            voice,
+            shortest_path(&t, net.hosts[1], net.hosts[3]).unwrap(),
+            Priority(7),
+        );
+        let critical = SimConfig {
+            arrival: ArrivalPolicy::CriticalInstant,
+            aligned_start: false,
+            ..SimConfig::quick()
+        };
+        let dense = SimConfig {
+            arrival: ArrivalPolicy::Dense,
+            aligned_start: true,
+            ..SimConfig::quick()
+        };
+        let rc = Simulator::new(&t, &fs, critical).unwrap().run().unwrap();
+        let rd = Simulator::new(&t, &fs, dense).unwrap().run().unwrap();
+        assert_eq!(rc.stats, rd.stats);
+        assert_eq!(rc.events_processed, rd.events_processed);
+    }
+
+    #[test]
+    fn max_release_jitter_delays_exactly_the_first_packet() {
+        // Single flow on a direct link: packet 0 is held to the end of its
+        // jitter window, every later packet releases immediately, so the
+        // worst response grows by 0.999 × GJ over the jitter-free dense run
+        // while the best response is unchanged.
+        let jitter = Time::from_millis(1.0);
+        let flow = gmf_model::cbr_flow(
+            "cbr",
+            1000,
+            Time::from_millis(10.0),
+            Time::from_millis(50.0),
+            jitter,
+        );
+        let (t, fs) = direct_link_with(flow);
+        let base = SimConfig {
+            jitter_spread: JitterSpread::AtStart,
+            ..SimConfig::quick()
+        };
+        let adversarial = SimConfig {
+            arrival: ArrivalPolicy::MaxReleaseJitter,
+            ..base
+        };
+        let rb = Simulator::new(&t, &fs, base).unwrap().run().unwrap();
+        let ra = Simulator::new(&t, &fs, adversarial).unwrap().run().unwrap();
+        let base_stats = rb.stats.frame_stats(FlowId(0), 0).unwrap();
+        let adv_stats = ra.stats.frame_stats(FlowId(0), 0).unwrap();
+        assert!(adv_stats.max.approx_eq(base_stats.max + jitter * 0.999));
+        assert!(adv_stats.min.approx_eq(base_stats.min));
+        assert_eq!(ra.stats.packets_released, rb.stats.packets_released);
+    }
+
+    #[test]
+    fn bursty_gops_only_stretches_cycle_boundaries() {
+        let (t, fs) = direct_link_with(three_frame_flow(Time::ZERO));
+        let dense = Simulator::new(&t, &fs, SimConfig::quick())
+            .unwrap()
+            .run()
+            .unwrap();
+        let bursty_cfg = SimConfig {
+            arrival: ArrivalPolicy::BurstyGops { max_pause: 1.0 },
+            ..SimConfig::quick()
+        };
+        let bursty = Simulator::new(&t, &fs, bursty_cfg).unwrap().run().unwrap();
+        // Pauses only ever lengthen gaps, so the bursty run releases no
+        // more traffic than the dense one but at least the first full GOP.
+        assert!(bursty.stats.packets_released <= dense.stats.packets_released);
+        assert!(bursty.stats.packets_released >= 3);
+        assert_eq!(
+            bursty.stats.packets_completed,
+            bursty.stats.packets_released
+        );
+        // A zero-pause bursty run degenerates to Dense exactly.
+        let zero_cfg = SimConfig {
+            arrival: ArrivalPolicy::BurstyGops { max_pause: 0.0 },
+            ..SimConfig::quick()
+        };
+        let zero = Simulator::new(&t, &fs, zero_cfg).unwrap().run().unwrap();
+        assert_eq!(zero.stats, dense.stats);
+    }
+
+    #[test]
+    fn adversarial_policies_are_deterministic_across_repeat_runs() {
+        let (t, net) = paper_figure1();
+        let mut fs = FlowSet::new();
+        let video = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
+        fs.add(
+            video,
+            shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap(),
+            Priority(6),
+        );
+        for policy in [
+            ArrivalPolicy::CriticalInstant,
+            ArrivalPolicy::MaxReleaseJitter,
+            ArrivalPolicy::BurstyGops { max_pause: 0.8 },
+        ] {
+            let cfg = SimConfig {
+                arrival: policy,
+                horizon: Time::from_millis(400.0),
+                seed: 99,
+                ..SimConfig::default()
+            };
+            let r1 = Simulator::new(&t, &fs, cfg).unwrap().run().unwrap();
+            let r2 = Simulator::new(&t, &fs, cfg).unwrap().run().unwrap();
+            assert_eq!(r1.stats, r2.stats, "{}", policy.label());
+            assert_eq!(r1.events_processed, r2.events_processed);
+        }
+    }
+
+    #[test]
+    fn frames_that_never_arrive_report_none_not_zero() {
+        // A 15 ms horizon admits GMF frames 0 (t = 0 ms) and 1 (t = 10 ms)
+        // but never frame 2 (t = 20 ms): its statistics must be absent, not
+        // a zero-count aggregate.
+        let (t, fs) = direct_link_with(three_frame_flow(Time::ZERO));
+        let cfg = SimConfig::quick().with_horizon(Time::from_millis(15.0));
+        let result = Simulator::new(&t, &fs, cfg).unwrap().run().unwrap();
+        assert_eq!(result.stats.packets_released, 2);
+        assert!(result.stats.worst_frame_response(FlowId(0), 0).is_some());
+        assert!(result.stats.worst_frame_response(FlowId(0), 1).is_some());
+        assert_eq!(result.stats.worst_frame_response(FlowId(0), 2), None);
+        assert_eq!(result.stats.completed_of_flow(FlowId(0)), 2);
+        // A zero horizon releases nothing: every per-flow query is empty.
+        let empty = Simulator::new(&t, &fs, cfg.with_horizon(Time::ZERO))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(empty.stats.packets_released, 0);
+        assert_eq!(empty.stats.completed_of_flow(FlowId(0)), 0);
+        assert_eq!(empty.stats.worst_response(FlowId(0)), None);
+    }
+
+    #[test]
+    fn horizon_truncation_mid_gop_drains_in_flight_traffic() {
+        // Cut the horizon inside the second GOP: packets released before
+        // the horizon still complete (the simulator drains), and the frame
+        // coverage reflects the truncation point exactly.
+        let (t, fs) = direct_link_with(three_frame_flow(Time::from_millis(0.5)));
+        let cfg = SimConfig::quick().with_horizon(Time::from_millis(45.0));
+        let result = Simulator::new(&t, &fs, cfg).unwrap().run().unwrap();
+        // Releases at 0, 10, 20 | 30, 40 ms — five packets, frame 2 of the
+        // second GOP falls past the horizon.
+        assert_eq!(result.stats.packets_released, 5);
+        assert_eq!(
+            result.stats.packets_completed,
+            result.stats.packets_released
+        );
+        assert_eq!(result.stats.frame_stats(FlowId(0), 0).unwrap().count, 2);
+        assert_eq!(result.stats.frame_stats(FlowId(0), 1).unwrap().count, 2);
+        assert_eq!(result.stats.frame_stats(FlowId(0), 2).unwrap().count, 1);
+        // The drain runs past the horizon (the last packet arrives at
+        // 40 ms and still needs transmission + propagation).
+        assert!(result.final_time > Time::from_millis(40.0));
     }
 
     #[test]

@@ -1,0 +1,632 @@
+//! Randomized *valid* scenario generation for the conformance harness.
+//!
+//! The analysis-vs-simulation validation (E7/E13) needs many random
+//! scenarios that are (a) structurally legal, (b) schedulable under the
+//! conservative analysis and (c) inside the regime the published per-frame
+//! equations are sound for — every frame's transmission (plus its
+//! generalized-jitter window) must fit inside its minimum inter-arrival
+//! time on every traversed link, because the equations never charge a
+//! flow's *own* preceding frames (see DESIGN.md §4 and §5, and the known
+//! counterexample in `exp_analysis_vs_sim`).
+//!
+//! [`draw_scenario`] makes one deterministic draw from a seed — a random
+//! tree / star / line topology with mixed link profiles, a random
+//! VoIP / MPEG / synthetic-GMF flow mix with utilization-targeted demand
+//! scaling — and either returns the scenario or rejects it with a
+//! machine-readable [`ScenarioRejection`] naming the violated invariant.
+//! [`valid_scenario`] retries derived sub-seeds until a draw is accepted,
+//! returning the rejection trail alongside, so a fuzz campaign is a pure
+//! function of its master seed.
+
+use crate::synthetic::{random_gmf_flow, uunifast, SyntheticConfig};
+use gmf_analysis::{analyze, AnalysisConfig};
+use gmf_model::{paper_figure3_flow, voip_flow, GmfFlow, LinkDemand, Time, VoiceCodec};
+use gmf_net::{
+    line, random_tree, shortest_path, star, FlowSet, LinkProfile, NodeId, Priority, PriorityPolicy,
+    SwitchConfig, Topology,
+};
+use gmf_par::derive_seed;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The topology family a scenario was drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyShape {
+    /// One switch, `hosts` end hosts.
+    Star {
+        /// Number of end hosts on the switch.
+        hosts: usize,
+    },
+    /// A chain of `switches` switches with one host at each end.
+    Line {
+        /// Number of switches in the chain.
+        switches: usize,
+    },
+    /// A random spanning tree of `switches` switches with `hosts` end
+    /// hosts spread over them.
+    Tree {
+        /// Number of switches in the tree.
+        switches: usize,
+        /// Total number of end hosts.
+        hosts: usize,
+    },
+}
+
+impl fmt::Display for TopologyShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyShape::Star { hosts } => write!(f, "star{hosts}"),
+            TopologyShape::Line { switches } => write!(f, "line{switches}"),
+            TopologyShape::Tree { switches, hosts } => write!(f, "tree{switches}x{hosts}"),
+        }
+    }
+}
+
+/// Why a random draw was rejected (the draw is discarded, the reason is
+/// recorded — a fuzz campaign's rejection trail documents the boundary of
+/// the valid-scenario space).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioRejection {
+    /// The conservative analysis rejects the set (overload, a missed
+    /// deadline, or an analysis-level error).
+    Unschedulable {
+        /// The analysis failure string or the missed flows.
+        reason: String,
+    },
+    /// The holistic jitter iteration did not reach a fixed point within
+    /// its budget.
+    NotConverged,
+    /// A frame's transmission time plus its generalized-jitter window
+    /// exceeds the soundness margin of its minimum inter-arrival time on
+    /// a traversed link — the regime in which the published equations do
+    /// not charge the flow's own backlog and can be beaten by the
+    /// simulator (the E7 counterexample).  Such draws are *excluded*, not
+    /// failed: a violation here is a known model limitation, not a bug.
+    SelfBacklog {
+        /// Name of the offending flow.
+        flow: String,
+        /// Transmitting end of the offending link.
+        from: NodeId,
+        /// Receiving end of the offending link.
+        to: NodeId,
+        /// Frame index within the flow's GMF cycle.
+        frame: usize,
+        /// Transmission time plus jitter window on that link.
+        demand: Time,
+        /// The budget it exceeded (`margin × min_interarrival`).
+        budget: Time,
+    },
+    /// A frame's *end-to-end bound* exceeds its minimum inter-arrival
+    /// time: successive packets of the flow would coexist in the network
+    /// and queue behind each other — own-flow backlog the published
+    /// per-frame equations never charge, at any hop.  The per-link
+    /// [`ScenarioRejection::SelfBacklog`] gate catches the single-link
+    /// case cheaply; this post-analysis gate closes the multi-hop one
+    /// (found by the fuzz campaign itself: a scaled MPEG GOP whose 35 ms
+    /// bound crossed its 30 ms slot on a two-switch tree).
+    PipelinedFrames {
+        /// Name of the offending flow.
+        flow: String,
+        /// Frame index within the flow's GMF cycle.
+        frame: usize,
+        /// The frame's end-to-end response-time bound.
+        bound: Time,
+        /// The minimum inter-arrival time it exceeds.
+        interarrival: Time,
+    },
+    /// The draw was structurally unusable (e.g. not enough distinct
+    /// hosts for a route).
+    Degenerate {
+        /// What made the draw unusable.
+        reason: String,
+    },
+}
+
+impl ScenarioRejection {
+    /// Coarse stable tag of the rejection (for tallies in campaign
+    /// reports): `unschedulable`, `not-converged`, `self-backlog`,
+    /// `pipelined-frames` or `degenerate`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScenarioRejection::Unschedulable { .. } => "unschedulable",
+            ScenarioRejection::NotConverged => "not-converged",
+            ScenarioRejection::SelfBacklog { .. } => "self-backlog",
+            ScenarioRejection::PipelinedFrames { .. } => "pipelined-frames",
+            ScenarioRejection::Degenerate { .. } => "degenerate",
+        }
+    }
+}
+
+impl fmt::Display for ScenarioRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioRejection::Unschedulable { reason } => {
+                write!(f, "unschedulable: {reason}")
+            }
+            ScenarioRejection::NotConverged => {
+                write!(f, "holistic iteration did not converge")
+            }
+            ScenarioRejection::SelfBacklog {
+                flow,
+                from,
+                to,
+                frame,
+                demand,
+                budget,
+            } => write!(
+                f,
+                "self-backlog regime: flow {flow} frame {frame} needs {demand} on \
+                 link({},{}) but the sound budget is {budget}",
+                from.0, to.0
+            ),
+            ScenarioRejection::PipelinedFrames {
+                flow,
+                frame,
+                bound,
+                interarrival,
+            } => write!(
+                f,
+                "pipelined-frames regime: flow {flow} frame {frame} is bounded by {bound}, \
+                 past its {interarrival} inter-arrival — successive packets would coexist"
+            ),
+            ScenarioRejection::Degenerate { reason } => write!(f, "degenerate draw: {reason}"),
+        }
+    }
+}
+
+/// One accepted random scenario.
+#[derive(Debug, Clone)]
+pub struct FuzzScenario {
+    /// The seed this exact draw came from (replaying it with the same
+    /// [`FuzzConfig`] reproduces the scenario bit for bit).
+    pub seed: u64,
+    /// Stable human-readable label (`fuzz-<seed in hex>-<shape>`).
+    pub label: String,
+    /// The topology family drawn.
+    pub shape: TopologyShape,
+    /// The network.
+    pub topology: Topology,
+    /// The offered flows.
+    pub flows: FlowSet,
+}
+
+/// Parameters of the scenario generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FuzzConfig {
+    /// Flows per scenario (inclusive range).
+    pub n_flows: (usize, usize),
+    /// Offered utilization of the 100 Mbit/s reference link, drawn
+    /// uniformly from this range and split over the flows with UUniFast.
+    pub utilization: (f64, f64),
+    /// Largest random tree (switch count; trees draw `2..=max_switches`).
+    pub max_switches: usize,
+    /// Structure of the synthetic GMF flows in the mix.
+    pub synthetic: SyntheticConfig,
+    /// Relative weights of the flow kinds in the mix
+    /// (VoIP, scaled MPEG GOP, synthetic GMF).
+    pub mix_weights: (f64, f64, f64),
+    /// 802.1p priority levels for the deadline-monotonic assignment.
+    pub priority_levels: u8,
+    /// The analysis a scenario must be schedulable under (the conformance
+    /// harness validates bounds from this same configuration).
+    pub analysis: AnalysisConfig,
+    /// Soundness margin of the self-backlog gate: accept only
+    /// `c(k) + GJ(k) ≤ margin × t(k)` on every traversed link.
+    pub soundness_margin: f64,
+    /// Retry budget of [`valid_scenario`].
+    pub max_attempts: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            n_flows: (3, 9),
+            utilization: (0.1, 0.7),
+            max_switches: 5,
+            synthetic: SyntheticConfig {
+                min_frames: 1,
+                max_frames: 5,
+                min_interarrival: Time::from_millis(10.0),
+                max_interarrival: Time::from_millis(40.0),
+                burstiness: 4.0,
+                deadline_factor: (4.0, 12.0),
+                jitter: Time::from_millis(0.5),
+                reference_speed_bps: 100.0e6,
+            },
+            mix_weights: (0.3, 0.2, 0.5),
+            priority_levels: 8,
+            analysis: AnalysisConfig::conservative(),
+            soundness_margin: 0.9,
+            max_attempts: 64,
+        }
+    }
+}
+
+/// The link-profile pool of one draw: mostly fast Ethernet, occasionally
+/// gigabit, metro (long propagation) or the paper's slow 10 Mbit/s access
+/// (which the self-backlog gate prunes when the flow mix is too heavy
+/// for it).
+fn draw_link_profile<R: Rng>(rng: &mut R) -> LinkProfile {
+    match rng.gen_range(0u8..6) {
+        0 => LinkProfile::ethernet_1g(),
+        1 => LinkProfile::metro_100m(),
+        2 => LinkProfile::ethernet_10m(),
+        _ => LinkProfile::ethernet_100m(),
+    }
+}
+
+/// Draw the switch CPU profile: the paper's measured constants, scaled by
+/// a modest random factor so the routing task is sometimes the bottleneck.
+fn draw_switch_config<R: Rng>(rng: &mut R) -> SwitchConfig {
+    let paper = SwitchConfig::paper();
+    let factor = rng.gen_range(1.0f64..=3.0);
+    SwitchConfig {
+        croute: paper.croute * factor,
+        csend: paper.csend * factor,
+        processors: 1,
+    }
+}
+
+/// Draw the topology of one scenario.
+fn draw_topology<R: Rng>(
+    rng: &mut R,
+    config: &FuzzConfig,
+) -> (Topology, Vec<NodeId>, TopologyShape) {
+    let access = draw_link_profile(rng);
+    let backbone = draw_link_profile(rng);
+    let switch = draw_switch_config(rng);
+    match rng.gen_range(0u8..3) {
+        0 => {
+            let n_hosts = rng.gen_range(3usize..=6);
+            let (topology, _switch, hosts) = star(n_hosts, access, switch);
+            (topology, hosts, TopologyShape::Star { hosts: n_hosts })
+        }
+        1 => {
+            let n_switches = rng.gen_range(1usize..=config.max_switches.max(1));
+            let (topology, a, b, _) = line(n_switches, access, backbone, switch);
+            (
+                topology,
+                vec![a, b],
+                TopologyShape::Line {
+                    switches: n_switches,
+                },
+            )
+        }
+        _ => {
+            let n_switches = rng.gen_range(2usize..=config.max_switches.max(2));
+            let hosts_per_switch = rng.gen_range(1usize..=2);
+            let (topology, _switches, hosts) =
+                random_tree(rng, n_switches, hosts_per_switch, access, backbone, switch);
+            let n_hosts = hosts.len();
+            (
+                topology,
+                hosts,
+                TopologyShape::Tree {
+                    switches: n_switches,
+                    hosts: n_hosts,
+                },
+            )
+        }
+    }
+}
+
+/// Draw one flow of the mix and scale its demand toward `share` of the
+/// reference link (VoIP codecs are fixed-rate and keep their nominal
+/// demand; MPEG GOPs and synthetic GMF flows are payload-scaled).
+fn draw_flow<R: Rng>(rng: &mut R, index: usize, share: f64, config: &FuzzConfig) -> GmfFlow {
+    let (w_voip, w_mpeg, w_gmf) = config.mix_weights;
+    let total = (w_voip + w_mpeg + w_gmf).max(f64::MIN_POSITIVE);
+    let pick = rng.gen_range(0.0..total);
+    if pick < w_voip {
+        let codec = match rng.gen_range(0u8..4) {
+            0 => VoiceCodec::G711,
+            1 => VoiceCodec::G726,
+            2 => VoiceCodec::G729,
+            _ => VoiceCodec::G7231,
+        };
+        let deadline = codec.packet_interval() * rng.gen_range(2.0f64..=8.0);
+        let jitter = Time::from_millis(rng.gen_range(0.0f64..=1.0));
+        voip_flow(&format!("voip{index}"), codec, deadline, jitter)
+    } else if pick < w_voip + w_mpeg {
+        let deadline = Time::from_millis(rng.gen_range(60.0f64..=200.0));
+        let jitter = Time::from_millis(rng.gen_range(0.5f64..=2.0));
+        let base = paper_figure3_flow(&format!("mpeg{index}"), deadline, jitter);
+        let reference = gmf_model::BitRate::from_bps(config.synthetic.reference_speed_bps);
+        let utilization =
+            LinkDemand::new(&base, &gmf_model::EncapsulationConfig::paper(), reference)
+                .utilization();
+        let factor = (share / utilization.max(f64::MIN_POSITIVE)).clamp(0.02, 4.0);
+        base.with_scaled_payloads(factor)
+    } else {
+        random_gmf_flow(
+            rng,
+            &format!("gmf{index}"),
+            share.max(1e-3),
+            &config.synthetic,
+        )
+    }
+}
+
+/// The self-backlog soundness gate (see [`ScenarioRejection::SelfBacklog`]).
+fn check_sound_regime(
+    topology: &Topology,
+    flows: &FlowSet,
+    margin: f64,
+) -> Result<(), ScenarioRejection> {
+    for binding in flows.bindings() {
+        for hop in binding.route.hops() {
+            let link = topology
+                .link_between(hop.from, hop.to)
+                .expect("routes are validated against the topology");
+            let demand = LinkDemand::new(&binding.flow, &binding.encapsulation, link.speed);
+            for (k, spec) in binding.flow.frames().iter().enumerate() {
+                let needed = demand.c(k) + spec.jitter;
+                let budget = spec.min_interarrival * margin;
+                if needed > budget {
+                    return Err(ScenarioRejection::SelfBacklog {
+                        flow: binding.flow.name().to_string(),
+                        from: hop.from,
+                        to: hop.to,
+                        frame: k,
+                        demand: needed,
+                        budget,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Make one deterministic draw from `seed`: either a valid scenario or
+/// the reason the draw was rejected.
+pub fn draw_scenario(seed: u64, config: &FuzzConfig) -> Result<FuzzScenario, ScenarioRejection> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let (topology, hosts, shape) = draw_topology(&mut rng, config);
+    if hosts.len() < 2 {
+        return Err(ScenarioRejection::Degenerate {
+            reason: format!("{shape} has fewer than two hosts"),
+        });
+    }
+
+    let (lo, hi) = config.n_flows;
+    let n_flows = rng.gen_range(lo.max(1)..=hi.max(lo.max(1)));
+    let utilization = rng.gen_range(config.utilization.0..=config.utilization.1);
+    let shares = uunifast(&mut rng, n_flows, utilization);
+
+    let mut flows = FlowSet::new();
+    for (index, &share) in shares.iter().enumerate() {
+        let flow = draw_flow(&mut rng, index, share, config);
+        let source = hosts[rng.gen_range(0..hosts.len())];
+        let destination = loop {
+            let candidate = hosts[rng.gen_range(0..hosts.len())];
+            if candidate != source {
+                break candidate;
+            }
+        };
+        let route = shortest_path(&topology, source, destination)
+            .expect("generated topologies are connected");
+        flows.add(flow, route, Priority(0));
+    }
+    flows.assign_priorities(PriorityPolicy::DeadlineMonotonic {
+        levels: config.priority_levels,
+    });
+
+    // Gate 1 (cheap): the sound-analysis regime.
+    check_sound_regime(&topology, &flows, config.soundness_margin)?;
+
+    // Gate 2: the conservative analysis must accept the set.
+    let report = match analyze(&topology, &flows, &config.analysis) {
+        Ok(report) => report,
+        Err(e) => {
+            return Err(ScenarioRejection::Unschedulable {
+                reason: e.to_string(),
+            })
+        }
+    };
+    if !report.converged {
+        return Err(ScenarioRejection::NotConverged);
+    }
+    if !report.schedulable {
+        let reason = report
+            .failure
+            .clone()
+            .unwrap_or_else(|| format!("missed deadlines: {:?}", report.missed_flows()));
+        return Err(ScenarioRejection::Unschedulable { reason });
+    }
+
+    // Gate 3: no pipelined frames.  Every frame must be fully delivered
+    // (per its own bound) before its successor arrives, or two packets of
+    // the same flow coexist in the network and the uncharged own-backlog
+    // regime begins.
+    for binding in flows.bindings() {
+        let flow_report = report
+            .flow(binding.id)
+            .expect("schedulable reports are complete");
+        for (k, frame) in flow_report.frames.iter().enumerate() {
+            let interarrival = binding.flow.frames()[k].min_interarrival;
+            if frame.bound > interarrival {
+                return Err(ScenarioRejection::PipelinedFrames {
+                    flow: binding.flow.name().to_string(),
+                    frame: k,
+                    bound: frame.bound,
+                    interarrival,
+                });
+            }
+        }
+    }
+
+    Ok(FuzzScenario {
+        seed,
+        label: format!("fuzz-{seed:016x}-{shape}"),
+        shape,
+        topology,
+        flows,
+    })
+}
+
+/// Derive sub-seeds from `seed` and redraw until a scenario is accepted;
+/// returns it together with the rejection trail (sub-seed, reason).
+///
+/// # Panics
+///
+/// Panics when `config.max_attempts` consecutive draws are rejected —
+/// with the default configuration the acceptance rate is far higher than
+/// `1 / max_attempts`, so hitting the budget indicates a misconfigured
+/// generator rather than bad luck.
+pub fn valid_scenario(
+    seed: u64,
+    config: &FuzzConfig,
+) -> (FuzzScenario, Vec<(u64, ScenarioRejection)>) {
+    let mut rejections = Vec::new();
+    for attempt in 0..config.max_attempts.max(1) as u64 {
+        let sub_seed = derive_seed(seed, attempt);
+        match draw_scenario(sub_seed, config) {
+            Ok(scenario) => return (scenario, rejections),
+            Err(reason) => rejections.push((sub_seed, reason)),
+        }
+    }
+    panic!(
+        "no valid scenario within {} attempts of seed {seed:#x}; rejections: {}",
+        config.max_attempts,
+        rejections
+            .iter()
+            .map(|(s, r)| format!("[{s:#x}: {r}]"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_for_a_seed() {
+        let config = FuzzConfig::default();
+        for seed in [1u64, 42, 0xDEAD] {
+            let a = draw_scenario(seed, &config);
+            let b = draw_scenario(seed, &config);
+            match (a, b) {
+                (Ok(sa), Ok(sb)) => {
+                    assert_eq!(sa.topology, sb.topology);
+                    assert_eq!(sa.flows, sb.flows);
+                    assert_eq!(sa.label, sb.label);
+                }
+                (Err(ra), Err(rb)) => assert_eq!(ra, rb),
+                (a, b) => panic!("verdicts differ: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn valid_scenarios_are_schedulable_and_sound() {
+        let config = FuzzConfig::default();
+        let mut shapes = std::collections::BTreeSet::new();
+        for seed in 0u64..8 {
+            let (scenario, rejections) = valid_scenario(seed, &config);
+            scenario.flows.validate_against(&scenario.topology).unwrap();
+            assert!(!scenario.flows.is_empty());
+            check_sound_regime(&scenario.topology, &scenario.flows, config.soundness_margin)
+                .unwrap();
+            let report = analyze(&scenario.topology, &scenario.flows, &config.analysis).unwrap();
+            assert!(report.schedulable, "{}", scenario.label);
+            // The pipelined-frames gate held: every frame clears before
+            // its successor arrives.
+            for binding in scenario.flows.bindings() {
+                let flow_report = report.flow(binding.id).unwrap();
+                for (k, frame) in flow_report.frames.iter().enumerate() {
+                    assert!(
+                        frame.bound <= binding.flow.frames()[k].min_interarrival,
+                        "{}: {} frame {k} is pipelined",
+                        scenario.label,
+                        binding.flow.name()
+                    );
+                }
+            }
+            shapes.insert(format!("{}", scenario.shape));
+            // The rejection trail is part of the deterministic output.
+            let (again, rejections_again) = valid_scenario(seed, &config);
+            assert_eq!(scenario.flows, again.flows);
+            assert_eq!(rejections, rejections_again);
+        }
+        // Eight seeds should exercise more than one topology family.
+        assert!(shapes.len() >= 2, "shapes drawn: {shapes:?}");
+    }
+
+    #[test]
+    fn overloaded_draws_are_rejected_with_a_reason() {
+        // Forcing the offered utilization far above 1 must reject every
+        // draw (unschedulable or self-backlog, depending on the mix).
+        let config = FuzzConfig {
+            utilization: (3.0, 3.5),
+            max_attempts: 6,
+            ..FuzzConfig::default()
+        };
+        let mut rejected = 0;
+        for seed in 0u64..6 {
+            if let Err(reason) = draw_scenario(seed, &config) {
+                rejected += 1;
+                assert!(!reason.to_string().is_empty());
+            }
+        }
+        assert!(rejected >= 5, "only {rejected}/6 overloaded draws rejected");
+    }
+
+    #[test]
+    fn self_backlog_gate_names_the_offending_link() {
+        // An MPEG GOP on a 10 Mbit/s line is the paper's own
+        // counterexample regime: the I+P frame needs ~35.8 ms against a
+        // 30 ms inter-arrival, so the gate must fire.
+        let (topology, a, b, _) = line(
+            1,
+            LinkProfile::ethernet_10m(),
+            LinkProfile::ethernet_10m(),
+            SwitchConfig::paper(),
+        );
+        let mut flows = FlowSet::new();
+        let video = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
+        flows.add(video, shortest_path(&topology, a, b).unwrap(), Priority(6));
+        let rejection = check_sound_regime(&topology, &flows, 0.9).unwrap_err();
+        match &rejection {
+            ScenarioRejection::SelfBacklog {
+                flow,
+                frame,
+                demand,
+                budget,
+                ..
+            } => {
+                assert_eq!(flow, "video");
+                assert_eq!(*frame, 0, "the I+P frame is the oversized one");
+                assert!(demand > budget);
+            }
+            other => panic!("expected SelfBacklog, got {other}"),
+        }
+        assert!(rejection.to_string().contains("self-backlog"));
+    }
+
+    #[test]
+    fn rejection_display_is_informative() {
+        let r = ScenarioRejection::Unschedulable {
+            reason: "link(0,1) overloaded".into(),
+        };
+        assert!(r.to_string().contains("overloaded"));
+        assert!(ScenarioRejection::NotConverged
+            .to_string()
+            .contains("converge"));
+        let p = ScenarioRejection::PipelinedFrames {
+            flow: "mpeg".into(),
+            frame: 0,
+            bound: Time::from_millis(35.6),
+            interarrival: Time::from_millis(30.0),
+        };
+        assert!(p.to_string().contains("coexist"));
+        assert_eq!(p.kind(), "pipelined-frames");
+        let d = ScenarioRejection::Degenerate {
+            reason: "one host".into(),
+        };
+        assert!(d.to_string().contains("degenerate"));
+    }
+}

@@ -13,6 +13,9 @@
 //!   test;
 //! * [`churn`] — deterministic arrival/departure scripts replayed through
 //!   the admission controller (the incremental-engine experiment);
+//! * [`fuzz`] — deterministic random *valid* scenario generation (random
+//!   topologies, mixed flow kinds, rejection-with-reason) for the
+//!   conformance harness (E13);
 //! * [`scenario`] — JSON scenario files for saving / re-running exact
 //!   experiment inputs.
 
@@ -20,12 +23,16 @@
 #![forbid(unsafe_code)]
 
 pub mod churn;
+pub mod fuzz;
 pub mod paper;
 pub mod scenario;
 pub mod sweep;
 pub mod synthetic;
 
 pub use churn::{run_churn, ChurnConfig, ChurnOutcome};
+pub use fuzz::{
+    draw_scenario, valid_scenario, FuzzConfig, FuzzScenario, ScenarioRejection, TopologyShape,
+};
 pub use paper::{
     conference_video, paper_scenario, paper_scenario_with, paper_video_only_scenario,
     PaperScenarioFlows, Scenario,
@@ -40,6 +47,7 @@ pub use synthetic::{random_flow_collection, random_gmf_flow, uunifast, Synthetic
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
     pub use crate::churn::{run_churn, ChurnConfig, ChurnOutcome};
+    pub use crate::fuzz::{draw_scenario, valid_scenario, FuzzConfig, FuzzScenario};
     pub use crate::paper::{paper_scenario, paper_video_only_scenario, Scenario};
     pub use crate::scenario::ScenarioFile;
     pub use crate::sweep::{acceptance_sweep, AcceptancePoint, SweepConfig};

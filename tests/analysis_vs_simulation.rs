@@ -5,6 +5,7 @@
 //! minimum inter-arrival time on every traversed link — the regime the
 //! published per-frame equations are intended for (see DESIGN.md §4).
 
+use gmf_bench::conformance::check_simulation;
 use gmfnet::model::FlowId;
 use gmfnet::prelude::*;
 use gmfnet::sim::{ArrivalPolicy, JitterSpread};
@@ -12,36 +13,39 @@ use gmfnet::sim::{ArrivalPolicy, JitterSpread};
 /// Check that the conservative analytical bound dominates every simulated
 /// response time, for every flow and frame, under the given simulation
 /// configuration.
+///
+/// Implemented on the conformance driver (`gmf_bench::conformance`), which
+/// also fails the check when a flow completed *zero* packets: such a flow
+/// used to slip through this assertion vacuously — every per-frame lookup
+/// returned `None` — and silently proved nothing.
 fn assert_bounds_dominate(
     topology: &Topology,
     flows: &FlowSet,
     sim_config: SimConfig,
     label: &str,
 ) {
-    let report = analyze(topology, flows, &AnalysisConfig::conservative()).unwrap();
-    assert!(report.schedulable, "{label}: scenario must be schedulable");
-    let result = Simulator::new(topology, flows, sim_config)
-        .unwrap()
-        .run()
-        .unwrap();
+    let conformance = check_simulation(
+        label,
+        topology,
+        flows,
+        &AnalysisConfig::conservative(),
+        sim_config,
+    )
+    .unwrap_or_else(|e| panic!("{label}: {e}"));
     assert!(
-        result.stats.packets_completed > 0,
+        !conformance.observations.is_empty(),
         "{label}: the simulation must observe traffic"
     );
-    for binding in flows.bindings() {
-        let flow_report = report.flow(binding.id).unwrap();
-        for (k, frame) in flow_report.frames.iter().enumerate() {
-            if let Some(observed) = result.stats.worst_frame_response(binding.id, k) {
-                assert!(
-                    observed <= frame.bound,
-                    "{label}: flow {} frame {k}: simulated {} exceeds bound {}",
-                    binding.flow.name(),
-                    observed,
-                    frame.bound
-                );
-            }
-        }
-    }
+    assert!(
+        conformance.vacuous.is_empty(),
+        "{label}: flows with zero completed packets (vacuous coverage): {:?}",
+        conformance.vacuous
+    );
+    assert!(
+        conformance.violations.is_empty(),
+        "{label}: simulated responses exceed their bounds: {:?}",
+        conformance.violations
+    );
 }
 
 #[test]
