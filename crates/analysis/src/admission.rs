@@ -416,6 +416,7 @@ impl AdmissionController {
         trial: &FlowSet,
         candidate_id: FlowId,
     ) -> Result<Option<FixedPointRun>, AnalysisError> {
+        // tidy-allow: unwrap invariant: warm path requires a cache
         let cache = self.cache.as_ref().expect("warm path requires a cache");
         // One dependency-graph construction answers both questions: is the
         // trial acyclic (warm starts are unsound otherwise) and what the

@@ -53,29 +53,31 @@ pub fn analyze_sporadic_baseline(
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UtilizationCheck {
     /// Per-link utilization `Σ CSUM/TSUM` over the flows using the link.
-    pub link_utilization: Vec<(NodeId, NodeId, f64)>,
+    pub link_utilization: Vec<(NodeId, NodeId, f64)>, // tidy-allow: float utilization ratio, not a bound
     /// Per-switch routing-CPU utilization
     /// `Σ NSUM·CIRC/TSUM` over the flows entering the switch.
-    pub switch_utilization: Vec<(NodeId, f64)>,
+    pub switch_utilization: Vec<(NodeId, f64)>, // tidy-allow: float utilization ratio, not a bound
     /// `true` if every utilization is strictly below 1.
     pub feasible: bool,
 }
 
 impl UtilizationCheck {
     /// The largest utilization of any link.
+    // tidy-allow: float utilization ratio, not a bound
     pub fn max_link_utilization(&self) -> f64 {
         self.link_utilization
             .iter()
             .map(|&(_, _, u)| u)
-            .fold(0.0, f64::max)
+            .fold(0.0, f64::max) // tidy-allow: float utilization ratio, not a bound
     }
 
     /// The largest utilization of any switch CPU.
+    // tidy-allow: float utilization ratio, not a bound
     pub fn max_switch_utilization(&self) -> f64 {
         self.switch_utilization
             .iter()
             .map(|&(_, u)| u)
-            .fold(0.0, f64::max)
+            .fold(0.0, f64::max) // tidy-allow: float utilization ratio, not a bound
     }
 }
 
@@ -109,6 +111,7 @@ pub fn utilization_check(
             let binding = flows.get(id)?;
             let prec = binding.route.predecessor(switch)?;
             let d = ctx.demand(id, prec, switch);
+            // tidy-allow: float, cast round-count to ratio conversion for the overload check only
             u += d.nsum() as f64 * circ.as_secs() / d.tsum().as_secs();
         }
         switch_utilization.push((switch, u));

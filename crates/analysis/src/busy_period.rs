@@ -54,10 +54,13 @@ pub fn fixed_point(
             return FixedPointOutcome::ExceededHorizon { last: current };
         }
         let next = f(current);
-        debug_assert!(
-            next.is_finite(),
-            "fixed-point iterate became non-finite (previous value {current})"
-        );
+        // A non-finite iterate means a request-bound term overflowed the
+        // representable range; the true fixed point (if any) is beyond every
+        // horizon, so report a loud divergence instead of iterating on inf
+        // or NaN.  This keeps overflow deterministic in every build profile.
+        if !next.is_finite() {
+            return FixedPointOutcome::ExceededHorizon { last: Time::MAX };
+        }
         if next.approx_eq(current) {
             return FixedPointOutcome::Converged(next);
         }

@@ -80,6 +80,7 @@ impl JitterMap {
             .route
             .hops()
             .next()
+            // tidy-allow: unwrap invariant: routes have at least one hop
             .expect("routes have at least one hop");
         let resource = ResourceId::Link {
             from: first_hop.from,
@@ -276,7 +277,7 @@ impl<'a> AnalysisContext<'a> {
     /// A demand by its dense index (hot-loop form of [`Self::demand`]).
     #[inline]
     pub(crate) fn demand_by_index(&self, index: u32) -> &LinkDemand {
-        &self.demands[index as usize]
+        &self.demands[crate::index::ux(index)]
     }
 
     /// The network topology.
@@ -302,12 +303,13 @@ impl<'a> AnalysisContext<'a> {
     pub fn demand(&self, flow: FlowId, from: NodeId, to: NodeId) -> &LinkDemand {
         self.demand_lookup
             .get(&(flow, from, to))
-            .map(|&index| &self.demands[index as usize])
+            .map(|&index| &self.demands[crate::index::ux(index)])
             .unwrap_or_else(|| panic!("no cached demand for {flow} on link({},{})", from.0, to.0))
     }
 
     /// Sum of `CSUM/TSUM` over the given flows on the given link — the
     /// left-hand side of the schedulability conditions (20), (34) and (35).
+    // tidy-allow: float utilization is a dimensionless ratio compared against 1.0, not a bound
     pub fn link_utilization(&self, flows: &[FlowId], from: NodeId, to: NodeId) -> f64 {
         flows
             .iter()

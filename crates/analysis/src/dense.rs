@@ -34,6 +34,7 @@
 
 use crate::context::{JitterMap, ResourceId};
 use crate::error::{AnalysisError, StageKind};
+use crate::index::{cx, ux};
 use gmf_model::{FlowId, LinkDemand, Time};
 use gmf_net::{FlowSet, NodeId, Topology};
 
@@ -73,7 +74,7 @@ pub(crate) struct StagePlan {
     pub own_demand: u32,
     /// The stage's long-run demand (left-hand side of its overload check),
     /// summed in interferer id order exactly as the keyed analyses do.
-    pub utilization: f64,
+    pub utilization: f64, // tidy-allow: float utilization ratio, not a bound
     /// Flows interfering at this stage, in id order: all flows on the
     /// link (first hop, ingress) or the higher-or-equal-priority flows
     /// (egress).
@@ -147,6 +148,7 @@ impl DensePlan {
                 let demand = LinkDemand::new(&binding.flow, &binding.encapsulation, link.speed);
                 demand_lookup.insert(
                     (binding.id, hop.from, hop.to),
+                    // tidy-allow: unwrap invariant: demand count fits u32
                     u32::try_from(demands.len()).expect("demand count fits u32"),
                 );
                 demands.push(demand);
@@ -197,8 +199,10 @@ impl DensePlan {
             u32::try_from(
                 resources
                     .binary_search(&resource)
+                    // tidy-allow: unwrap invariant: walk resources are interned
                     .expect("walk resources are interned"),
             )
+            // tidy-allow: unwrap invariant: resource count fits u32
             .expect("resource count fits u32")
         };
 
@@ -210,11 +214,13 @@ impl DensePlan {
         let mut pair_lookup: BTreeMap<(u32, u32), u32> = BTreeMap::new();
         let mut arena_len = 0u32;
         for (flow_idx, (binding, walk)) in bindings.iter().zip(&walks).enumerate() {
+            // tidy-allow: unwrap invariant: frame count fits u32
             let n_frames = u32::try_from(binding.flow.n_frames()).expect("frame count fits u32");
             for &(resource, _, _) in walk {
+                // tidy-allow: unwrap invariant: pair count fits u32
                 let pair = u32::try_from(pair_resource.len()).expect("pair count fits u32");
                 let resource_idx = resource_of(resource);
-                pair_lookup.insert((flow_idx as u32, resource_idx), pair);
+                pair_lookup.insert((cx(flow_idx), resource_idx), pair);
                 pair_resource.push(resource_idx);
                 pair_base.push(arena_len);
                 pair_frames.push(n_frames);
@@ -226,7 +232,7 @@ impl DensePlan {
         let flow_idx_of: BTreeMap<FlowId, u32> = bindings
             .iter()
             .enumerate()
-            .map(|(i, b)| (b.id, i as u32))
+            .map(|(i, b)| (b.id, cx(i)))
             .collect();
         let pair_of = |flow: FlowId, resource: ResourceId| -> u32 {
             resources
@@ -234,7 +240,7 @@ impl DensePlan {
                 .ok()
                 .and_then(|resource_idx| {
                     pair_lookup
-                        .get(&(flow_idx_of[&flow], resource_idx as u32))
+                        .get(&(flow_idx_of[&flow], cx(resource_idx)))
                         .copied()
                 })
                 .unwrap_or(NO_PAIR)
@@ -266,12 +272,13 @@ impl DensePlan {
                 // the same id order as the keyed stage code.
                 let on_link = link_index.flows_on_link(from, to);
                 let mut interferers = Vec::new();
+                // tidy-allow: float utilization is a dimensionless ratio compared against 1.0, not a bound
                 let mut utilization = 0.0f64;
                 match stage {
                     StageKind::FirstHop => {
                         for &j in on_link {
                             let demand = demand_of(j, from, to);
-                            utilization += demands[demand as usize].utilization();
+                            utilization += demands[ux(demand)].utilization();
                             let is_self = j == binding.id;
                             interferers.push(Interferer {
                                 demand,
@@ -279,7 +286,7 @@ impl DensePlan {
                                 blocking_c: if is_self {
                                     Time::ZERO
                                 } else {
-                                    demands[demand as usize].max_c()
+                                    demands[ux(demand)].max_c()
                                 },
                                 is_self,
                             });
@@ -288,7 +295,8 @@ impl DensePlan {
                     StageKind::SwitchIngress => {
                         for &j in on_link {
                             let demand = demand_of(j, from, to);
-                            let d = &demands[demand as usize];
+                            let d = &demands[ux(demand)];
+                            // tidy-allow: float, cast round-count to ratio conversion for the overload check only
                             utilization += d.nsum() as f64 * circ.as_secs() / d.tsum().as_secs();
                             interferers.push(Interferer {
                                 demand,
@@ -308,7 +316,8 @@ impl DensePlan {
                                 continue;
                             }
                             let demand = demand_of(j, from, to);
-                            let d = &demands[demand as usize];
+                            let d = &demands[ux(demand)];
+                            // tidy-allow: float, cast round-count to ratio conversion for the overload check only
                             utilization += (d.csum().as_secs() + d.nsum() as f64 * circ.as_secs())
                                 / d.tsum().as_secs();
                             interferers.push(Interferer {
@@ -354,7 +363,7 @@ impl DensePlan {
             pair_resource,
             pair_base,
             pair_frames,
-            arena_len: arena_len as usize,
+            arena_len: ux(arena_len),
         })
     }
 
@@ -366,8 +375,8 @@ impl DensePlan {
     /// The arena range of a pair.
     #[inline]
     pub fn range(&self, pair: u32) -> std::ops::Range<usize> {
-        let base = self.pair_base[pair as usize] as usize;
-        base..base + self.pair_frames[pair as usize] as usize
+        let base = ux(self.pair_base[ux(pair)]);
+        base..base + ux(self.pair_frames[ux(pair)])
     }
 }
 
@@ -425,7 +434,7 @@ impl DenseJitters {
             let Some(pair) = plan.flows[flow_idx]
                 .stages
                 .iter()
-                .find(|s| plan.pair_resource[s.pair as usize] as usize == resource_idx)
+                .find(|s| ux(plan.pair_resource[ux(s.pair)]) == resource_idx)
                 .map(|s| s.pair)
             else {
                 continue;
@@ -435,7 +444,7 @@ impl DenseJitters {
             for (frame, &value) in values.iter().take(slots).enumerate() {
                 map.values[range.start + frame] = value;
             }
-            map.maxes[pair as usize] = map.values[range]
+            map.maxes[ux(pair)] = map.values[range]
                 .iter()
                 .copied()
                 .fold(Time::ZERO, Time::max);
@@ -461,21 +470,21 @@ impl DenseJitters {
     /// [`Self::slots`]; per-slot reads are a test convenience).
     #[cfg(test)]
     pub fn get(&self, plan: &DensePlan, pair: u32, frame: usize) -> Time {
-        self.values[plan.pair_base[pair as usize] as usize + frame]
+        self.values[ux(plan.pair_base[ux(pair)]) + frame]
     }
 
     /// Set the jitter of `frame` at `pair` (see the write discipline in
     /// the type docs).
     #[inline]
     pub fn set(&mut self, plan: &DensePlan, pair: u32, frame: usize, value: Time) {
-        let idx = plan.pair_base[pair as usize] as usize + frame;
+        let idx = ux(plan.pair_base[ux(pair)]) + frame;
         debug_assert!(
             self.values[idx] <= value || self.values[idx].approx_eq(value),
             "dense jitter slot lowered from {} to {value}",
             self.values[idx]
         );
         self.values[idx] = value;
-        self.maxes[pair as usize] = self.maxes[pair as usize].max(value);
+        self.maxes[ux(pair)] = self.maxes[ux(pair)].max(value);
     }
 
     /// `extra_j`: the largest jitter of any frame at `pair`
@@ -486,7 +495,7 @@ impl DenseJitters {
         if pair == NO_PAIR {
             Time::ZERO
         } else {
-            self.maxes[pair as usize]
+            self.maxes[ux(pair)]
         }
     }
 
@@ -495,7 +504,7 @@ impl DenseJitters {
     pub fn copy_pair_from(&mut self, plan: &DensePlan, other: &DenseJitters, pair: u32) {
         let range = plan.range(pair);
         self.values[range.clone()].copy_from_slice(&other.values[range.clone()]);
-        self.maxes[pair as usize] = self.values[range]
+        self.maxes[ux(pair)] = self.values[range]
             .iter()
             .copied()
             .fold(Time::ZERO, Time::max);
@@ -541,7 +550,7 @@ impl DenseJitters {
     #[inline]
     pub fn set_slot(&mut self, pair: u32, idx: usize, value: Time) {
         self.values[idx] = value;
-        self.maxes[pair as usize] = self.maxes[pair as usize].max(value);
+        self.maxes[ux(pair)] = self.maxes[ux(pair)].max(value);
     }
 }
 

@@ -33,6 +33,7 @@ use crate::busy_period::{fixed_point, FixedPointOutcome};
 use crate::config::AnalysisConfig;
 use crate::context::{AnalysisContext, JitterMap, ResourceId};
 use crate::error::{AnalysisError, StageKind};
+use crate::index::{qw, qx};
 use crate::stage::StageResult;
 use gmf_model::{FlowId, Time};
 use gmf_net::NodeId;
@@ -73,14 +74,19 @@ pub fn egress_response(
     // idle.  Both repeat for every whole-cycle instance ahead of us in the
     // busy period.
     let own_frame_cost = mft + circ;
-    let blocking_k = if refine { own_frame_cost * n_k } else { mft };
+    let blocking_k = if refine {
+        own_frame_cost.saturating_mul(n_k)
+    } else {
+        mft
+    };
     let cycle_extra = if refine {
-        d_i.csum() + own_frame_cost * d_i.nsum()
+        d_i.csum()
+            .saturating_add(own_frame_cost.saturating_mul(d_i.nsum()))
     } else {
         d_i.csum()
     };
     let busy_seed = if refine {
-        own_frame_cost * d_i.max_n_ethernet_frames()
+        own_frame_cost.saturating_mul(d_i.max_n_ethernet_frames())
     } else {
         mft
     };
@@ -90,10 +96,12 @@ pub fn egress_response(
 
     // Schedulability condition (34), extended with the CIRC cost of serving
     // each higher-priority Ethernet frame through the send task.
+    // tidy-allow: float utilization is a dimensionless ratio compared against 1.0, not a bound
     let utilization: f64 = hep
         .iter()
         .map(|&j| {
             let d = ctx.demand(j, node, succ);
+            // tidy-allow: float, cast round-count to ratio conversion for the overload check only
             (d.csum().as_secs() + d.nsum() as f64 * circ.as_secs()) / d.tsum().as_secs()
         })
         .sum();
@@ -118,7 +126,10 @@ pub fn egress_response(
         for (j, extra) in extras {
             let d = ctx.demand(*j, node, succ);
             let window = window_base + *extra;
-            total += d.mx(window) + circ * d.nx(window);
+            total = total.saturating_add(
+                d.mx(window)
+                    .saturating_add(circ.saturating_mul(d.nx(window))),
+            );
         }
         total
     };
@@ -157,7 +168,7 @@ pub fn egress_response(
     // point, which is exact only for single-frame packets.
     let mut worst = Time::ZERO;
     for q in 0..instances {
-        let own = blocking_k + cycle_extra * q;
+        let own = blocking_k.saturating_add(cycle_extra.saturating_mul(q));
         let fragmented = refine && n_k > 1;
         let seed = if fragmented { own + c_k } else { own };
         let w = match fixed_point(
@@ -184,9 +195,9 @@ pub fn egress_response(
             }
         };
         let response = if fragmented {
-            w - tsum_i * q
+            w - tsum_i.saturating_mul(q)
         } else {
-            w - tsum_i * q + c_k
+            w - tsum_i.saturating_mul(q) + c_k
         };
         worst = worst.max(response);
     }
@@ -256,12 +267,13 @@ impl EgressDense {
         let refine = config.refine_egress_own_frames;
         let own_frame_cost = mft + circ;
         let cycle_extra = if refine {
-            d_i.csum() + own_frame_cost * d_i.nsum()
+            d_i.csum()
+                .saturating_add(own_frame_cost.saturating_mul(d_i.nsum()))
         } else {
             d_i.csum()
         };
         let busy_seed = if refine {
-            own_frame_cost * d_i.max_n_ethernet_frames()
+            own_frame_cost.saturating_mul(d_i.max_n_ethernet_frames())
         } else {
             mft
         };
@@ -279,7 +291,10 @@ impl EgressDense {
             for &(demand, extra) in &extras {
                 let d = ctx.demand_by_index(demand);
                 let window = window_base + extra;
-                total += d.mx(window) + circ * d.nx(window);
+                total = total.saturating_add(
+                    d.mx(window)
+                        .saturating_add(circ.saturating_mul(d.nx(window))),
+                );
             }
             total
         };
@@ -315,9 +330,9 @@ impl EgressDense {
         // single-frame packets (`blocking_k` = one MFT, plus one CIRC
         // own-send-wait under the refinement).
         let single_blocking = if refine { own_frame_cost } else { mft };
-        let mut w = Vec::with_capacity(instances as usize);
+        let mut w = Vec::with_capacity(qx(instances));
         for q in 0..instances {
-            let own = single_blocking + cycle_extra * q;
+            let own = single_blocking.saturating_add(cycle_extra.saturating_mul(q));
             let wq = match fixed_point(
                 own,
                 config.horizon,
@@ -375,7 +390,7 @@ impl EgressDense {
         if !(config.refine_egress_own_frames && n_k > 1) {
             let mut worst = Time::ZERO;
             for (q, &wq) in self.w.iter().enumerate() {
-                let response = wq - self.tsum_i * (q as u64) + c_k;
+                let response = wq - self.tsum_i.saturating_mul(qw(q)) + c_k;
                 worst = worst.max(response);
             }
             return Ok(worst + self.propagation);
@@ -386,13 +401,19 @@ impl EgressDense {
             for &(demand, extra) in &self.extras {
                 let d = ctx.demand_by_index(demand);
                 let window = window_base + extra;
-                total += d.mx(window) + self.circ * d.nx(window);
+                total = total.saturating_add(
+                    d.mx(window)
+                        .saturating_add(self.circ.saturating_mul(d.nx(window))),
+                );
             }
             total
         };
         let mut worst = Time::ZERO;
         for q in 0..self.instances {
-            let base = (self.mft + self.circ) * n_k + self.cycle_extra * q + c_k;
+            let base = (self.mft + self.circ)
+                .saturating_mul(n_k)
+                .saturating_add(self.cycle_extra.saturating_mul(q))
+                + c_k;
             let r = match fixed_point(
                 base,
                 config.horizon,
@@ -416,7 +437,7 @@ impl EgressDense {
                     })
                 }
             };
-            worst = worst.max(r - self.tsum_i * q);
+            worst = worst.max(r - self.tsum_i.saturating_mul(q));
         }
         Ok(worst + self.propagation)
     }

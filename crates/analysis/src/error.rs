@@ -38,7 +38,7 @@ pub enum AnalysisError {
         /// The flow being analysed.
         flow: FlowId,
         /// The offending utilization (≥ 1).
-        utilization: f64,
+        utilization: f64, // tidy-allow: float utilization is a reported dimensionless ratio, not a bound
         /// Human-readable resource description (e.g. `link(4,6)`).
         resource: String,
     },
@@ -69,6 +69,18 @@ pub enum AnalysisError {
     HolisticNoConvergence {
         /// The iteration limit that was reached.
         iterations: usize,
+    },
+    /// A demand or response-time computation overflowed the representable
+    /// numeric range (e.g. a request-bound product saturated).  The true
+    /// bound is beyond anything expressible, so the flow set is treated as
+    /// unschedulable rather than silently under-approximated.
+    NumericOverflow {
+        /// Which kind of stage was being computed.
+        stage: StageKind,
+        /// The flow being analysed.
+        flow: FlowId,
+        /// Human-readable resource description.
+        resource: String,
     },
     /// An inconsistency between the flow set and the topology.
     Net(NetError),
@@ -107,6 +119,15 @@ impl fmt::Display for AnalysisError {
                 f,
                 "holistic jitter iteration did not converge after {iterations} iterations"
             ),
+            AnalysisError::NumericOverflow {
+                stage,
+                flow,
+                resource,
+            } => write!(
+                f,
+                "{stage} analysis of {flow}: bound computation on {resource} overflowed the \
+                 representable range (treated as unschedulable)"
+            ),
             AnalysisError::Net(e) => write!(f, "network error: {e}"),
         }
     }
@@ -130,6 +151,7 @@ impl AnalysisError {
             AnalysisError::Overload { .. }
                 | AnalysisError::HorizonExceeded { .. }
                 | AnalysisError::HolisticNoConvergence { .. }
+                | AnalysisError::NumericOverflow { .. }
         )
     }
 }

@@ -35,6 +35,7 @@ use crate::busy_period::{fixed_point, FixedPointOutcome};
 use crate::config::AnalysisConfig;
 use crate::context::{AnalysisContext, JitterMap, ResourceId};
 use crate::error::{AnalysisError, StageKind};
+use crate::index::qx;
 use crate::stage::StageResult;
 use gmf_model::{FlowId, Time};
 
@@ -89,7 +90,7 @@ pub fn first_hop_response(
         .map(|&j| {
             let mut extra = jitters.max_jitter(j, resource);
             if config.refine_first_hop_blocking && j != flow {
-                extra += ctx.demand(j, source, succ).max_c();
+                extra = extra.saturating_add(ctx.demand(j, source, succ).max_c());
             }
             (j, extra)
         })
@@ -103,7 +104,7 @@ pub fn first_hop_response(
         |t| {
             let mut total = Time::ZERO;
             for (j, extra) in &extras {
-                total += ctx.demand(*j, source, succ).mx(t + *extra);
+                total = total.saturating_add(ctx.demand(*j, source, succ).mx(t + *extra));
             }
             total
         },
@@ -132,7 +133,7 @@ pub fn first_hop_response(
     // Queueing time and response time per instance, equations (16)–(18).
     let mut worst = Time::ZERO;
     for q in 0..instances {
-        let own = d_i.csum() * q;
+        let own = d_i.csum().saturating_mul(q);
         let w = match fixed_point(
             own,
             config.horizon,
@@ -143,7 +144,7 @@ pub fn first_hop_response(
                     if *j == flow {
                         continue;
                     }
-                    total += ctx.demand(*j, source, succ).mx(w + *extra);
+                    total = total.saturating_add(ctx.demand(*j, source, succ).mx(w + *extra));
                 }
                 total
             },
@@ -166,7 +167,7 @@ pub fn first_hop_response(
             }
         };
         // Equation (18).
-        let response = w - tsum_i * q + c_k;
+        let response = w - tsum_i.saturating_mul(q) + c_k;
         worst = worst.max(response);
     }
 
@@ -225,7 +226,7 @@ impl FirstHopDense {
             .map(|i| {
                 let mut extra = jitters.max_jitter(i.pair);
                 if config.refine_first_hop_blocking && !i.is_self {
-                    extra += i.blocking_c;
+                    extra = extra.saturating_add(i.blocking_c);
                 }
                 (i.demand, extra, i.is_self)
             })
@@ -262,7 +263,7 @@ impl FirstHopDense {
             |t| {
                 let mut total = Time::ZERO;
                 for &(demand, extra, _) in &self.extras {
-                    total += ctx.demand_by_index(demand).mx(t + extra);
+                    total = total.saturating_add(ctx.demand_by_index(demand).mx(t + extra));
                 }
                 total
             },
@@ -291,8 +292,8 @@ impl FirstHopDense {
         // solved once per `q` across the whole cycle.
         let mut worst = Time::ZERO;
         for q in 0..instances {
-            if self.w_memo.len() <= q as usize {
-                let own = csum_i * q;
+            if self.w_memo.len() <= qx(q) {
+                let own = csum_i.saturating_mul(q);
                 let w = match fixed_point(
                     own,
                     config.horizon,
@@ -303,7 +304,7 @@ impl FirstHopDense {
                             if is_self {
                                 continue;
                             }
-                            total += ctx.demand_by_index(demand).mx(w + extra);
+                            total = total.saturating_add(ctx.demand_by_index(demand).mx(w + extra));
                         }
                         total
                     },
@@ -328,7 +329,7 @@ impl FirstHopDense {
                 self.w_memo.push(w);
             }
             // Equation (18).
-            let response = self.w_memo[q as usize] - tsum_i * q + c_k;
+            let response = self.w_memo[qx(q)] - tsum_i.saturating_mul(q) + c_k;
             worst = worst.max(response);
         }
 

@@ -209,13 +209,13 @@ impl ConvergenceTrace {
 /// component may jump at most this many times its last Picard gain ahead.
 /// Larger values accelerate slow geometric tails harder but risk
 /// overshooting past the fixed point, which costs a reverted round.
-const BETA_MAX: f64 = 0.6;
+const BETA_MAX: f64 = 0.6; // tidy-allow: float dimensionless extrapolation factor, not a bound
 
 /// Damping of the extrapolation: components jump this fraction of their
 /// estimated remaining distance.  Below 1 biases towards undershoot, which
 /// is free (the next Picard round mops up), where overshoot costs a
 /// reverted round.
-const ETA: f64 = 0.9;
+const ETA: f64 = 0.9; // tidy-allow: float dimensionless damping factor, not a bound
 
 /// After this many post-hoc invariant violations (absorbed overshoots),
 /// acceleration is disabled for the rest of the run (the workload's tail is
@@ -227,7 +227,7 @@ const MAX_ABSORBS: usize = 2;
 /// with components making one last move and stopping dead; lifting such a
 /// final move always overshoots, so the engine holds fire once the tail is
 /// nearly drained.
-const MID_TAIL_FRACTION: f64 = 0.35;
+const MID_TAIL_FRACTION: f64 = 0.35; // tidy-allow: float dimensionless residual fraction, not a bound
 
 /// A node of the jitter dependency graph: the jitter of one flow at one
 /// resource of its route.
@@ -611,19 +611,23 @@ fn evaluate_round(
         match roles[index] {
             FlowRole::Inactive => {
                 let frozen = scope
+                    // tidy-allow: unwrap invariant: inactive flows only exist under a scope
                     .expect("inactive flows only exist under a scope")
                     .frozen
                     .get(&binding.id)
+                    // tidy-allow: unwrap invariant: scoped rounds carry a frozen report for every inactive flow
                     .expect("scoped rounds carry a frozen report for every inactive flow");
                 reports.push(Arc::clone(frozen));
             }
             FlowRole::Skipped => {
                 let cached = cache[index]
                     .as_ref()
+                    // tidy-allow: unwrap invariant: skipped flows have a cached analysis
                     .expect("skipped flows have a cached analysis");
                 reports.push(Arc::clone(&cached.report));
             }
             FlowRole::Dirty => {
+                // tidy-allow: unwrap invariant: one result per dirty flow
                 let result = results.next().expect("one result per dirty flow");
                 analyzed += 1;
                 match result {
@@ -673,6 +677,7 @@ fn evaluate_round(
             FlowRole::Skipped | FlowRole::Dirty => {
                 let cached = cache[index]
                     .as_ref()
+                    // tidy-allow: unwrap invariant: active flows have a cached analysis after the scan
                     .expect("active flows have a cached analysis after the scan");
                 for (frame, frame_assignments) in cached.assignments.iter().enumerate() {
                     for (stage, &jitter) in frame_assignments.iter().enumerate() {
@@ -760,7 +765,7 @@ fn anderson_candidate(
 ) -> Candidate {
     let mut candidate = DenseJitters::zeroed(plan);
     let mut extrapolated_any = false;
-    for pair in 0..plan.n_pairs() as u32 {
+    for pair in 0..crate::index::cx(plan.n_pairs()) {
         for idx in plan.range(pair) {
             let s0 = prev_x.slots()[idx];
             let s1 = x.slots()[idx];
@@ -942,6 +947,7 @@ fn iterate_inner(
             x = anderson
                 .fallback
                 .take()
+                // tidy-allow: unwrap invariant: a non-image iterate always has a revert target
                 .expect("a non-image iterate always has a revert target");
             // The aborted round left the memo MIXED: flows it re-analysed
             // before failing are cached against the discarded candidate,

@@ -36,6 +36,7 @@ use crate::busy_period::{fixed_point, FixedPointOutcome};
 use crate::config::AnalysisConfig;
 use crate::context::{AnalysisContext, JitterMap, ResourceId};
 use crate::error::{AnalysisError, StageKind};
+use crate::index::{qw, qx};
 use crate::stage::StageResult;
 use gmf_model::{FlowId, Time};
 use gmf_net::NodeId;
@@ -67,10 +68,12 @@ pub fn ingress_response(
     // Long-run demand on the routing task: NSUM_j service rounds per cycle.
     // Not stated as an equation in the paper, but the busy-period iteration
     // cannot converge if it reaches one.
+    // tidy-allow: float utilization is a dimensionless ratio compared against 1.0, not a bound
     let utilization: f64 = sharing
         .iter()
         .map(|&j| {
             let d = ctx.demand(j, prec, node);
+            // tidy-allow: float, cast round-count to ratio conversion for the overload check only
             d.nsum() as f64 * circ.as_secs() / d.tsum().as_secs()
         })
         .sum();
@@ -97,9 +100,9 @@ pub fn ingress_response(
         |t| {
             let mut rounds: u64 = 0;
             for (j, extra) in &extras {
-                rounds += ctx.demand(*j, prec, node).nx(t + *extra);
+                rounds = rounds.saturating_add(ctx.demand(*j, prec, node).nx(t + *extra));
             }
-            circ * rounds
+            circ.saturating_mul(rounds)
         },
     ) {
         FixedPointOutcome::Converged(t) => t,
@@ -136,7 +139,7 @@ pub fn ingress_response(
 
     let mut worst = Time::ZERO;
     for q in 0..instances {
-        let own = circ * (q * own_rounds_per_cycle);
+        let own = circ.saturating_mul(q.saturating_mul(own_rounds_per_cycle));
         let w = match fixed_point(
             own,
             config.horizon,
@@ -147,9 +150,9 @@ pub fn ingress_response(
                     if *j == flow {
                         continue;
                     }
-                    rounds += ctx.demand(*j, prec, node).nx(w + *extra);
+                    rounds = rounds.saturating_add(ctx.demand(*j, prec, node).nx(w + *extra));
                 }
-                own + circ * rounds
+                own.saturating_add(circ.saturating_mul(rounds))
             },
         ) {
             FixedPointOutcome::Converged(w) => w,
@@ -170,7 +173,7 @@ pub fn ingress_response(
             }
         };
         // Equation (25).
-        let response = w - tsum_i * q + circ * own_rounds_final;
+        let response = w - tsum_i.saturating_mul(q) + circ.saturating_mul(own_rounds_final);
         worst = worst.max(response);
     }
 
@@ -235,9 +238,9 @@ impl IngressDense {
             |t| {
                 let mut rounds: u64 = 0;
                 for &(demand, extra, _) in &extras {
-                    rounds += ctx.demand_by_index(demand).nx(t + extra);
+                    rounds = rounds.saturating_add(ctx.demand_by_index(demand).nx(t + extra));
                 }
-                circ * rounds
+                circ.saturating_mul(rounds)
             },
         ) {
             FixedPointOutcome::Converged(t) => t,
@@ -266,9 +269,9 @@ impl IngressDense {
         };
 
         // Queueing time per instance, equation (24).
-        let mut w = Vec::with_capacity(instances as usize);
+        let mut w = Vec::with_capacity(qx(instances));
         for q in 0..instances {
-            let own = circ * (q * own_rounds_per_cycle);
+            let own = circ.saturating_mul(q.saturating_mul(own_rounds_per_cycle));
             let wq = match fixed_point(
                 own,
                 config.horizon,
@@ -279,9 +282,9 @@ impl IngressDense {
                         if is_self {
                             continue;
                         }
-                        rounds += ctx.demand_by_index(demand).nx(w + extra);
+                        rounds = rounds.saturating_add(ctx.demand_by_index(demand).nx(w + extra));
                     }
-                    own + circ * rounds
+                    own.saturating_add(circ.saturating_mul(rounds))
                 },
             ) {
                 FixedPointOutcome::Converged(w) => w,
@@ -324,7 +327,8 @@ impl IngressDense {
         };
         let mut worst = Time::ZERO;
         for (q, &wq) in self.w.iter().enumerate() {
-            let response = wq - self.tsum_i * (q as u64) + self.circ * own_rounds_final;
+            let response =
+                wq - self.tsum_i.saturating_mul(qw(q)) + self.circ.saturating_mul(own_rounds_final);
             worst = worst.max(response);
         }
         worst

@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod admission;
 pub mod baseline;
@@ -61,6 +62,7 @@ pub mod error;
 pub mod first_hop;
 pub mod fixed_point;
 pub mod holistic;
+pub(crate) mod index;
 pub mod ingress;
 pub mod pipeline;
 pub mod reference;

@@ -88,6 +88,7 @@ impl FrameBound {
     /// actually reaches it), small values mean slack — the conformance
     /// harness (E13) tracks this per frame to watch bound slack over time.
     /// Returns `None` for a degenerate zero bound.
+    // tidy-allow: float tightness is a dimensionless telemetry ratio, not a bound
     pub fn tightness(&self, observed: Time) -> Option<f64> {
         if self.bound.is_zero() {
             return None;
@@ -140,6 +141,7 @@ impl FlowReport {
     /// Bound tightness (`observed / bound`) of frame `k` for an observed
     /// response time; `None` if the report does not cover frame `k` (or
     /// its bound is degenerate zero).  See [`FrameBound::tightness`].
+    // tidy-allow: float tightness is a dimensionless telemetry ratio, not a bound
     pub fn frame_tightness(&self, k: usize, observed: Time) -> Option<f64> {
         self.frames.get(k).and_then(|f| f.tightness(observed))
     }
@@ -150,12 +152,13 @@ impl FlowReport {
     pub fn worst_tightness(
         &self,
         observations: impl IntoIterator<Item = (usize, Time)>,
+        // tidy-allow: float tightness is a dimensionless telemetry ratio, not a bound
     ) -> Option<f64> {
         observations
             .into_iter()
             .filter_map(|(k, observed)| self.frame_tightness(k, observed))
             .fold(None, |acc, ratio| {
-                Some(acc.map_or(ratio, |a: f64| a.max(ratio)))
+                Some(acc.map_or(ratio, |a: f64| a.max(ratio))) // tidy-allow: float telemetry ratio max
             })
     }
 }

@@ -419,6 +419,7 @@ pub fn minimize_violation(
                 break;
             }
             let mut candidate = current.clone();
+            // tidy-allow: unwrap invariant: id comes from the set
             candidate.remove(id).expect("id comes from the set");
             if violates(&candidate) {
                 current = candidate;

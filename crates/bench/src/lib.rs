@@ -106,6 +106,7 @@ pub fn long_tail_line_scenario(
         );
         flows.add(
             forward,
+            // tidy-allow: unwrap invariant: line is connected
             shortest_path(&topology, a, b).expect("line is connected"),
             Priority(7),
         );
@@ -117,6 +118,7 @@ pub fn long_tail_line_scenario(
         );
         flows.add(
             reverse,
+            // tidy-allow: unwrap invariant: line is connected
             shortest_path(&topology, b, a).expect("line is connected"),
             Priority(7),
         );
@@ -157,6 +159,7 @@ pub fn mixed_depth_line_scenario(
         let leaf = topology.add_end_host(format!("leaf{i}"));
         topology
             .add_duplex_link(leaf, sw, access)
+            // tidy-allow: unwrap invariant: fresh topology
             .expect("fresh topology");
         switches.push(sw);
         leaves.push(leaf);
@@ -164,14 +167,17 @@ pub fn mixed_depth_line_scenario(
     let host_b = topology.add_end_host("hostB");
     topology
         .add_duplex_link(host_a, switches[0], access)
+        // tidy-allow: unwrap invariant: fresh topology
         .expect("fresh topology");
     for pair in switches.windows(2) {
         topology
             .add_duplex_link(pair[0], pair[1], access)
+            // tidy-allow: unwrap invariant: fresh topology
             .expect("fresh topology");
     }
     topology
         .add_duplex_link(switches[n_switches - 1], host_b, access)
+        // tidy-allow: unwrap invariant: fresh topology
         .expect("fresh topology");
 
     let mut flows = gmf_net::FlowSet::new();
@@ -183,6 +189,7 @@ pub fn mixed_depth_line_scenario(
             Time::from_millis(0.5),
         )
     };
+    // tidy-allow: unwrap invariant: line path
     let line_route = |nodes: Vec<gmf_net::NodeId>| Route::new(&topology, nodes).expect("line path");
     for i in 0..pairs {
         let mut forward = vec![host_a];
@@ -263,6 +270,7 @@ pub fn multi_sink_star_set(
     for (index, flow) in flows.into_iter().enumerate() {
         let source = sources[index % sources.len()];
         let sink = sinks[index % sinks.len()];
+        // tidy-allow: unwrap invariant: star is connected
         let route = shortest_path(&topology, source, sink).expect("star is connected");
         set.add(flow, route, Priority(0));
     }

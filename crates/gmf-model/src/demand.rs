@@ -136,6 +136,7 @@ impl LinkDemand {
     ///
     /// This is the quantity summed in the schedulability conditions
     /// (20), (34) and (35).
+    // tidy-allow: float utilization is a dimensionless ratio compared against 1.0, not a bound
     pub fn utilization(&self) -> f64 {
         self.csum / self.tsum
     }
@@ -212,8 +213,17 @@ impl LinkDemand {
             return Time::ZERO;
         }
         let cycles = t.div_floor(self.tsum);
+        if cycles == u64::MAX {
+            // The cycle count saturated (window beyond any representable
+            // horizon); any finite splice would under-count, so return the
+            // conservative top element and let the caller's horizon check
+            // fail loudly.
+            return Time::MAX;
+        }
         let residual = t - self.tsum * cycles;
-        self.csum * cycles + self.mxs(residual)
+        self.csum
+            .saturating_mul(cycles)
+            .saturating_add(self.mxs(residual))
     }
 
     /// `NXS(τ_j, N1, N2, t)` (eq. 12): upper bound on the number of Ethernet
@@ -245,8 +255,16 @@ impl LinkDemand {
             return 0;
         }
         let cycles = t.div_floor(self.tsum);
+        if cycles == u64::MAX {
+            return u64::MAX;
+        }
         let residual = t - self.tsum * cycles;
-        self.nsum * cycles + self.nxs(residual)
+        // Saturating on the frame *count* keeps the bound conservative and,
+        // under the `release-checked` profile, is what keeps a pathological
+        // window from wrapping u64 silently.
+        self.nsum
+            .saturating_mul(cycles)
+            .saturating_add(self.nxs(residual))
     }
 }
 

@@ -158,6 +158,7 @@ impl GmfFlow {
             .iter()
             .map(|f| f.min_interarrival)
             .min()
+            // tidy-allow: unwrap invariant: validated flow has at least one frame
             .expect("validated flow has at least one frame")
     }
 
@@ -167,6 +168,7 @@ impl GmfFlow {
             .iter()
             .map(|f| f.deadline)
             .min()
+            // tidy-allow: unwrap invariant: validated flow has at least one frame
             .expect("validated flow has at least one frame")
     }
 

@@ -219,6 +219,7 @@ pub fn paper_figure3_flow(name: &str, deadline: Time, jitter: Time) -> GmfFlow {
         jitter,
     }
     .build()
+    // tidy-allow: unwrap invariant: the paper example flow is always valid
     .expect("the paper example flow is always valid")
 }
 

@@ -14,6 +14,10 @@
 //! with, so `f64` is ample; see `Time::approx_eq` for the tolerance used by
 //! convergence checks.
 
+// tidy-allow-file: float Time and BitRate are *stored* as f64 (seconds, bit/s); this
+// module is the sanctioned numeric boundary — every arithmetic operation, tolerance
+// and overflow check on them lives behind the API defined here.
+
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
@@ -39,6 +43,11 @@ pub struct Time(f64);
 impl Time {
     /// The zero duration.
     pub const ZERO: Time = Time(0.0);
+
+    /// The largest representable time (~5.7e300 years): the saturation
+    /// value of the `saturating_*` helpers.  Any analysis quantity that
+    /// reaches it has long since exceeded every horizon.
+    pub const MAX: Time = Time(f64::MAX);
 
     /// Construct a time from seconds.
     #[inline]
@@ -129,6 +138,91 @@ impl Time {
         }
     }
 
+    /// Checked addition: `None` if the sum is not representable (the f64
+    /// overflowed to an infinity).
+    ///
+    /// For finite results this is bit-identical to `self + rhs`, so the
+    /// checked helpers can be used on hot paths without perturbing the
+    /// byte-identical-bounds guarantees.
+    #[inline]
+    #[must_use]
+    pub fn checked_add(self, rhs: Time) -> Option<Time> {
+        let sum = self.0 + rhs.0;
+        if sum.is_finite() {
+            Some(Time(sum))
+        } else {
+            None
+        }
+    }
+
+    /// Checked subtraction: `None` if the difference is not representable.
+    #[inline]
+    #[must_use]
+    pub fn checked_sub(self, rhs: Time) -> Option<Time> {
+        let diff = self.0 - rhs.0;
+        if diff.is_finite() {
+            Some(Time(diff))
+        } else {
+            None
+        }
+    }
+
+    /// Checked multiplication by an instance/cycle count: `None` if the
+    /// product is not representable.  This is the checked form of the
+    /// `CSUM · q` / `TSUM · q` products of the response-time equations.
+    #[inline]
+    #[must_use]
+    pub fn checked_mul(self, rhs: u64) -> Option<Time> {
+        let product = self.0 * rhs as f64;
+        if product.is_finite() {
+            Some(Time(product))
+        } else {
+            None
+        }
+    }
+
+    /// Saturating addition: clamps an overflowing sum at [`Time::MAX`]
+    /// instead of producing an infinity.
+    ///
+    /// Saturating *upward* keeps interference accumulations sound (the
+    /// result is still an upper bound) and keeps them monotone, so a
+    /// saturated busy-period iterate deterministically trips the horizon
+    /// check and surfaces as a loud `HorizonExceeded` instead of poisoning
+    /// later arithmetic with non-finite values.
+    #[inline]
+    #[must_use]
+    pub fn saturating_add(self, rhs: Time) -> Time {
+        let sum = self.0 + rhs.0;
+        // Finite inputs cannot produce NaN, only ±inf; clamp restores the
+        // nearest representable value.
+        Time(sum.clamp(f64::MIN, f64::MAX))
+    }
+
+    /// Saturating multiplication by an instance/cycle count; clamps at
+    /// [`Time::MAX`] (see [`Time::saturating_add`] for why saturating
+    /// upward is sound).
+    #[inline]
+    #[must_use]
+    pub fn saturating_mul(self, rhs: u64) -> Time {
+        let product = self.0 * rhs as f64;
+        Time(product.clamp(f64::MIN, f64::MAX))
+    }
+
+    /// Sum a sequence of times, debug-asserting that no partial sum
+    /// overflows to a non-finite value.  The `Sum` impl (`iter.sum()`)
+    /// delegates here, so every summation in the workspace is covered by
+    /// the assertion in debug/test builds.
+    pub fn sum<I: IntoIterator<Item = Time>>(times: I) -> Time {
+        times.into_iter().fold(Time::ZERO, |acc, t| {
+            let next = acc + t;
+            debug_assert!(
+                next.0.is_finite(),
+                "Time::sum overflowed: {acc} + {t} is not representable"
+            );
+            next
+        })
+    }
+
     /// `true` if `self` and `other` are equal within the convergence
     /// tolerance used by the busy-period fixed-point iterations.
     #[inline]
@@ -161,6 +255,11 @@ impl Time {
             return 0;
         }
         let q = self.0 / period.0;
+        // Quotients beyond u64 saturate explicitly; callers (e.g. the MX/NX
+        // cycle splicing) treat a saturated count as "beyond any horizon".
+        if q >= u64::MAX as f64 {
+            return u64::MAX;
+        }
         let nearest = q.round();
         if (q - nearest).abs() <= nearest.abs().max(1.0) * 1e-9 {
             nearest as u64
@@ -181,6 +280,9 @@ impl Time {
             return 0;
         }
         let q = self.0 / period.0;
+        if q >= u64::MAX as f64 {
+            return u64::MAX;
+        }
         let nearest = q.round();
         if (q - nearest).abs() <= nearest.abs().max(1.0) * 1e-9 {
             nearest as u64
@@ -217,6 +319,7 @@ impl Ord for Time {
         // partial_cmp is safe; NaN would indicate a bug and panics loudly.
         self.0
             .partial_cmp(&other.0)
+            // tidy-allow: unwrap invariant: Time comparison encountered NaN
             .expect("Time comparison encountered NaN")
     }
 }
@@ -307,7 +410,7 @@ impl Div<Time> for Time {
 
 impl Sum for Time {
     fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
-        iter.fold(Time::ZERO, |acc, t| acc + t)
+        Time::sum(iter)
     }
 }
 
@@ -554,6 +657,63 @@ mod tests {
         let c = Time::from_secs(1.0 + 1e-9);
         assert!(!a.approx_eq(c));
         assert!(Time::ZERO.approx_eq(Time::from_secs(1e-16)));
+    }
+
+    #[test]
+    fn checked_arithmetic_agrees_with_plain_ops_when_finite() {
+        let a = Time::from_millis(10.0);
+        let b = Time::from_millis(4.0);
+        assert_eq!(a.checked_add(b), Some(a + b));
+        assert_eq!(a.checked_sub(b), Some(a - b));
+        assert_eq!(a.checked_mul(7), Some(a * 7u64));
+        assert_eq!(a.saturating_add(b), a + b);
+        assert_eq!(a.saturating_mul(7), a * 7u64);
+    }
+
+    #[test]
+    fn checked_arithmetic_detects_overflow() {
+        assert_eq!(Time::MAX.checked_add(Time::MAX), None);
+        assert_eq!(Time::MAX.checked_mul(2), None);
+        assert_eq!((-Time::MAX).checked_sub(Time::MAX), None);
+        assert_eq!(Time::MAX.checked_add(Time::ZERO), Some(Time::MAX));
+        assert_eq!(Time::MAX.checked_mul(1), Some(Time::MAX));
+    }
+
+    #[test]
+    fn saturating_arithmetic_clamps_at_max() {
+        assert_eq!(Time::MAX.saturating_add(Time::MAX), Time::MAX);
+        assert_eq!(Time::MAX.saturating_mul(u64::MAX), Time::MAX);
+        assert_eq!((-Time::MAX).saturating_add(-Time::MAX), -Time::MAX);
+        // Saturation keeps ordering: MAX stays the top element.
+        assert!(Time::MAX.saturating_add(Time::from_secs(1.0)) >= Time::from_secs(1.0));
+    }
+
+    #[test]
+    fn time_sum_matches_iterator_sum() {
+        let v = [
+            Time::from_millis(3.0),
+            Time::from_millis(1.0),
+            Time::from_millis(2.0),
+        ];
+        let by_assoc = Time::sum(v);
+        let by_trait: Time = v.into_iter().sum();
+        assert_eq!(by_assoc, by_trait);
+        assert!(by_assoc.approx_eq(Time::from_millis(6.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "Time::sum overflowed")]
+    #[cfg(debug_assertions)]
+    fn time_sum_panics_on_overflow_in_debug() {
+        let _ = Time::sum([Time::MAX, Time::MAX]);
+    }
+
+    #[test]
+    fn div_floor_saturates_on_astronomical_quotients() {
+        let t = Time::from_secs(1e300);
+        let p = Time::from_nanos(1.0);
+        assert_eq!(t.div_floor(p), u64::MAX);
+        assert_eq!(t.div_ceil(p), u64::MAX);
     }
 
     #[test]

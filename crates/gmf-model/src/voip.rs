@@ -59,6 +59,7 @@ pub fn voip_flow(name: &str, codec: VoiceCodec, deadline: Time, jitter: Time) ->
         deadline,
         jitter,
     )
+    // tidy-allow: unwrap invariant: codec parameters are always valid
     .expect("codec parameters are always valid")
 }
 
@@ -77,6 +78,7 @@ pub fn cbr_flow(
         deadline,
         jitter,
     )
+    // tidy-allow: unwrap invariant: caller provides positive interval and payload
     .expect("caller provides positive interval and payload")
 }
 
@@ -129,6 +131,7 @@ pub fn conference_flows(
             },
         ],
     )
+    // tidy-allow: unwrap invariant: conference video parameters are always valid
     .expect("conference video parameters are always valid");
     (audio, video)
 }

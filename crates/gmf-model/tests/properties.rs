@@ -1,5 +1,8 @@
 //! Property-based tests of the GMF model crate in isolation.
 
+// Test code may unwrap freely; the workspace lint targets library code.
+#![allow(clippy::unwrap_used)]
+
 use gmf_model::prelude::*;
 use gmf_model::{packetize, LinkDemand};
 use proptest::prelude::*;

@@ -81,21 +81,28 @@ pub fn paper_figure1_with(config: PaperNetworkConfig) -> (Topology, PaperNetwork
 
     // Access links.
     t.add_duplex_link(h0, s4, config.access)
+        // tidy-allow: unwrap invariant: fresh topology
         .expect("fresh topology");
     t.add_duplex_link(h1, s4, config.access)
+        // tidy-allow: unwrap invariant: fresh topology
         .expect("fresh topology");
     t.add_duplex_link(h2, s5, config.access)
+        // tidy-allow: unwrap invariant: fresh topology
         .expect("fresh topology");
     t.add_duplex_link(h3, s6, config.access)
+        // tidy-allow: unwrap invariant: fresh topology
         .expect("fresh topology");
     // Backbone links (switch 4 connects to both other switches, matching
     // Figure 5's four interfaces: hosts 0 and 1, switches 5 and 6).
     t.add_duplex_link(s4, s5, config.backbone)
+        // tidy-allow: unwrap invariant: fresh topology
         .expect("fresh topology");
     t.add_duplex_link(s4, s6, config.backbone)
+        // tidy-allow: unwrap invariant: fresh topology
         .expect("fresh topology");
     // The IP router reaches the network through switch 5.
     t.add_duplex_link(r7, s5, config.backbone)
+        // tidy-allow: unwrap invariant: fresh topology
         .expect("fresh topology");
 
     (
@@ -127,12 +134,16 @@ pub fn line(
     }
     let host_b = t.add_end_host("hostB");
     t.add_duplex_link(host_a, switches[0], access)
+        // tidy-allow: unwrap invariant: fresh topology
         .expect("fresh topology");
     for pair in switches.windows(2) {
         t.add_duplex_link(pair[0], pair[1], backbone)
+            // tidy-allow: unwrap invariant: fresh topology
             .expect("fresh topology");
     }
+    // tidy-allow: unwrap invariant: n_switches >= 1
     t.add_duplex_link(*switches.last().expect("n_switches >= 1"), host_b, access)
+        // tidy-allow: unwrap invariant: fresh topology
         .expect("fresh topology");
     (t, host_a, host_b, switches)
 }
@@ -150,6 +161,7 @@ pub fn star(
     let mut hosts = Vec::with_capacity(n_hosts);
     for i in 0..n_hosts {
         let h = t.add_end_host(format!("h{i}"));
+        // tidy-allow: unwrap invariant: fresh topology
         t.add_duplex_link(h, sw, access).expect("fresh topology");
         hosts.push(h);
     }
@@ -176,6 +188,7 @@ pub fn random_tree<R: Rng>(
         let sw = t.add_switch(switch, format!("sw{i}"));
         if let Some(&parent) = switches[..i].choose(rng) {
             t.add_duplex_link(sw, parent, backbone)
+                // tidy-allow: unwrap invariant: fresh topology
                 .expect("fresh topology");
         }
         switches.push(sw);
@@ -184,6 +197,7 @@ pub fn random_tree<R: Rng>(
     for (i, &sw) in switches.iter().enumerate() {
         for j in 0..hosts_per_switch {
             let h = t.add_end_host(format!("h{i}_{j}"));
+            // tidy-allow: unwrap invariant: fresh topology
             t.add_duplex_link(h, sw, access).expect("fresh topology");
             hosts.push(h);
         }
@@ -193,6 +207,7 @@ pub fn random_tree<R: Rng>(
 
 /// Propagation delay corresponding to a cable of `metres` metres
 /// (signal speed ≈ 2×10⁸ m/s in copper or fibre).
+// tidy-allow: float spec-input length in metres, converted to Time at the boundary
 pub fn propagation_for_distance(metres: f64) -> Time {
     Time::from_secs(metres / 2.0e8)
 }

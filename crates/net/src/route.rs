@@ -80,6 +80,7 @@ impl Route {
 
     /// The destination node of the route.
     pub fn destination(&self) -> NodeId {
+        // tidy-allow: unwrap invariant: routes have at least two nodes
         *self.nodes.last().expect("routes have at least two nodes")
     }
 

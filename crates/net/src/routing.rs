@@ -74,7 +74,7 @@ pub fn fastest_path(topology: &Topology, src: NodeId, dst: NodeId) -> Result<Rou
 
     #[derive(PartialEq)]
     struct Entry {
-        cost: f64,
+        cost: f64, // tidy-allow: float Dijkstra edge cost, not a schedulability bound
         node: NodeId,
     }
     impl Eq for Entry {}
@@ -84,6 +84,7 @@ pub fn fastest_path(topology: &Topology, src: NodeId, dst: NodeId) -> Result<Rou
             other
                 .cost
                 .partial_cmp(&self.cost)
+                // tidy-allow: unwrap invariant: link costs are finite
                 .expect("link costs are finite")
                 .then_with(|| other.node.cmp(&self.node))
         }
@@ -95,7 +96,7 @@ pub fn fastest_path(topology: &Topology, src: NodeId, dst: NodeId) -> Result<Rou
     }
 
     let n = topology.n_nodes();
-    let mut dist = vec![f64::INFINITY; n];
+    let mut dist = vec![f64::INFINITY; n]; // tidy-allow: float Dijkstra distance table, not a bound
     let mut predecessor: Vec<Option<NodeId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[src.0] = 0.0;

@@ -55,6 +55,7 @@ impl From<TopologySerde> for Topology {
         }
         for link in &s.links {
             t.add_link(link.src, link.dst, link.speed, link.propagation)
+                // tidy-allow: unwrap invariant: serialized topology contains a malformed link
                 .expect("serialized topology contains a malformed link");
         }
         t

@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 use std::num::NonZeroUsize;
 
@@ -48,6 +49,7 @@ impl Threads {
 
     /// Build from a plain count, treating `0` as 1.
     pub fn new(n: usize) -> Threads {
+        // tidy-allow: unwrap invariant: max(1) is non-zero
         Threads(NonZeroUsize::new(n.max(1)).expect("max(1) is non-zero"))
     }
 
@@ -56,6 +58,7 @@ impl Threads {
     pub fn available() -> Threads {
         Threads(
             std::thread::available_parallelism()
+                // tidy-allow: unwrap invariant: 1 is non-zero
                 .unwrap_or_else(|_| NonZeroUsize::new(1).expect("1 is non-zero")),
         )
     }
@@ -152,6 +155,7 @@ where
 
     slots
         .into_iter()
+        // tidy-allow: unwrap invariant: every slot is filled by exactly one worker
         .map(|slot| slot.expect("every slot is filled by exactly one worker"))
         .collect()
 }
@@ -219,6 +223,7 @@ where
     }
     slots
         .into_iter()
+        // tidy-allow: unwrap invariant: every slot is filled by exactly one stride
         .map(|slot| slot.expect("every slot is filled by exactly one stride"))
         .collect()
 }

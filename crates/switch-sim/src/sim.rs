@@ -204,6 +204,7 @@ impl<'a> Engine<'a> {
             let next_hop = binding
                 .route
                 .successor(source)
+                // tidy-allow: unwrap invariant: routes have at least one hop
                 .expect("routes have at least one hop");
             let flow = &binding.flow;
 
@@ -323,6 +324,7 @@ impl<'a> Engine<'a> {
                     let endpoint = self
                         .endpoints
                         .get_mut(&host)
+                        // tidy-allow: unwrap invariant: source is an endpoint
                         .expect("source is an endpoint");
                     endpoint
                         .out_queues
@@ -333,11 +335,13 @@ impl<'a> Engine<'a> {
                 }
                 EventKind::HostTxComplete { host, to } => {
                     self.stats.frames_transmitted += 1;
+                    // tidy-allow: unwrap invariant: host exists
                     let endpoint = self.endpoints.get_mut(&host).expect("host exists");
                     let frame = endpoint
                         .tx_in_flight
                         .insert(to, None)
                         .flatten()
+                        // tidy-allow: unwrap invariant: a frame was in flight
                         .expect("a frame was in flight");
                     let link = self.topology.link_between(host, to)?;
                     self.queue.schedule(
@@ -352,9 +356,11 @@ impl<'a> Engine<'a> {
                 }
                 EventKind::FrameArrival { node, from, frame } => {
                     if self.switches.contains_key(&node) {
+                        // tidy-allow: unwrap invariant: checked above
                         let sw = self.switches.get_mut(&node).expect("checked above");
                         sw.inputs
                             .get_mut(&from)
+                            // tidy-allow: unwrap invariant: frames only arrive on existing interfaces
                             .expect("frames only arrive on existing interfaces")
                             .push_back(frame);
                         self.wake_cpu(node, now);
@@ -367,11 +373,13 @@ impl<'a> Engine<'a> {
                 }
                 EventKind::SwitchTxComplete { switch, to } => {
                     self.stats.frames_transmitted += 1;
+                    // tidy-allow: unwrap invariant: switch exists
                     let sw = self.switches.get_mut(&switch).expect("switch exists");
                     let frame = sw
                         .nic_in_flight
                         .insert(to, None)
                         .flatten()
+                        // tidy-allow: unwrap invariant: a frame was in flight
                         .expect("a frame was in flight");
                     let link = self.topology.link_between(switch, to)?;
                     self.queue.schedule(
@@ -402,6 +410,7 @@ impl<'a> Engine<'a> {
         to: NodeId,
         now: Time,
     ) -> Result<(), SimError> {
+        // tidy-allow: unwrap invariant: host exists
         let endpoint = self.endpoints.get_mut(&host).expect("host exists");
         if endpoint.is_transmitting(to) {
             return Ok(());
@@ -444,6 +453,7 @@ impl<'a> Engine<'a> {
 
     /// Wake a sleeping switch CPU if it has work.
     fn wake_cpu(&mut self, switch: NodeId, now: Time) {
+        // tidy-allow: unwrap invariant: switch exists
         let sw = self.switches.get_mut(&switch).expect("switch exists");
         if !sw.cpu_busy && sw.has_any_work() {
             sw.cpu_busy = true;
@@ -456,21 +466,25 @@ impl<'a> Engine<'a> {
     fn cpu_dispatch(&mut self, switch: NodeId, now: Time) -> Result<(), SimError> {
         // 1. Apply the effect of the task that just finished.
         let pending = {
+            // tidy-allow: unwrap invariant: switch exists
             let sw = self.switches.get_mut(&switch).expect("switch exists");
             sw.pending.take()
         };
         if let Some(pending) = pending {
             match pending {
                 PendingCompletion::RouteDone { to, frame } => {
+                    // tidy-allow: unwrap invariant: switch exists
                     let sw = self.switches.get_mut(&switch).expect("switch exists");
                     sw.outputs
                         .get_mut(&to)
+                        // tidy-allow: unwrap invariant: forwarding only targets existing interfaces
                         .expect("forwarding only targets existing interfaces")
                         .push(frame);
                 }
                 PendingCompletion::SendDone { to, frame } => {
                     let link = self.topology.link_between(switch, to)?;
                     let tx_time = link.speed.transmission_time(frame.wire_bits);
+                    // tidy-allow: unwrap invariant: switch exists
                     let sw = self.switches.get_mut(&switch).expect("switch exists");
                     debug_assert!(!sw.nic_busy(to), "send task only runs when the NIC is idle");
                     sw.nic_in_flight.insert(to, Some(frame));
@@ -482,6 +496,7 @@ impl<'a> Engine<'a> {
 
         // 2. Select the next task with work, charging idle polls for the
         //    tasks that are offered a turn but have nothing to do.
+        // tidy-allow: unwrap invariant: switch exists
         let sw = self.switches.get_mut(&switch).expect("switch exists");
         let work: Vec<bool> = sw.tasks.iter().map(|&t| sw.task_has_work(t)).collect();
         if !work.iter().any(|&w| w) {
@@ -489,6 +504,7 @@ impl<'a> Engine<'a> {
             return Ok(());
         }
         let dispatched = sw.scheduler.dispatch_until(|idx| work[idx]);
+        // tidy-allow: unwrap invariant: at least one task exists
         let selected = *dispatched.last().expect("at least one task exists");
         debug_assert!(
             work[selected],
@@ -501,8 +517,10 @@ impl<'a> Engine<'a> {
                 let frame = sw
                     .inputs
                     .get_mut(&from)
+                    // tidy-allow: unwrap invariant: interface exists
                     .expect("interface exists")
                     .pop_front()
+                    // tidy-allow: unwrap invariant: task had work
                     .expect("task had work");
                 let to = self.forwarding[&(switch, frame.packet.flow)];
                 (sw.croute, PendingCompletion::RouteDone { to, frame })
@@ -511,8 +529,10 @@ impl<'a> Engine<'a> {
                 let frame = sw
                     .outputs
                     .get_mut(&to)
+                    // tidy-allow: unwrap invariant: interface exists
                     .expect("interface exists")
                     .pop_highest()
+                    // tidy-allow: unwrap invariant: task had work
                     .expect("task had work");
                 (sw.csend, PendingCompletion::SendDone { to, frame })
             }

@@ -1,0 +1,55 @@
+//! `gmf-tidy` — lint the workspace for determinism & soundness invariants.
+//!
+//! Usage:
+//!   gmf-tidy [WORKSPACE_ROOT]   lint (default: the workspace this binary
+//!                               was built from, else the current directory)
+//!   gmf-tidy --list             print the rule set and rationales
+//!
+//! Exits non-zero if any violation is found.  See DESIGN.md §"Static
+//! invariants" for the rule list and the `tidy-allow` suppression syntax.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // When run via `cargo run -p gmf-tidy`, the manifest dir points at
+    // crates/tidy; the workspace root is two levels up.
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir).join("../.."),
+        None => PathBuf::from("."),
+    }
+}
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--list") {
+        for rule in gmf_tidy::RULES {
+            println!("{:12} {}", rule.name, rule.rationale);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = arg.map_or_else(workspace_root, PathBuf::from);
+    match gmf_tidy::check_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("gmf-tidy: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!(
+                "gmf-tidy: {} violation(s); fix them or add `tidy-allow: <rule> <reason>`",
+                violations.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!(
+                "gmf-tidy: cannot walk workspace at {}: {err}",
+                root.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

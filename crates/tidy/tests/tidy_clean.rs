@@ -1,0 +1,21 @@
+//! Tier-1 enforcement of the determinism & soundness linter: `cargo test`
+//! fails if any workspace source violates a tidy rule.
+
+use std::path::Path;
+
+#[test]
+fn tidy_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations = gmf_tidy::check_workspace(&root).expect("workspace sources are readable");
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        panic!(
+            "gmf-tidy found {} violation(s); run `cargo run -p gmf-tidy` for the list, \
+             fix them or annotate with `tidy-allow: <rule> <reason>` (see DESIGN.md \
+             §\"Static invariants\")",
+            violations.len()
+        );
+    }
+}

@@ -125,6 +125,7 @@ pub fn run_churn(
     config
         .sweep
         .validate()
+        // tidy-allow: unwrap invariant: invalid sweep configuration
         .expect("invalid sweep configuration");
     assert!(
         (0.0..=1.0).contains(&config.departure_fraction),
@@ -167,6 +168,7 @@ pub fn run_churn(
         if depart {
             let live: Vec<FlowId> = ctl.accepted().ids().collect();
             let victim = live[rng.gen_range(0..live.len())];
+            // tidy-allow: unwrap invariant: victim is live
             ctl.release(victim).expect("victim is live");
             outcome.departures += 1;
         } else {
@@ -179,10 +181,12 @@ pub fn run_churn(
             );
             let source = sources[rng.gen_range(0..sources.len())];
             let sink = sinks[rng.gen_range(0..sinks.len())];
+            // tidy-allow: unwrap invariant: star is connected
             let route = shortest_path(ctl.topology(), source, sink).expect("star is connected");
             let priority = Priority(rng.gen_range(0..config.sweep.priority_levels.max(1)));
             let decision = ctl
                 .request(flow, route, priority)
+                // tidy-allow: unwrap invariant: routes on the star are structurally valid
                 .expect("routes on the star are structurally valid");
             outcome.arrivals += 1;
             let cost = decision.cost();
@@ -200,6 +204,7 @@ pub fn run_churn(
     }
 
     outcome.live = ctl.n_accepted();
+    // tidy-allow: unwrap invariant: accepted set is structurally valid
     let final_report = ctl.reanalyze().expect("accepted set is structurally valid");
     outcome.final_schedulable = final_report.schedulable;
     if let Some(worst) = final_report.worst_bound() {

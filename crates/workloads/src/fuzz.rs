@@ -359,6 +359,7 @@ fn check_sound_regime(
         for hop in binding.route.hops() {
             let link = topology
                 .link_between(hop.from, hop.to)
+                // tidy-allow: unwrap invariant: routes are validated against the topology
                 .expect("routes are validated against the topology");
             let demand = LinkDemand::new(&binding.flow, &binding.encapsulation, link.speed);
             for (k, spec) in binding.flow.frames().iter().enumerate() {
@@ -407,6 +408,7 @@ pub fn draw_scenario(seed: u64, config: &FuzzConfig) -> Result<FuzzScenario, Sce
             }
         };
         let route = shortest_path(&topology, source, destination)
+            // tidy-allow: unwrap invariant: generated topologies are connected
             .expect("generated topologies are connected");
         flows.add(flow, route, Priority(0));
     }
@@ -444,6 +446,7 @@ pub fn draw_scenario(seed: u64, config: &FuzzConfig) -> Result<FuzzScenario, Sce
     for binding in flows.bindings() {
         let flow_report = report
             .flow(binding.id)
+            // tidy-allow: unwrap invariant: schedulable reports are complete
             .expect("schedulable reports are complete");
         for (k, frame) in flow_report.frames.iter().enumerate() {
             let interarrival = binding.flow.frames()[k].min_interarrival;

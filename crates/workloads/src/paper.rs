@@ -46,6 +46,7 @@ pub fn paper_video_only_scenario(deadline: Time, jitter: Time) -> Scenario {
     let mut flows = FlowSet::new();
     let video = paper_figure3_flow("mpeg-video", deadline, jitter);
     let route = shortest_path(&topology, network.hosts[0], network.hosts[3])
+        // tidy-allow: unwrap invariant: the paper network is connected
         .expect("the paper network is connected");
     flows.add(video, route, Priority(5));
     Scenario {
@@ -74,6 +75,7 @@ pub fn paper_scenario_with(config: PaperNetworkConfig) -> (Scenario, PaperScenar
 
     let route = |from: usize, to: usize| {
         shortest_path(&topology, network.hosts[from], network.hosts[to])
+            // tidy-allow: unwrap invariant: the paper network is connected
             .expect("the paper network is connected")
     };
 
@@ -151,6 +153,7 @@ pub fn conference_video(name: &str, deadline: Time) -> GmfFlow {
             },
         ],
     )
+    // tidy-allow: unwrap invariant: conference video parameters are valid
     .expect("conference video parameters are valid")
 }
 

@@ -111,6 +111,7 @@ pub fn build_converging_flow_set<R: Rng>(
     let mut set = FlowSet::new();
     for flow in flows {
         let source = sources[rng.gen_range(0..sources.len())];
+        // tidy-allow: unwrap invariant: star is connected
         let route = shortest_path(&topology, source, sink).expect("star is connected");
         set.add(flow, route, Priority(0));
     }
@@ -151,6 +152,7 @@ pub fn acceptance_sweep<R: Rng>(
     config: &SweepConfig,
     analysis: &AnalysisConfig,
 ) -> Vec<AcceptancePoint> {
+    // tidy-allow: unwrap invariant: invalid sweep configuration
     config.validate().expect("invalid sweep configuration");
     utilizations
         .iter()
@@ -226,6 +228,7 @@ pub fn acceptance_sweep_par(
     analysis: &AnalysisConfig,
     threads: usize,
 ) -> Vec<AcceptancePoint> {
+    // tidy-allow: unwrap invariant: invalid sweep configuration
     config.validate().expect("invalid sweep configuration");
     par_map(
         Threads::new(threads),

@@ -118,6 +118,7 @@ pub fn random_gmf_flow<R: Rng>(
         })
         .collect();
 
+    // tidy-allow: unwrap invariant: generated parameters are always valid
     GmfFlow::new(name, frames).expect("generated parameters are always valid")
 }
 
