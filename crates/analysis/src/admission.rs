@@ -6,40 +6,53 @@
 //! of *accepted ∪ {candidate}* shows every frame of every flow (old and
 //! new) still meeting its deadline.  [`AdmissionController`] implements
 //! exactly that protocol — plus flow departures ([`AdmissionController::release`])
-//! and an **incremental warm-started engine** that makes the per-request
-//! cost nearly independent of how many flows are already admitted.
+//! and a **sharded, warm-started incremental engine** that makes the
+//! per-request cost depend on the candidate's dependency closure rather
+//! than on how many flows are admitted network-wide.
 //!
-//! # The incremental engine
+//! # The sharded admission plane
 //!
-//! A naive controller re-runs the whole fixed point cold on every request:
-//! admitting N flows costs O(N²) per-flow analyses.  In
-//! [`AdmissionMode::Warm`] (the default) the controller instead keeps the
-//! converged [`JitterMap`] and per-flow reports of the accepted set and,
-//! for each trial:
+//! The jitter fixed point couples two flows only through shared directed
+//! links, so the accepted set partitions into [`crate::deps`] *shards*
+//! (weakly-connected components of the jitter-dependency graph) whose
+//! analyses are completely independent.  The controller maintains that
+//! partition incrementally and the batched entry point
+//! ([`AdmissionController::request_batch`]) exploits it:
 //!
-//! 1. **warm-starts** the fixed point from the cached map (candidate
-//!    seeded with its initial source jitter) via
-//!    [`crate::fixed_point::iterate_from`] — on acyclic instances the
-//!    fixed point is unique, so the trial lands on byte-identical bounds
-//!    in far fewer rounds;
-//! 2. **scopes re-verification** with
-//!    [`crate::fixed_point::affected_flows`]: flows unreachable from the
-//!    candidate in the jitter dependency graph keep their cached
-//!    [`FlowReport`] verbatim and are never re-analysed;
-//! 3. **falls back to a cold restart** whenever the dependency graph is
-//!    cyclic (warm seeds could latch onto a non-least fixed point) or the
-//!    warm run fails to converge (a stale from-above seed after a
-//!    departure can abort spuriously) — so every decision, and every frame
-//!    bound behind an accepted or converged-rejected decision, is
-//!    byte-identical to today's cold analysis.
+//! 1. requests are grouped into **lanes** — two requests share a lane iff
+//!    their routes touch a common shard or directed link — and lanes run
+//!    **concurrently** via `gmf-par` (deterministically: the lane
+//!    assignment and every result are pure functions of the inputs, never
+//!    of scheduling);
+//! 2. each trial analyses only the candidate's shard (the union of the
+//!    shards its route touches), **warm-started** from the per-shard
+//!    slice of the cached converged [`JitterMap`] with re-verification
+//!    scoped by `affected_flows` — flows outside the closure keep their
+//!    cached [`FlowReport`] verbatim;
+//! 3. a lane seeds its warm state **once** from the shared cache and
+//!    rolls it forward across its requests, amortising cache extraction
+//!    over every candidate targeting the same shard;
+//! 4. the engine **falls back to a cold per-shard restart** whenever the
+//!    shard's dependency graph is cyclic (warm seeds could latch onto a
+//!    non-least fixed point) or the warm run fails to converge — so every
+//!    decision, bound, failure string and victim attribution is
+//!    byte-identical to a global cold analysis of the same trial set,
+//!    restricted to the candidate's shard (disjoint shards cannot
+//!    influence each other's bounds).
+//!
+//! In [`AdmissionMode::Warm`] a decision's report therefore covers the
+//! **candidate's shard**, not the whole accepted set; in
+//! [`AdmissionMode::Cold`] every trial re-runs the global fixed point
+//! from scratch and reports on every flow (the reference behaviour).
 //!
 //! Departures keep the cache warm too: [`AdmissionController::release`]
 //! drops the departed flow's jitters and invalidates only the cached
-//! reports of flows its departure can influence; everything else stays
-//! frozen for the next trial.
+//! reports of flows within the departed flow's shard that its departure
+//! can influence; everything else stays frozen.
 
 use crate::config::AnalysisConfig;
 use crate::context::{AnalysisContext, JitterMap};
+use crate::deps::{DependencyGraph, ShardId};
 use crate::error::AnalysisError;
 use crate::fixed_point::{
     acyclic_affected_flows, affected_flows, iterate, iterate_scoped, ConvergenceTrace,
@@ -47,19 +60,24 @@ use crate::fixed_point::{
 };
 use crate::report::{AnalysisReport, FlowReport};
 use gmf_model::{EncapsulationConfig, FlowId, GmfFlow};
-use gmf_net::{FlowSet, Priority, Route, Topology};
+use gmf_net::{FlowBinding, FlowSet, NodeId, Priority, Route, Topology};
+use gmf_par::{par_map_weighted, Threads};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// How the controller analyses each trial set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum AdmissionMode {
-    /// Re-run the holistic fixed point cold on every request (the seed
-    /// behaviour; O(accepted) per-flow analyses per round, every round).
+    /// Re-run the holistic fixed point cold over the *whole* trial set on
+    /// every request (the reference behaviour; O(accepted) per-flow
+    /// analyses per round, every round).  Decision reports cover every
+    /// flow of the trial set.
     Cold,
-    /// Warm-start each trial from the cached converged jitter map and only
-    /// re-verify flows the candidate can influence; decisions and bounds
-    /// are byte-identical to [`AdmissionMode::Cold`].
+    /// Analyse only the candidate's shard, warm-started from the cached
+    /// converged jitter map; decisions, bounds and failure attribution
+    /// are byte-identical to [`AdmissionMode::Cold`], but reports cover
+    /// the candidate's shard only.
     #[default]
     Warm,
 }
@@ -113,6 +131,85 @@ pub struct DecisionCost {
     /// dependency-scoped path (false: cold mode, cyclic dependency graph,
     /// empty cache, or a cold fallback rerun).
     pub warm: bool,
+    /// The shard the trial analysed: the smallest flow id of the trial
+    /// set (in [`AdmissionMode::Cold`], the whole trial set counts as one
+    /// shard).
+    pub shard: ShardId,
+    /// How many flows that shard held, candidate included — the size of
+    /// the set the trial had to re-verify at most.
+    pub shard_flows: usize,
+}
+
+/// One admission candidate for [`AdmissionController::request_batch`]:
+/// the flow, its pre-specified route and 802.1p priority, plus an
+/// optional packetization override (builder style).
+///
+/// ```
+/// use gmf_analysis::AdmissionRequest;
+/// use gmf_model::{voip_flow, Time, VoiceCodec};
+/// use gmf_net::{paper_figure1, shortest_path, Priority};
+///
+/// let (topology, net) = paper_figure1();
+/// let route = shortest_path(&topology, net.hosts[1], net.hosts[3]).unwrap();
+/// let flow = voip_flow("call", VoiceCodec::G711, Time::from_millis(20.0), Time::ZERO);
+/// let request = AdmissionRequest::new(flow, route, Priority(7));
+/// assert_eq!(request.priority(), Priority(7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionRequest {
+    flow: GmfFlow,
+    route: Route,
+    priority: Priority,
+    encapsulation: EncapsulationConfig,
+}
+
+impl AdmissionRequest {
+    /// A request with the default (plain UDP) packetization.
+    pub fn new(flow: GmfFlow, route: Route, priority: Priority) -> Self {
+        AdmissionRequest {
+            flow,
+            route,
+            priority,
+            encapsulation: EncapsulationConfig::paper(),
+        }
+    }
+
+    /// Override the packetization configuration.
+    pub fn with_encapsulation(mut self, encapsulation: EncapsulationConfig) -> Self {
+        self.encapsulation = encapsulation;
+        self
+    }
+
+    /// The traffic specification.
+    pub fn flow(&self) -> &GmfFlow {
+        &self.flow
+    }
+
+    /// The pre-specified route.
+    pub fn route(&self) -> &Route {
+        &self.route
+    }
+
+    /// The 802.1p priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The packetization configuration.
+    pub fn encapsulation(&self) -> EncapsulationConfig {
+        self.encapsulation
+    }
+
+    /// Bind the request to a concrete flow id.
+    fn into_binding(self, id: FlowId) -> FlowBinding {
+        FlowBinding {
+            id,
+            flow: self.flow,
+            route: self.route,
+            priority: self.priority,
+            encapsulation: self.encapsulation,
+        }
+    }
 }
 
 /// The verdict of an admission request.
@@ -122,7 +219,9 @@ pub enum AdmissionDecision {
     Accepted {
         /// Identifier of the admitted flow within the controller's flow set.
         id: FlowId,
-        /// The analysis report of the accepted set including the new flow.
+        /// The analysis report of the trial: the candidate's shard in
+        /// [`AdmissionMode::Warm`], the whole accepted set (including the
+        /// new flow) in [`AdmissionMode::Cold`].
         report: AnalysisReport,
         /// What the decision cost.
         cost: DecisionCost,
@@ -130,8 +229,10 @@ pub enum AdmissionDecision {
     /// The flow was rejected; the accepted set is unchanged.
     Rejected {
         /// The id the candidate carried in the trial set — the key of its
-        /// [`FlowReport`] inside `report` (the id is *not* registered in
-        /// the accepted set and will be reused by the next request).
+        /// [`FlowReport`] inside `report`.  The id is *not* registered in
+        /// the accepted set and is never handed out again: every request
+        /// consumes one id, accepted or not, so a batch's ids are known
+        /// up front.
         id: FlowId,
         /// Why the flow was rejected.
         reason: String,
@@ -139,7 +240,8 @@ pub enum AdmissionDecision {
         /// enough to attribute the failure (`None` for aborts such as
         /// overload or divergence, where `reason` carries the detail).
         victim: Option<AdmissionVictim>,
-        /// The analysis report of the trial set (accepted ∪ candidate).
+        /// The analysis report of the trial (shard-scoped in
+        /// [`AdmissionMode::Warm`], global in [`AdmissionMode::Cold`]).
         report: AnalysisReport,
         /// What the decision cost.
         cost: DecisionCost,
@@ -209,22 +311,73 @@ fn victim_of(report: &AnalysisReport, candidate: FlowId) -> Option<AdmissionVict
     }
 }
 
+/// What verifying a pre-admitted flow set cost
+/// ([`AdmissionController::with_accepted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreloadStats {
+    /// Number of shards the preloaded set partitions into.
+    pub shards: usize,
+    /// Flow count of the largest shard.
+    pub largest_shard: usize,
+    /// Total holistic rounds across all per-shard verifications.
+    pub rounds: usize,
+    /// Total per-flow pipeline analyses across all shards.
+    pub flow_analyses: usize,
+}
+
 /// The converged state of the accepted set, kept between requests by the
 /// warm engine.
-#[derive(Debug, Clone)]
+///
+/// Per-flow invariant: a flow with a cached report always also has its
+/// converged jitter entries (`reports ⊆ jitter-bearing flows`) — a frozen
+/// report is only sound when the interference inputs it was computed from
+/// are in the seed.  The reverse direction may break after departures:
+/// jitters can outlive their report (stale-from-above seeds are still
+/// valid on acyclic shards; the cold fallback covers spurious aborts).
+#[derive(Debug, Clone, Default)]
 struct WarmCache {
-    /// The converged jitter iterate of the last verified analysis.  After
-    /// a departure this may sit *above* the accepted set's fixed point for
-    /// the affected flows — still a valid seed on acyclic instances (the
-    /// fixed point is unique), with the cold fallback covering spurious
-    /// aborts.
+    /// The converged jitter iterate of the last verified analysis of each
+    /// shard.
     jitters: JitterMap,
     /// Converged per-flow reports that are known fresh, shared with the
     /// scoped engine rounds (which carry them by `Arc` instead of cloning
     /// them once per round).  Flows missing here (their reports were
     /// invalidated by a departure) are always re-verified on the next
     /// trial.
-    reports: BTreeMap<FlowId, std::sync::Arc<FlowReport>>,
+    reports: BTreeMap<FlowId, Arc<FlowReport>>,
+}
+
+/// The conflict-footprint tokens of one batched request: two requests
+/// sharing any token must run in the same lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum LaneToken {
+    /// The request's route touches this existing shard.
+    Shard(ShardId),
+    /// The request's route transmits on this directed link (couples two
+    /// candidates even when no accepted flow uses the link yet).
+    Link(NodeId, NodeId),
+}
+
+/// One lane of a batched request: the request indices it processes (in
+/// submission order) and the accepted flows its shards span.
+#[derive(Debug)]
+struct LaneInput {
+    indices: Vec<usize>,
+    members: BTreeSet<FlowId>,
+}
+
+/// What one lane produced: per-request decisions, the bindings it
+/// accepted, its rolled-forward warm state and the first hard error (the
+/// lane stops there).
+struct LaneOutput {
+    decisions: Vec<(usize, AdmissionDecision)>,
+    commits: Vec<(usize, FlowBinding)>,
+    jitters: JitterMap,
+    reports: BTreeMap<FlowId, Arc<FlowReport>>,
+    /// Every flow the merged-back cache slice covers: the lane's starting
+    /// members plus its accepted candidates.
+    touched: BTreeSet<FlowId>,
+    error: Option<(usize, AnalysisError)>,
 }
 
 /// An admission controller for one operator-managed network.
@@ -235,6 +388,10 @@ pub struct AdmissionController {
     config: AnalysisConfig,
     mode: AdmissionMode,
     cache: Option<WarmCache>,
+    /// The shard partition of `accepted`, maintained incrementally under
+    /// every accept and release (in both modes — releases scope their
+    /// invalidation with it).
+    partition: DependencyGraph,
 }
 
 impl AdmissionController {
@@ -247,11 +404,105 @@ impl AdmissionController {
             config,
             mode: AdmissionMode::default(),
             cache: None,
+            partition: DependencyGraph::default(),
         }
     }
 
-    /// Override the trial-analysis mode (cold restarts vs incremental warm
-    /// starts); decisions are byte-identical either way.
+    /// Create a controller over an already-admitted flow set (an operator
+    /// restoring state), verifying it shard by shard — concurrently, with
+    /// `config.threads` workers — and seeding the warm cache from the
+    /// per-shard converged analyses.
+    ///
+    /// Fails with [`AnalysisError::PreloadUnschedulable`] (naming the
+    /// first failing shard in shard order) if any shard is not
+    /// schedulable as given, and with the underlying error for
+    /// structural problems (invalid routes, unknown nodes).
+    pub fn with_accepted(
+        topology: Topology,
+        accepted: FlowSet,
+        config: AnalysisConfig,
+    ) -> Result<(Self, PreloadStats), AnalysisError> {
+        accepted
+            .validate_against(&topology)
+            .map_err(AnalysisError::Net)?;
+        let partition = DependencyGraph::new(&accepted);
+        let shard_sets: Vec<(ShardId, FlowSet)> = partition
+            .shards()
+            .into_iter()
+            .map(|shard| {
+                let members = partition
+                    .shard_flows(shard)
+                    // tidy-allow: unwrap invariant: ids come from partition.shards()
+                    .expect("shard id comes from the partition");
+                (shard, accepted.subset(members.iter().copied()))
+            })
+            .collect();
+        // Shards verify concurrently; the per-shard engine then runs
+        // single-threaded (reports are thread-count invariant, so this
+        // only shapes performance, never results).
+        let inner = if config.threads > 1 && shard_sets.len() > 1 {
+            config.with_threads(1)
+        } else {
+            config
+        };
+        let runs = par_map_weighted(
+            Threads::new(config.threads),
+            &shard_sets,
+            |(_, set)| u64::try_from(set.len()).unwrap_or(u64::MAX),
+            |_, (shard, set)| -> Result<FixedPointRun, AnalysisError> {
+                let ctx = AnalysisContext::new(&topology, set)?;
+                let run = iterate(&ctx, &inner)?;
+                if run.report.schedulable {
+                    Ok(run)
+                } else {
+                    Err(AnalysisError::PreloadUnschedulable {
+                        shard: shard.0,
+                        failure: run
+                            .report
+                            .failure
+                            .clone()
+                            .unwrap_or_else(|| "deadline miss".to_string()),
+                    })
+                }
+            },
+        );
+        let mut stats = PreloadStats {
+            shards: shard_sets.len(),
+            largest_shard: shard_sets.iter().map(|(_, s)| s.len()).max().unwrap_or(0),
+            rounds: 0,
+            flow_analyses: 0,
+        };
+        let mut cache = WarmCache::default();
+        for run in runs {
+            let run = run?;
+            stats.rounds += run.report.iterations;
+            stats.flow_analyses += run.flow_analyses;
+            if let Some(jitters) = run.jitters {
+                for (&(flow, resource), values) in jitters.iter() {
+                    cache.jitters.insert_raw(flow, resource, values.clone());
+                }
+            }
+            for flow in run.report.flows {
+                cache.reports.insert(flow.flow, Arc::new(flow));
+            }
+        }
+        Ok((
+            AdmissionController {
+                topology,
+                accepted,
+                config,
+                mode: AdmissionMode::Warm,
+                cache: Some(cache),
+                partition,
+            },
+            stats,
+        ))
+    }
+
+    /// Override the trial-analysis mode (cold global restarts vs
+    /// incremental shard-scoped warm starts); decisions are
+    /// byte-identical either way, but warm reports cover the candidate's
+    /// shard only.
     pub fn with_mode(mut self, mode: AdmissionMode) -> Self {
         self.mode = mode;
         if mode == AdmissionMode::Cold {
@@ -270,6 +521,12 @@ impl AdmissionController {
         &self.accepted
     }
 
+    /// The shard partition of the accepted set (one entry per
+    /// weakly-connected component of the jitter-dependency graph).
+    pub fn partition(&self) -> &DependencyGraph {
+        &self.partition
+    }
+
     /// The network the controller manages.
     pub fn topology(&self) -> &Topology {
         &self.topology
@@ -282,29 +539,35 @@ impl AdmissionController {
 
     /// Ask to admit `flow` on `route` at `priority` with the default (plain
     /// UDP) packetization.
+    #[deprecated(note = "use `request_batch` with an `AdmissionRequest`")]
     pub fn request(
         &mut self,
         flow: GmfFlow,
         route: Route,
         priority: Priority,
     ) -> Result<AdmissionDecision, AnalysisError> {
-        self.request_with_encapsulation(flow, route, priority, EncapsulationConfig::paper())
+        self.one_request(AdmissionRequest::new(flow, route, priority))
     }
 
     /// Ask to admit every flow of `requests` in order, stopping at the
     /// first structural error.  Rejections do not stop the batch (each
     /// later trial simply runs against the set accepted so far).
+    #[deprecated(note = "use `request_batch` with `AdmissionRequest`s")]
     pub fn request_all(
         &mut self,
         requests: impl IntoIterator<Item = (GmfFlow, Route, Priority)>,
     ) -> Result<Vec<AdmissionDecision>, AnalysisError> {
         requests
             .into_iter()
-            .map(|(flow, route, priority)| self.request(flow, route, priority))
+            .map(|(flow, route, priority)| {
+                self.one_request(AdmissionRequest::new(flow, route, priority))
+            })
             .collect()
     }
 
     /// Ask to admit `flow` with an explicit packetization configuration.
+    #[deprecated(note = "use `request_batch` with \
+                         `AdmissionRequest::with_encapsulation`")]
     pub fn request_with_encapsulation(
         &mut self,
         flow: GmfFlow,
@@ -312,151 +575,397 @@ impl AdmissionController {
         priority: Priority,
         encapsulation: EncapsulationConfig,
     ) -> Result<AdmissionDecision, AnalysisError> {
-        // Validate the route against the topology up front so structural
-        // errors surface as errors, not rejections.
-        Route::new(&self.topology, route.nodes().to_vec())?;
+        self.one_request(
+            AdmissionRequest::new(flow, route, priority).with_encapsulation(encapsulation),
+        )
+    }
 
-        let mut trial = self.accepted.clone();
-        let candidate_id = trial.add_with_encapsulation(flow, route, priority, encapsulation);
-        let ctx = AnalysisContext::new(&self.topology, &trial)?;
+    /// A one-element batch: the body behind the deprecated single-request
+    /// shims.
+    fn one_request(
+        &mut self,
+        request: AdmissionRequest,
+    ) -> Result<AdmissionDecision, AnalysisError> {
+        let mut decisions = self.request_batch([request])?;
+        // tidy-allow: unwrap invariant: a one-element batch yields one decision
+        Ok(decisions.pop().expect("one decision per request"))
+    }
 
-        // The warm path: seed from the cached converged map, re-verify only
-        // the flows the candidate can influence.  A warm run that fails to
-        // converge proves nothing (its seed may sit above the fixed point
-        // after departures), so the engine then restarts cold; either way
-        // the decision and its bounds match a cold analysis byte for byte.
-        let mut cost = DecisionCost {
-            rounds: 0,
-            flow_analyses: 0,
-            warm: false,
-        };
-        let mut run: Option<FixedPointRun> = None;
-        if self.mode == AdmissionMode::Warm && self.cache.is_some() {
-            match self.try_warm_trial(&ctx, &trial, candidate_id) {
-                Ok(Some(warm)) => {
-                    cost.rounds += warm.report.iterations;
-                    cost.flow_analyses += warm.flow_analyses;
-                    if warm.report.converged {
-                        cost.warm = true;
-                        run = Some(warm);
-                    }
-                }
-                Ok(None) => {}
-                // A seed above the fixed point (stale after departures)
-                // can turn jitter-dependent inner iterations into hard
-                // errors a cold run never hits.  The verdict must not
-                // depend on the seed, so restart cold — structural errors
-                // reproduce identically there.
-                Err(_) => {}
-            }
+    /// Ask to admit a batch of candidates, returning one decision per
+    /// request in submission order.
+    ///
+    /// The batch is equivalent to submitting the requests one at a time
+    /// in order: each trial runs against the accepted set plus every
+    /// *earlier accepted* request of the same batch.  Requests whose
+    /// routes touch disjoint shards (and share no directed link) cannot
+    /// influence each other, so the controller runs them concurrently —
+    /// grouped into lanes with `config.threads` workers in
+    /// [`AdmissionMode::Warm`] — with byte-identical decisions at any
+    /// thread count.
+    ///
+    /// Every request consumes exactly one flow id, accepted or rejected:
+    /// request `i` of a batch is analysed (and, on acceptance,
+    /// registered) under id `base + i`, so callers can correlate
+    /// decisions before the batch returns.
+    ///
+    /// # Errors
+    ///
+    /// All routes are validated up front; an invalid route fails the
+    /// whole batch before any id is consumed or any trial runs.  A hard
+    /// analysis error (not a rejection — those are decisions) at request
+    /// `i` commits the acceptances of requests `0..i`, drops the warm
+    /// cache and returns the error; decisions of the earlier requests
+    /// are discarded with it.
+    pub fn request_batch(
+        &mut self,
+        requests: impl IntoIterator<Item = AdmissionRequest>,
+    ) -> Result<Vec<AdmissionDecision>, AnalysisError> {
+        let requests: Vec<AdmissionRequest> = requests.into_iter().collect();
+        if requests.is_empty() {
+            return Ok(Vec::new());
         }
-        let run = match run {
-            Some(run) => run,
-            None => {
-                let cold = iterate(&ctx, &self.config)?;
-                cost.rounds += cold.report.iterations;
-                cost.flow_analyses += cold.flow_analyses;
-                cold
-            }
-        };
-        drop(ctx);
-
-        let FixedPointRun {
-            report, jitters, ..
-        } = run;
-        if report.schedulable {
-            self.accepted = trial;
-            if self.mode == AdmissionMode::Warm {
-                // A schedulable report is always converged, so the engine
-                // handed back the map it evaluated the bounds at.
-                self.cache = jitters.map(|jitters| WarmCache {
-                    jitters,
-                    reports: report
-                        .flows
-                        .iter()
-                        .map(|f| (f.flow, std::sync::Arc::new(f.clone())))
-                        .collect(),
-                });
-            }
-            Ok(AdmissionDecision::Accepted {
-                id: candidate_id,
-                report,
-                cost,
-            })
-        } else {
-            let reason = report
-                .failure
-                .clone()
-                .unwrap_or_else(|| "deadline miss".to_string());
-            // Attribute the failure only when the analysis converged: an
-            // aborted or non-converged trial carries partial / non-final
-            // bounds, and a deadline "miss" read off them could name the
-            // wrong flow.
-            let victim = if report.converged {
-                victim_of(&report, candidate_id)
-            } else {
-                None
-            };
-            Ok(AdmissionDecision::Rejected {
-                id: candidate_id,
-                reason,
-                victim,
-                report,
-                cost,
-            })
+        // Validate every route against the topology up front so
+        // structural errors surface as errors, not rejections — and
+        // before any flow id is consumed.
+        for request in &requests {
+            Route::new(&self.topology, request.route.nodes().to_vec())
+                .map_err(AnalysisError::Net)?;
+        }
+        let base = self.accepted.reserve_ids(requests.len());
+        let bindings: Vec<FlowBinding> = requests
+            .into_iter()
+            .enumerate()
+            .map(|(i, request)| request.into_binding(FlowId(base.0 + i)))
+            .collect();
+        match self.mode {
+            AdmissionMode::Cold => self.batch_cold(bindings),
+            AdmissionMode::Warm => self.batch_warm(bindings),
         }
     }
 
-    /// Run the warm-started, dependency-scoped trial analysis, or return
-    /// `None` when warm-starting is unsound or unavailable for this trial
-    /// (cyclic dependency graph, unwalkable route).
-    fn try_warm_trial(
-        &self,
-        ctx: &AnalysisContext<'_>,
-        trial: &FlowSet,
-        candidate_id: FlowId,
-    ) -> Result<Option<FixedPointRun>, AnalysisError> {
-        // tidy-allow: unwrap invariant: warm path requires a cache
-        let cache = self.cache.as_ref().expect("warm path requires a cache");
-        // One dependency-graph construction answers both questions: is the
-        // trial acyclic (warm starts are unsound otherwise) and what the
-        // candidate can influence.
-        let Some(affected) = acyclic_affected_flows(trial, candidate_id) else {
-            return Ok(None);
-        };
-
-        // Re-verify the affected flows plus everything whose cached report
-        // a departure invalidated; freeze the rest (shared, not cloned —
-        // the engine carries frozen reports by `Arc`).
-        let mut active: BTreeSet<FlowId> = affected;
-        let mut frozen: BTreeMap<FlowId, std::sync::Arc<FlowReport>> = BTreeMap::new();
-        for binding in trial.bindings() {
-            if active.contains(&binding.id) {
-                continue;
+    /// The cold batch path: sequential global trials, exactly the seed
+    /// behaviour.
+    fn batch_cold(
+        &mut self,
+        bindings: Vec<FlowBinding>,
+    ) -> Result<Vec<AdmissionDecision>, AnalysisError> {
+        let mut decisions = Vec::with_capacity(bindings.len());
+        for binding in bindings {
+            let mut trial = self.accepted.clone();
+            trial.insert(binding.clone()).map_err(AnalysisError::Net)?;
+            let ctx = AnalysisContext::new(&self.topology, &trial)?;
+            let run = iterate(&ctx, &self.config)?;
+            drop(ctx);
+            let cost = DecisionCost {
+                rounds: run.report.iterations,
+                flow_analyses: run.flow_analyses,
+                warm: false,
+                shard: ShardId(trial.bindings()[0].id),
+                shard_flows: trial.len(),
+            };
+            let decision = build_decision(binding.id, run.report, cost);
+            if decision.is_accepted() {
+                self.partition.insert(&binding);
+                self.accepted = trial;
             }
-            match cache.reports.get(&binding.id) {
-                Some(report) => {
-                    frozen.insert(binding.id, std::sync::Arc::clone(report));
-                }
-                None => {
-                    active.insert(binding.id);
+            decisions.push(decision);
+        }
+        Ok(decisions)
+    }
+
+    /// The warm batch path: shard-scoped lanes running concurrently.
+    fn batch_warm(
+        &mut self,
+        bindings: Vec<FlowBinding>,
+    ) -> Result<Vec<AdmissionDecision>, AnalysisError> {
+        let n = bindings.len();
+        // Group the requests into lanes with a union-find over request
+        // indices: two requests conflict iff they touch a common accepted
+        // shard or share a directed link.
+        let touched_shards: Vec<Vec<ShardId>> = bindings
+            .iter()
+            .map(|b| self.partition.shards_touching_route(&b.route))
+            .collect();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]]; // path halving
+                i = parent[i];
+            }
+            i
+        }
+        let mut token_owner: BTreeMap<LaneToken, usize> = BTreeMap::new();
+        for (i, binding) in bindings.iter().enumerate() {
+            let tokens = binding
+                .route
+                .hops()
+                .map(|hop| LaneToken::Link(hop.from, hop.to))
+                .chain(touched_shards[i].iter().map(|&s| LaneToken::Shard(s)));
+            for token in tokens {
+                match token_owner.entry(token) {
+                    std::collections::btree_map::Entry::Occupied(owner) => {
+                        let (a, b) = (find(&mut parent, i), find(&mut parent, *owner.get()));
+                        // Either root works; pick the smaller index so the
+                        // result is independent of token order.
+                        parent[a.max(b)] = a.min(b);
+                    }
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(i);
+                    }
                 }
             }
         }
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(i);
+        }
+        let lanes: Vec<LaneInput> = groups
+            .into_values()
+            .map(|indices| {
+                let mut members = BTreeSet::new();
+                for &i in &indices {
+                    for &shard in &touched_shards[i] {
+                        members.extend(
+                            self.partition
+                                .shard_flows(shard)
+                                // tidy-allow: unwrap invariant: shard ids come from shards_touching_route
+                                .expect("touched shard exists")
+                                .iter()
+                                .copied(),
+                        );
+                    }
+                }
+                LaneInput { indices, members }
+            })
+            .collect();
+        // `groups` is keyed by the union-find root, which is each lane's
+        // smallest index — so `lanes` is already ordered by first request.
 
-        // Seed: cached converged jitters for the accepted flows, the
-        // paper's initial (source-jitter) entries for the candidate.  The
-        // cache never holds entries under the candidate's id — rejected
-        // trial ids are reused, but rejections leave the cache untouched.
-        let mut seed = cache.jitters.clone();
-        debug_assert!(seed.iter().all(|(&(flow, _), _)| flow != candidate_id));
-        seed.set_initial(trial.get(candidate_id).map_err(AnalysisError::Net)?);
-
-        let scope = Scope {
-            active: &active,
-            frozen: &frozen,
+        // Lanes run concurrently; inside a lane the engine then runs
+        // single-threaded (its reports are thread-count invariant, so
+        // this only shapes performance, never results).
+        let inner = if self.config.threads > 1 && lanes.len() > 1 {
+            self.config.with_threads(1)
+        } else {
+            self.config
         };
-        iterate_scoped(ctx, &self.config, seed, &scope).map(Some)
+        let outputs: Vec<LaneOutput> = {
+            let ctl: &AdmissionController = &*self;
+            par_map_weighted(
+                Threads::new(ctl.config.threads),
+                &lanes,
+                |lane| u64::try_from(lane.members.len() + lane.indices.len()).unwrap_or(u64::MAX),
+                |_, lane| ctl.run_lane(lane, &bindings, &inner),
+            )
+        };
+
+        // Merge, in request order.  On a hard error at request `e`, keep
+        // the acceptances before `e` (the sequential-equivalent state)
+        // and drop the cache.
+        let cutoff = outputs
+            .iter()
+            .filter_map(|o| o.error.as_ref().map(|&(i, _)| i))
+            .min()
+            .unwrap_or(n);
+        let mut commits: Vec<&(usize, FlowBinding)> =
+            outputs.iter().flat_map(|o| &o.commits).collect();
+        commits.sort_by_key(|&&(i, _)| i);
+        for &(i, ref binding) in commits {
+            if i >= cutoff {
+                continue;
+            }
+            self.accepted
+                .insert(binding.clone())
+                // tidy-allow: unwrap invariant: batch ids are reserved and unique
+                .expect("batch ids are reserved and unique");
+            self.partition.insert(binding);
+        }
+        if let Some((_, error)) = outputs
+            .iter()
+            .filter_map(|o| o.error.clone())
+            .min_by_key(|e| e.0)
+        {
+            self.cache = None;
+            return Err(error);
+        }
+
+        // No errors: fold every lane's rolled-forward warm state back
+        // into the shared cache (lanes are disjoint, so slices never
+        // overlap) and assemble the decisions in submission order.
+        let mut cache = self.cache.take().unwrap_or_default();
+        let mut decisions: Vec<Option<AdmissionDecision>> = (0..n).map(|_| None).collect();
+        for output in outputs {
+            for flow in &output.touched {
+                cache.jitters.remove_flow(*flow);
+                cache.reports.remove(flow);
+            }
+            for (&(flow, resource), values) in output.jitters.iter() {
+                cache.jitters.insert_raw(flow, resource, values.clone());
+            }
+            cache.reports.extend(output.reports);
+            for (index, decision) in output.decisions {
+                decisions[index] = Some(decision);
+            }
+        }
+        self.cache = Some(cache);
+        Ok(decisions
+            .into_iter()
+            // tidy-allow: unwrap invariant: error-free lanes decide every request
+            .map(|d| d.expect("error-free lanes decide every request"))
+            .collect())
+    }
+
+    /// Process one lane: its requests in submission order, against a
+    /// lane-local accepted subset, partition and warm-cache slice that
+    /// roll forward across the lane's acceptances.
+    fn run_lane(
+        &self,
+        lane: &LaneInput,
+        bindings: &[FlowBinding],
+        config: &AnalysisConfig,
+    ) -> LaneOutput {
+        let mut lane_set = self.accepted.subset(lane.members.iter().copied());
+        let mut lane_partition = DependencyGraph::new(&lane_set);
+        // Seed the lane's warm state once from the shared cache; every
+        // request of the lane then reuses (and, on acceptance, advances)
+        // this slice — the amortised warm-cache seeding.
+        let mut lane_jitters = JitterMap::default();
+        let mut lane_reports: BTreeMap<FlowId, Arc<FlowReport>> = BTreeMap::new();
+        if let Some(cache) = &self.cache {
+            for &flow in &lane.members {
+                cache.jitters.copy_flow_into(flow, &mut lane_jitters);
+                if let Some(report) = cache.reports.get(&flow) {
+                    lane_reports.insert(flow, Arc::clone(report));
+                }
+            }
+        }
+        let mut out = LaneOutput {
+            decisions: Vec::with_capacity(lane.indices.len()),
+            commits: Vec::new(),
+            jitters: JitterMap::default(),
+            reports: BTreeMap::new(),
+            touched: lane.members.clone(),
+            error: None,
+        };
+        for &index in &lane.indices {
+            let binding = bindings[index].clone();
+            // The candidate's trial set: the union of the shards its
+            // route touches (within the lane's rolled-forward state),
+            // plus the candidate itself.
+            let touched = lane_partition.shards_touching_route(&binding.route);
+            let mut trial = lane_set.subset(touched.iter().flat_map(|&shard| {
+                lane_partition
+                    .shard_flows(shard)
+                    // tidy-allow: unwrap invariant: shard ids come from shards_touching_route
+                    .expect("touched shard exists")
+                    .iter()
+                    .copied()
+            }));
+            if let Err(e) = trial.insert(binding.clone()) {
+                out.error = Some((index, AnalysisError::Net(e)));
+                break;
+            }
+            let ctx = match AnalysisContext::new(&self.topology, &trial) {
+                Ok(ctx) => ctx,
+                Err(e) => {
+                    out.error = Some((index, e));
+                    break;
+                }
+            };
+
+            // Warm attempt: seed from the lane's jitter slice, restricted
+            // to the trial's members.  An empty seed means the shard has
+            // no cached state at all — go straight to the cold path.
+            let mut seed = JitterMap::default();
+            for flow in trial.ids().filter(|&f| f != binding.id) {
+                lane_jitters.copy_flow_into(flow, &mut seed);
+            }
+            let mut cost = DecisionCost {
+                rounds: 0,
+                flow_analyses: 0,
+                warm: false,
+                shard: ShardId(trial.bindings()[0].id),
+                shard_flows: trial.len(),
+            };
+            let mut run: Option<FixedPointRun> = None;
+            if seed.iter().next().is_some() {
+                match warm_shard_trial(&ctx, config, &trial, binding.id, seed, &lane_reports) {
+                    Ok(Some(warm)) => {
+                        cost.rounds += warm.report.iterations;
+                        cost.flow_analyses += warm.flow_analyses;
+                        if warm.report.converged {
+                            cost.warm = true;
+                            run = Some(warm);
+                        }
+                    }
+                    Ok(None) => {}
+                    // A seed above the fixed point (stale after
+                    // departures) can turn jitter-dependent inner
+                    // iterations into hard errors a cold run never hits.
+                    // The verdict must not depend on the seed, so restart
+                    // cold — structural errors reproduce identically
+                    // there.
+                    Err(_) => {}
+                }
+            }
+            let run = match run {
+                Some(run) => run,
+                None => match iterate(&ctx, config) {
+                    Ok(cold) => {
+                        cost.rounds += cold.report.iterations;
+                        cost.flow_analyses += cold.flow_analyses;
+                        cold
+                    }
+                    Err(e) => {
+                        out.error = Some((index, e));
+                        break;
+                    }
+                },
+            };
+            drop(ctx);
+
+            let FixedPointRun {
+                report, jitters, ..
+            } = run;
+            if report.schedulable {
+                // Roll the lane state forward: register the candidate and
+                // refresh the warm slice of every trial flow from the
+                // converged run.
+                for flow in trial.ids() {
+                    lane_jitters.remove_flow(flow);
+                }
+                match jitters {
+                    Some(jitters) => {
+                        for (&(flow, resource), values) in jitters.iter() {
+                            lane_jitters.insert_raw(flow, resource, values.clone());
+                        }
+                        for flow in &report.flows {
+                            lane_reports.insert(flow.flow, Arc::new(flow.clone()));
+                        }
+                    }
+                    // No converged map handed back (cannot happen for a
+                    // schedulable report, but stay safe): drop the lane's
+                    // warm state rather than risk a stale slice.
+                    None => {
+                        lane_jitters = JitterMap::default();
+                        lane_reports.clear();
+                    }
+                }
+                lane_partition.insert(&binding);
+                lane_set
+                    .insert(binding.clone())
+                    // tidy-allow: unwrap invariant: batch ids are reserved and unique
+                    .expect("batch ids are reserved and unique");
+                out.touched.insert(binding.id);
+                out.commits.push((index, binding.clone()));
+            }
+            out.decisions
+                .push((index, build_decision(binding.id, report, cost)));
+        }
+        out.jitters = lane_jitters;
+        out.reports = lane_reports;
+        out
     }
 
     /// Release (tear down) an accepted flow — the departure half of the
@@ -465,15 +974,23 @@ impl AdmissionController {
     /// The warm cache survives the departure: only the cached reports of
     /// flows the departed flow could influence are invalidated (they are
     /// re-verified on the next request); everything else stays frozen.
-    pub fn release(&mut self, id: FlowId) -> Result<gmf_net::FlowBinding, AnalysisError> {
-        // Compute the invalidation set on the *pre-removal* set: the
+    /// The invalidation set is computed within the departing flow's shard
+    /// — flows outside it cannot be influenced — so a release costs
+    /// O(shard), not O(accepted).
+    pub fn release(&mut self, id: FlowId) -> Result<FlowBinding, AnalysisError> {
+        // Compute the invalidation set on the *pre-removal* shard: the
         // departed flow's interference edges still exist there.
         let affected = if self.cache.is_some() && self.accepted.contains(id) {
-            affected_flows(&self.accepted, id)
+            self.partition
+                .shard_of(id)
+                .and_then(|shard| self.partition.shard_flows(shard))
+                .map(|members| self.accepted.subset(members.iter().copied()))
+                .and_then(|shard_set| affected_flows(&shard_set, id))
         } else {
             None
         };
         let binding = self.accepted.remove(id).map_err(AnalysisError::Net)?;
+        self.partition.remove(&binding, &self.accepted);
         if let Some(cache) = self.cache.as_mut() {
             match affected {
                 Some(affected) => {
@@ -497,6 +1014,92 @@ impl AdmissionController {
     }
 }
 
+/// Turn a trial's report into the decision for `candidate`.
+fn build_decision(
+    candidate: FlowId,
+    report: AnalysisReport,
+    cost: DecisionCost,
+) -> AdmissionDecision {
+    if report.schedulable {
+        AdmissionDecision::Accepted {
+            id: candidate,
+            report,
+            cost,
+        }
+    } else {
+        let reason = report
+            .failure
+            .clone()
+            .unwrap_or_else(|| "deadline miss".to_string());
+        // Attribute the failure only when the analysis converged: an
+        // aborted or non-converged trial carries partial / non-final
+        // bounds, and a deadline "miss" read off them could name the
+        // wrong flow.
+        let victim = if report.converged {
+            victim_of(&report, candidate)
+        } else {
+            None
+        };
+        AdmissionDecision::Rejected {
+            id: candidate,
+            reason,
+            victim,
+            report,
+            cost,
+        }
+    }
+}
+
+/// Run the warm-started, dependency-scoped trial analysis of one shard,
+/// or return `None` when warm-starting is unsound or unavailable for this
+/// trial (cyclic dependency graph, unwalkable route).  `seed` holds the
+/// cached jitters of the trial's members (never the candidate's).
+fn warm_shard_trial(
+    ctx: &AnalysisContext<'_>,
+    config: &AnalysisConfig,
+    trial: &FlowSet,
+    candidate_id: FlowId,
+    mut seed: JitterMap,
+    cached_reports: &BTreeMap<FlowId, Arc<FlowReport>>,
+) -> Result<Option<FixedPointRun>, AnalysisError> {
+    // One dependency-graph construction answers both questions: is the
+    // trial acyclic (warm starts are unsound otherwise) and what the
+    // candidate can influence.
+    let Some(affected) = acyclic_affected_flows(trial, candidate_id) else {
+        return Ok(None);
+    };
+
+    // Re-verify the affected flows plus everything whose cached report a
+    // departure invalidated; freeze the rest (shared, not cloned — the
+    // engine carries frozen reports by `Arc`).
+    let mut active: BTreeSet<FlowId> = affected;
+    let mut frozen: BTreeMap<FlowId, Arc<FlowReport>> = BTreeMap::new();
+    for binding in trial.bindings() {
+        if active.contains(&binding.id) {
+            continue;
+        }
+        match cached_reports.get(&binding.id) {
+            Some(report) => {
+                frozen.insert(binding.id, Arc::clone(report));
+            }
+            None => {
+                active.insert(binding.id);
+            }
+        }
+    }
+
+    // Seed: cached converged jitters for the members, the paper's initial
+    // (source-jitter) entries for the candidate.
+    debug_assert!(seed.iter().all(|(&(flow, _), _)| flow != candidate_id));
+    seed.set_initial(trial.get(candidate_id).map_err(AnalysisError::Net)?);
+
+    let scope = Scope {
+        active: &active,
+        frozen: &frozen,
+    };
+    iterate_scoped(ctx, config, seed, &scope).map(Some)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +1120,19 @@ mod tests {
         )
     }
 
+    /// One-candidate batch: the test-side spelling of the old `request`.
+    fn one(
+        ctl: &mut AdmissionController,
+        flow: GmfFlow,
+        route: Route,
+        priority: Priority,
+    ) -> AdmissionDecision {
+        ctl.request_batch([AdmissionRequest::new(flow, route, priority)])
+            .unwrap()
+            .pop()
+            .unwrap()
+    }
+
     #[test]
     fn admits_feasible_flows_and_accumulates_them() {
         let (mut ctl, net) = controller();
@@ -524,7 +1140,7 @@ mod tests {
         assert_eq!(ctl.mode(), AdmissionMode::Warm);
 
         let route = shortest_path(ctl.topology(), net.hosts[1], net.hosts[3]).unwrap();
-        let d = ctl.request(voice(20.0), route, Priority(7)).unwrap();
+        let d = one(&mut ctl, voice(20.0), route, Priority(7));
         assert!(d.is_accepted());
         assert_eq!(ctl.n_accepted(), 1);
         assert!(d.report().schedulable);
@@ -539,11 +1155,15 @@ mod tests {
 
         let route = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
         let video = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
-        let d = ctl.request(video, route, Priority(5)).unwrap();
+        let d = one(&mut ctl, video, route, Priority(5));
         assert!(d.is_accepted());
         assert_eq!(ctl.n_accepted(), 2);
-        // The second trial ran warm off the cached converged map.
+        // The second trial ran warm off the cached converged map, scoped
+        // to the (single, merged) shard both flows share.
         assert!(d.cost().warm);
+        assert_eq!(d.cost().shard, ShardId(FlowId(0)));
+        assert_eq!(d.cost().shard_flows, 2);
+        assert_eq!(ctl.partition().n_shards(), 1);
 
         // Re-analysing the accepted set is still schedulable.
         assert!(ctl.reanalyze().unwrap().schedulable);
@@ -555,16 +1175,13 @@ mod tests {
         // The voice call enters through host 1 so it does not share the
         // (priority-blind) access link of the video source.
         let voice_route = shortest_path(ctl.topology(), net.hosts[1], net.hosts[3]).unwrap();
-        assert!(ctl
-            .request(voice(20.0), voice_route, Priority(7))
-            .unwrap()
-            .is_accepted());
+        assert!(one(&mut ctl, voice(20.0), voice_route, Priority(7)).is_accepted());
 
         let route = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
         // A video flow with an impossible 2 ms deadline over two 10 Mbit/s
         // access links is rejected...
         let video = paper_figure3_flow("video", Time::from_millis(2.0), Time::from_millis(1.0));
-        let d = ctl.request(video, route.clone(), Priority(6)).unwrap();
+        let d = one(&mut ctl, video, route.clone(), Priority(6));
         assert!(!d.is_accepted());
         match &d {
             AdmissionDecision::Rejected {
@@ -590,12 +1207,13 @@ mod tests {
         assert_eq!(ctl.n_accepted(), 1);
         assert!(ctl.reanalyze().unwrap().schedulable);
 
-        // The same video flow with a realistic deadline is admitted, and
-        // the rejected trial id is reused (it never entered the set).
+        // The same video flow with a realistic deadline is admitted under
+        // a fresh id: every request consumes one id, accepted or not.
         let video = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
-        let d2 = ctl.request(video, route, Priority(6)).unwrap();
+        let d2 = one(&mut ctl, video, route, Priority(6));
         assert!(d2.is_accepted());
-        assert_eq!(d2.id(), d.id());
+        assert_ne!(d2.id(), d.id());
+        assert_eq!(d2.id(), FlowId(2));
         assert_eq!(ctl.n_accepted(), 2);
     }
 
@@ -605,9 +1223,7 @@ mod tests {
         // Admit a voice flow with a tight deadline on the shared 10 Mbit/s
         // access link of host 0.
         let route03 = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
-        let tight = ctl
-            .request(voice(4.0), route03.clone(), Priority(7))
-            .unwrap();
+        let tight = one(&mut ctl, voice(4.0), route03.clone(), Priority(7));
         assert!(tight.is_accepted());
 
         // A big low-priority video flow sharing the same source link pushes
@@ -615,7 +1231,7 @@ mod tests {
         // must be rejected even though the *new* flow itself has a lax
         // deadline.
         let video = paper_figure3_flow("video", Time::from_millis(500.0), Time::from_millis(1.0));
-        let d = ctl.request(video, route03, Priority(1)).unwrap();
+        let d = one(&mut ctl, video, route03, Priority(1));
         assert!(!d.is_accepted());
         assert_eq!(ctl.n_accepted(), 1);
         match &d {
@@ -637,23 +1253,23 @@ mod tests {
     fn warm_decisions_match_cold_decisions_bytewise() {
         let requests = |net: &gmf_net::PaperNetwork, t: &Topology| {
             vec![
-                (
+                AdmissionRequest::new(
                     voice(20.0),
                     shortest_path(t, net.hosts[1], net.hosts[3]).unwrap(),
                     Priority(7),
                 ),
-                (
+                AdmissionRequest::new(
                     paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0)),
                     shortest_path(t, net.hosts[0], net.hosts[3]).unwrap(),
                     Priority(5),
                 ),
-                (
+                AdmissionRequest::new(
                     // An impossible deadline: rejected by both engines.
                     paper_figure3_flow("video2", Time::from_millis(2.0), Time::from_millis(1.0)),
                     shortest_path(t, net.hosts[2], net.hosts[3]).unwrap(),
                     Priority(6),
                 ),
-                (
+                AdmissionRequest::new(
                     voice(25.0),
                     shortest_path(t, net.hosts[2], net.hosts[0]).unwrap(),
                     Priority(7),
@@ -664,47 +1280,185 @@ mod tests {
         let mut warm = AdmissionController::new(t.clone(), AnalysisConfig::paper());
         let mut cold = AdmissionController::new(t.clone(), AnalysisConfig::paper())
             .with_mode(AdmissionMode::Cold);
-        let warm_decisions = warm.request_all(requests(&net, &t)).unwrap();
-        let cold_decisions = cold.request_all(requests(&net, &t)).unwrap();
+        let submit = |ctl: &mut AdmissionController| -> Vec<AdmissionDecision> {
+            requests(&net, &t)
+                .into_iter()
+                .map(|r| ctl.request_batch([r]).unwrap().pop().unwrap())
+                .collect()
+        };
+        let warm_decisions = submit(&mut warm);
+        let cold_decisions = submit(&mut cold);
         assert_eq!(warm_decisions.len(), 4);
         let mut saw_scoped_saving = false;
         for (w, c) in warm_decisions.iter().zip(&cold_decisions) {
             assert_eq!(w.is_accepted(), c.is_accepted());
             assert_eq!(w.id(), c.id());
-            // Bounds, verdicts and failure attribution are byte-identical;
-            // only the iteration traces may differ.
-            assert_eq!(w.report().flows, c.report().flows);
+            // Warm reports cover the candidate's shard; every bound they
+            // carry is byte-identical to the cold/global report's entry
+            // for the same flow.
+            assert!(!w.report().flows.is_empty());
+            for flow in &w.report().flows {
+                assert_eq!(Some(flow), c.report().flow(flow.flow));
+            }
             assert_eq!(w.report().schedulable, c.report().schedulable);
             assert_eq!(w.report().failure, c.report().failure);
             saw_scoped_saving |= w.cost().flow_analyses < c.cost().flow_analyses;
         }
         assert_eq!(warm.accepted(), cold.accepted());
+        // The last candidate's route is link-disjoint from everything
+        // admitted, so its warm trial analysed a fresh singleton shard
+        // while the cold trial re-ran the world.
+        assert!(warm_decisions[3].report().flows.len() < cold_decisions[3].report().flows.len());
+        assert_eq!(warm_decisions[3].cost().shard_flows, 1);
         // The warm engine did strictly less per-flow work on at least one
         // decision of this scenario.
         assert!(saw_scoped_saving);
     }
 
     #[test]
+    fn batched_requests_consume_ids_in_order_and_match_sequential() {
+        let (t, net) = paper_figure1();
+        let requests = |t: &Topology| {
+            vec![
+                AdmissionRequest::new(
+                    voice(20.0),
+                    shortest_path(t, net.hosts[1], net.hosts[3]).unwrap(),
+                    Priority(7),
+                ),
+                AdmissionRequest::new(
+                    // Impossible deadline: rejected, but still consumes id 1.
+                    paper_figure3_flow("video2", Time::from_millis(2.0), Time::from_millis(1.0)),
+                    shortest_path(t, net.hosts[2], net.hosts[3]).unwrap(),
+                    Priority(6),
+                ),
+                AdmissionRequest::new(
+                    voice(25.0),
+                    shortest_path(t, net.hosts[2], net.hosts[0]).unwrap(),
+                    Priority(7),
+                ),
+                AdmissionRequest::new(
+                    // Link-disjoint from every other request: its own lane.
+                    voice(25.0),
+                    shortest_path(t, net.hosts[3], net.hosts[2]).unwrap(),
+                    Priority(7),
+                ),
+            ]
+        };
+        // The batched controller runs its lanes on four workers; lanes
+        // are deterministic, so the decisions must match a sequential
+        // single-threaded submission byte for byte.
+        let mut batched =
+            AdmissionController::new(t.clone(), AnalysisConfig::paper().with_threads(4));
+        let batch = batched.request_batch(requests(&t)).unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(
+            batch.iter().map(|d| d.id()).collect::<Vec<_>>(),
+            vec![FlowId(0), FlowId(1), FlowId(2), FlowId(3)]
+        );
+        assert!(batch[0].is_accepted());
+        assert!(!batch[1].is_accepted());
+        assert!(batch[2].is_accepted() && batch[3].is_accepted());
+        assert_eq!(batched.n_accepted(), 3);
+        assert_eq!(batched.partition().n_shards(), 3);
+
+        let mut seq = AdmissionController::new(t.clone(), AnalysisConfig::paper());
+        let sequential: Vec<AdmissionDecision> = requests(&t)
+            .into_iter()
+            .map(|r| seq.request_batch([r]).unwrap().pop().unwrap())
+            .collect();
+        assert_eq!(batch, sequential);
+        assert_eq!(batched.accepted(), seq.accepted());
+
+        // An empty batch is a no-op.
+        assert_eq!(batched.request_batch([]).unwrap(), vec![]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_route_through_the_batch_path() {
+        let (mut ctl, net) = controller();
+        let r13 = shortest_path(ctl.topology(), net.hosts[1], net.hosts[3]).unwrap();
+        let r20 = shortest_path(ctl.topology(), net.hosts[2], net.hosts[0]).unwrap();
+        let r32 = shortest_path(ctl.topology(), net.hosts[3], net.hosts[2]).unwrap();
+        let d = ctl.request(voice(20.0), r13, Priority(7)).unwrap();
+        assert!(d.is_accepted());
+        assert_eq!(d.id(), FlowId(0));
+        let d = ctl
+            .request_with_encapsulation(voice(25.0), r20, Priority(7), EncapsulationConfig::paper())
+            .unwrap();
+        assert!(d.is_accepted());
+        assert_eq!(d.id(), FlowId(1));
+        let all = ctl
+            .request_all(vec![(voice(25.0), r32, Priority(7))])
+            .unwrap();
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_accepted());
+        assert_eq!(all[0].id(), FlowId(2));
+        assert_eq!(ctl.n_accepted(), 3);
+    }
+
+    #[test]
+    fn with_accepted_verifies_preload_and_seeds_the_cache() {
+        let (t, net) = paper_figure1();
+        let voice_route = shortest_path(&t, net.hosts[1], net.hosts[3]).unwrap();
+        let video_route = shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap();
+        let video = paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
+        let mut preloaded = FlowSet::new();
+        preloaded.add(voice(20.0), voice_route.clone(), Priority(7));
+        preloaded.add(video.clone(), video_route.clone(), Priority(5));
+        let (mut ctl, stats) =
+            AdmissionController::with_accepted(t.clone(), preloaded, AnalysisConfig::paper())
+                .unwrap();
+        assert_eq!(ctl.n_accepted(), 2);
+        assert_eq!(ctl.mode(), AdmissionMode::Warm);
+        assert_eq!(stats.shards, ctl.partition().n_shards());
+        assert!(stats.largest_shard >= 2);
+        assert!(stats.rounds >= 1 && stats.flow_analyses >= 2);
+
+        // The preloaded controller decides the next candidate exactly like
+        // a controller that admitted the same flows one by one — warm bit,
+        // bounds and trace included.
+        let mut seq = AdmissionController::new(t.clone(), AnalysisConfig::paper());
+        assert!(one(&mut seq, voice(20.0), voice_route, Priority(7)).is_accepted());
+        assert!(one(&mut seq, video, video_route.clone(), Priority(5)).is_accepted());
+        let d_pre = one(&mut ctl, voice(25.0), video_route.clone(), Priority(7));
+        let d_seq = one(&mut seq, voice(25.0), video_route.clone(), Priority(7));
+        assert_eq!(d_pre, d_seq);
+        assert!(d_pre.cost().warm);
+
+        // A preloaded set that is not schedulable is refused up front,
+        // naming the failing shard.
+        let mut bad = FlowSet::new();
+        bad.add(voice(4.0), video_route.clone(), Priority(7));
+        bad.add(
+            paper_figure3_flow("video", Time::from_millis(500.0), Time::from_millis(1.0)),
+            video_route,
+            Priority(1),
+        );
+        let err = AdmissionController::with_accepted(t, bad, AnalysisConfig::paper()).unwrap_err();
+        assert!(matches!(err, AnalysisError::PreloadUnschedulable { .. }));
+        assert!(err.is_unschedulable());
+        assert!(err.to_string().contains("not schedulable"));
+    }
+
+    #[test]
     fn release_departs_a_flow_and_reopens_capacity() {
         let (mut ctl, net) = controller();
         let route03 = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
-        let first = ctl
-            .request(voice(4.0), route03.clone(), Priority(7))
-            .unwrap();
+        let first = one(&mut ctl, voice(4.0), route03.clone(), Priority(7));
         assert!(first.is_accepted());
 
         // The big video flow does not fit next to the tight voice call...
         let video = paper_figure3_flow("video", Time::from_millis(500.0), Time::from_millis(1.0));
-        let d = ctl
-            .request(video.clone(), route03.clone(), Priority(1))
-            .unwrap();
+        let d = one(&mut ctl, video.clone(), route03.clone(), Priority(1));
         assert!(!d.is_accepted());
 
         // ...but after the voice call departs, it does.
         let departed = ctl.release(first.id()).unwrap();
         assert_eq!(departed.id, first.id());
         assert_eq!(ctl.n_accepted(), 0);
-        let d = ctl.request(video, route03, Priority(1)).unwrap();
+        assert_eq!(ctl.partition().n_shards(), 0);
+        let d = one(&mut ctl, video, route03, Priority(1));
         assert!(d.is_accepted(), "{:?}", d.report().failure);
         assert_eq!(ctl.n_accepted(), 1);
         // Departed ids are never reused.
@@ -725,19 +1479,15 @@ mod tests {
             let video_route = shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap();
             let video =
                 paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0));
-            let v = ctl
-                .request(voice(20.0), voice_route.clone(), Priority(7))
-                .unwrap();
-            let before = ctl
-                .request(video.clone(), video_route.clone(), Priority(5))
-                .unwrap();
+            let v = one(&mut ctl, voice(20.0), voice_route, Priority(7));
+            let before = one(&mut ctl, video.clone(), video_route.clone(), Priority(5));
             assert!(v.is_accepted() && before.is_accepted());
 
             // Tear the video down and bring it back: every surviving flow's
             // report and the re-admitted flow's bounds are unchanged (only
             // its id is fresh).
             ctl.release(before.id()).unwrap();
-            let after = ctl.request(video, video_route, Priority(5)).unwrap();
+            let after = one(&mut ctl, video, video_route, Priority(5));
             assert!(after.is_accepted());
             assert_ne!(after.id(), before.id());
             let b = before.candidate_report().unwrap();
@@ -756,8 +1506,8 @@ mod tests {
     }
 
     #[test]
-    fn invalid_route_is_an_error_not_a_rejection() {
-        let (mut ctl, _net) = controller();
+    fn invalid_route_fails_the_whole_batch_without_consuming_ids() {
+        let (mut ctl, net) = controller();
         // Build a route on a topology with a different shape; the node ids
         // exist in the paper network but the links do not.
         let (line_topology, a, b, _) = gmf_net::line(
@@ -767,18 +1517,27 @@ mod tests {
             gmf_net::SwitchConfig::paper(),
         );
         let bogus = gmf_net::shortest_path(&line_topology, a, b).unwrap();
-        let result = ctl.request(voice(20.0), bogus, Priority(7));
+        let good = shortest_path(ctl.topology(), net.hosts[1], net.hosts[3]).unwrap();
+        // One bad route poisons the batch atomically: no trial runs, no
+        // id is consumed, nothing is admitted.
+        let result = ctl.request_batch([
+            AdmissionRequest::new(voice(20.0), good.clone(), Priority(7)),
+            AdmissionRequest::new(voice(20.0), bogus, Priority(7)),
+        ]);
         assert!(result.is_err());
         assert_eq!(ctl.n_accepted(), 0);
+        let d = one(&mut ctl, voice(20.0), good, Priority(7));
+        assert!(d.is_accepted());
+        assert_eq!(d.id(), FlowId(0));
     }
 
     #[test]
     fn decision_serde_roundtrip_includes_victim_and_cost() {
         let (mut ctl, net) = controller();
         let route = shortest_path(ctl.topology(), net.hosts[0], net.hosts[3]).unwrap();
-        ctl.request(voice(4.0), route.clone(), Priority(7)).unwrap();
+        one(&mut ctl, voice(4.0), route.clone(), Priority(7));
         let video = paper_figure3_flow("video", Time::from_millis(500.0), Time::from_millis(1.0));
-        let d = ctl.request(video, route, Priority(1)).unwrap();
+        let d = one(&mut ctl, video, route, Priority(1));
         assert!(!d.is_accepted());
         let json = serde_json::to_string(&d).unwrap();
         let back: AdmissionDecision = serde_json::from_str(&json).unwrap();

@@ -82,6 +82,14 @@ pub enum AnalysisError {
         /// Human-readable resource description.
         resource: String,
     },
+    /// A pre-admitted flow set handed to the admission controller failed
+    /// verification: one of its shards is not schedulable as given.
+    PreloadUnschedulable {
+        /// The smallest member flow id of the failing shard.
+        shard: FlowId,
+        /// The first per-flow failure message of that shard's analysis.
+        failure: String,
+    },
     /// An inconsistency between the flow set and the topology.
     Net(NetError),
 }
@@ -128,6 +136,10 @@ impl fmt::Display for AnalysisError {
                 "{stage} analysis of {flow}: bound computation on {resource} overflowed the \
                  representable range (treated as unschedulable)"
             ),
+            AnalysisError::PreloadUnschedulable { shard, failure } => write!(
+                f,
+                "preloaded flow set is not schedulable: shard of flow {shard} fails ({failure})"
+            ),
             AnalysisError::Net(e) => write!(f, "network error: {e}"),
         }
     }
@@ -152,6 +164,7 @@ impl AnalysisError {
                 | AnalysisError::HorizonExceeded { .. }
                 | AnalysisError::HolisticNoConvergence { .. }
                 | AnalysisError::NumericOverflow { .. }
+                | AnalysisError::PreloadUnschedulable { .. }
         )
     }
 }

@@ -57,6 +57,7 @@ pub mod busy_period;
 pub mod config;
 pub mod context;
 pub(crate) mod dense;
+pub mod deps;
 pub mod egress;
 pub mod error;
 pub mod first_hop;
@@ -70,7 +71,8 @@ pub mod report;
 pub mod stage;
 
 pub use admission::{
-    AdmissionController, AdmissionDecision, AdmissionMode, AdmissionVictim, DecisionCost,
+    AdmissionController, AdmissionDecision, AdmissionMode, AdmissionRequest, AdmissionVictim,
+    DecisionCost, PreloadStats,
 };
 pub use baseline::{
     analyze_sporadic_baseline, sporadic_collapse, utilization_check, UtilizationCheck,
@@ -78,6 +80,7 @@ pub use baseline::{
 pub use busy_period::{fixed_point, FixedPointOutcome};
 pub use config::AnalysisConfig;
 pub use context::{AnalysisContext, JitterMap, ResourceId};
+pub use deps::{DependencyGraph, ShardId};
 pub use egress::egress_response;
 pub use error::{AnalysisError, StageKind};
 pub use first_hop::first_hop_response;
@@ -95,11 +98,13 @@ pub use stage::StageResult;
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
     pub use crate::admission::{
-        AdmissionController, AdmissionDecision, AdmissionMode, AdmissionVictim, DecisionCost,
+        AdmissionController, AdmissionDecision, AdmissionMode, AdmissionRequest, AdmissionVictim,
+        DecisionCost,
     };
     pub use crate::baseline::{analyze_sporadic_baseline, sporadic_collapse, utilization_check};
     pub use crate::config::AnalysisConfig;
     pub use crate::context::{AnalysisContext, JitterMap, ResourceId};
+    pub use crate::deps::{DependencyGraph, ShardId};
     pub use crate::fixed_point::{ConvergenceTrace, FixedPointStrategy};
     pub use crate::holistic::analyze;
     pub use crate::pipeline::{analyze_flow, analyze_frame};

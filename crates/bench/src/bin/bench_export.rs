@@ -32,9 +32,10 @@ use gmf_analysis::{
     FixedPointStrategy, JitterMap,
 };
 use gmf_bench::{
-    churn_bench_config, long_tail_bench_scenario, median_ns, mixed_depth_line_scenario,
-    print_header, print_table, synthetic_converging_set, CHURN_BENCH_SEED, HOLISTIC_SYNTHETIC_AXIS,
-    HOLISTIC_THREAD_AXIS,
+    churn_bench_config, long_tail_bench_scenario, median_ns, metro_bench_config,
+    mixed_depth_line_scenario, print_header, print_table, run_metro_admission,
+    synthetic_converging_set, CHURN_BENCH_SEED, HOLISTIC_SYNTHETIC_AXIS, HOLISTIC_THREAD_AXIS,
+    METRO_BENCH_SEED, METRO_SMALL_BATCHES, METRO_SMALL_BATCH_SIZE, METRO_TIGHT_FRACTION,
 };
 use gmf_model::{paper_figure3_flow, BitRate, EncapsulationConfig, FlowId, LinkDemand, Time};
 use gmf_workloads::{paper_scenario, run_churn};
@@ -217,6 +218,51 @@ fn main() {
                 ));
             }),
         );
+    }
+
+    // B6 — metro-scale sharded admission on the small instance (same
+    // definition as E14's full-scale run): one timing for the whole
+    // preload + batch + release cycle, plus the deterministic shard and
+    // cost counters that must be bit-identical on every machine.
+    let metro_config = metro_bench_config();
+    record(
+        "metro_admission/small",
+        median_ns(samples, || {
+            black_box(run_metro_admission(
+                black_box(METRO_BENCH_SEED),
+                &metro_config,
+                &paper_config,
+                METRO_SMALL_BATCHES,
+                METRO_SMALL_BATCH_SIZE,
+                METRO_TIGHT_FRACTION,
+            ));
+        }),
+    );
+    {
+        let metro = run_metro_admission(
+            METRO_BENCH_SEED,
+            &metro_config,
+            &paper_config,
+            METRO_SMALL_BATCHES,
+            METRO_SMALL_BATCH_SIZE,
+            METRO_TIGHT_FRACTION,
+        );
+        let entries = [
+            ("metro/preload_shards", metro.preload.shards),
+            ("metro/preload_largest_shard", metro.preload.largest_shard),
+            ("metro/preload_rounds", metro.preload.rounds),
+            ("metro/preload_flow_analyses", metro.preload.flow_analyses),
+            ("metro/batch_accepted", metro.accepted()),
+            ("metro/batch_rejected", metro.rejected()),
+            ("metro/warm_decisions", metro.warm_decisions()),
+            ("metro/batch_rounds", metro.rounds()),
+            ("metro/batch_flow_analyses", metro.flow_analyses()),
+            ("metro/largest_trial", metro.largest_trial()),
+            ("metro/final_shards", metro.final_shards),
+        ];
+        for (name, value) in entries {
+            counters.insert(name.to_string(), value as u64);
+        }
     }
 
     // B4 — simulator throughput.

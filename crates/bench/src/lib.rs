@@ -311,6 +311,219 @@ pub fn churn_bench_config() -> gmf_workloads::ChurnConfig {
 /// The master seed of the churn benches and E11.
 pub const CHURN_BENCH_SEED: u64 = 2008;
 
+/// The master seed of the metro admission workload (E14 and the
+/// `metro/*` entries of `bench_export`).
+pub const METRO_BENCH_SEED: u64 = 1408;
+
+/// Candidate batches E14 replays at full metro scale.
+pub const METRO_BATCHES: usize = 8;
+
+/// Candidates per batch in E14.
+pub const METRO_BATCH_SIZE: usize = 512;
+
+/// Fraction of candidates carrying an impossible deadline, so the stream
+/// exercises the rejection path and victim attribution too.
+pub const METRO_TIGHT_FRACTION: f64 = 0.1;
+
+/// Candidate batches of the small `bench_export` metro instance.
+pub const METRO_SMALL_BATCHES: usize = 4;
+
+/// Candidates per batch of the small `bench_export` metro instance.
+pub const METRO_SMALL_BATCH_SIZE: usize = 64;
+
+/// The CI-sized metro instance `bench_export` times and counts: the same
+/// per-cell shape as E14's full-scale default, two dozen cells instead of
+/// thousands.
+pub fn metro_bench_config() -> gmf_workloads::MetroConfig {
+    gmf_workloads::MetroConfig::small()
+}
+
+/// Deterministic counters of one admission batch in a metro run.
+#[derive(Debug, Clone)]
+pub struct MetroBatch {
+    /// Candidates admitted.
+    pub accepted: usize,
+    /// Candidates rejected.
+    pub rejected: usize,
+    /// Decisions served from a converged warm start.
+    pub warm_decisions: usize,
+    /// Fixed-point rounds spent across the batch.
+    pub rounds: usize,
+    /// Per-flow analyses spent across the batch.
+    pub flow_analyses: usize,
+    /// Largest trial set (flows re-verified for one decision) — stays at
+    /// one cell's worth of flows no matter how many cells the metro runs.
+    pub largest_trial: usize,
+    /// Wall clock of the batch (machine-dependent; keep off stdout).
+    pub elapsed: std::time::Duration,
+}
+
+/// Outcome of a metro admission run: preload, admission batches, then
+/// departure of everything the batches admitted.
+///
+/// Everything except the `elapsed` fields is deterministic — identical on
+/// every machine and at every worker-thread count.
+#[derive(Debug, Clone)]
+pub struct MetroOutcome {
+    /// Pre-admitted flows in the scenario.
+    pub n_flows: usize,
+    /// Shard count / fixed-point cost of verifying the pre-admitted set.
+    pub preload: gmf_analysis::PreloadStats,
+    /// Wall clock of the preload verification.
+    pub preload_elapsed: std::time::Duration,
+    /// Per-batch admission counters, in replay order.
+    pub batches: Vec<MetroBatch>,
+    /// Admitted candidates released again after the batches.
+    pub released: usize,
+    /// Wall clock of the release phase.
+    pub release_elapsed: std::time::Duration,
+    /// Live flows after the releases (must equal `n_flows`).
+    pub final_flows: usize,
+    /// Shards after the releases (must equal `preload.shards`).
+    pub final_shards: usize,
+}
+
+impl MetroOutcome {
+    /// Total admission decisions taken.
+    pub fn decisions(&self) -> usize {
+        self.batches.iter().map(|b| b.accepted + b.rejected).sum()
+    }
+
+    /// Total candidates admitted.
+    pub fn accepted(&self) -> usize {
+        self.batches.iter().map(|b| b.accepted).sum()
+    }
+
+    /// Total candidates rejected.
+    pub fn rejected(&self) -> usize {
+        self.batches.iter().map(|b| b.rejected).sum()
+    }
+
+    /// Total decisions served from a converged warm start.
+    pub fn warm_decisions(&self) -> usize {
+        self.batches.iter().map(|b| b.warm_decisions).sum()
+    }
+
+    /// Total fixed-point rounds across all decisions.
+    pub fn rounds(&self) -> usize {
+        self.batches.iter().map(|b| b.rounds).sum()
+    }
+
+    /// Total per-flow analyses across all decisions.
+    pub fn flow_analyses(&self) -> usize {
+        self.batches.iter().map(|b| b.flow_analyses).sum()
+    }
+
+    /// Largest trial set across all decisions.
+    pub fn largest_trial(&self) -> usize {
+        self.batches
+            .iter()
+            .map(|b| b.largest_trial)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Wall clock spent deciding (sum of the batch times).
+    pub fn admission_elapsed(&self) -> std::time::Duration {
+        self.batches.iter().map(|b| b.elapsed).sum()
+    }
+}
+
+/// Replay the metro admission workload: generate the scenario, verify the
+/// pre-admitted set shard-parallel ([`gmf_analysis::AdmissionController::
+/// with_accepted`]), push `n_batches` batches of `batch_size` candidates
+/// through `request_batch`, then release everything the batches admitted.
+///
+/// E14 (`exp_metro`) runs this at the full `MetroConfig::default()` scale;
+/// `bench_export` runs it on [`metro_bench_config`] — one definition, so a
+/// `metro/*` entry in `BENCH.json` always counts exactly the workload the
+/// experiment binary replays.  The scenario and candidate streams use
+/// distinct [`gmf_par::derive_seed`] lanes of `seed`, so the two can be
+/// scaled independently.
+pub fn run_metro_admission(
+    seed: u64,
+    config: &gmf_workloads::MetroConfig,
+    analysis: &gmf_analysis::AnalysisConfig,
+    n_batches: usize,
+    batch_size: usize,
+    tight_fraction: f64,
+) -> MetroOutcome {
+    use gmf_analysis::AdmissionController;
+    use gmf_par::derive_seed;
+    use gmf_workloads::{metro_candidates, metro_scenario};
+    use std::time::Instant;
+
+    let scenario = metro_scenario(derive_seed(seed, 0), config);
+    let candidates = metro_candidates(
+        derive_seed(seed, 1),
+        &scenario,
+        config,
+        n_batches * batch_size,
+        tight_fraction,
+    );
+
+    let start = Instant::now();
+    let (mut controller, preload) =
+        AdmissionController::with_accepted(scenario.topology, scenario.flows, *analysis)
+            // tidy-allow: unwrap invariant: the metro generator keeps per-cell load low enough to verify
+            .expect("metro pre-admitted set verifies as schedulable");
+    let preload_elapsed = start.elapsed();
+
+    let mut batches = Vec::with_capacity(n_batches);
+    let mut admitted = Vec::new();
+    for chunk in candidates.chunks(batch_size) {
+        let start = Instant::now();
+        let decisions = controller
+            .request_batch(chunk.iter().cloned())
+            // tidy-allow: unwrap invariant: candidate routes are intra-cell shortest paths
+            .expect("metro candidate routes are structurally valid");
+        let elapsed = start.elapsed();
+        let mut batch = MetroBatch {
+            accepted: 0,
+            rejected: 0,
+            warm_decisions: 0,
+            rounds: 0,
+            flow_analyses: 0,
+            largest_trial: 0,
+            elapsed,
+        };
+        for decision in &decisions {
+            if decision.is_accepted() {
+                batch.accepted += 1;
+                admitted.push(decision.id());
+            } else {
+                batch.rejected += 1;
+            }
+            let cost = decision.cost();
+            batch.warm_decisions += usize::from(cost.warm);
+            batch.rounds += cost.rounds;
+            batch.flow_analyses += cost.flow_analyses;
+            batch.largest_trial = batch.largest_trial.max(cost.shard_flows);
+        }
+        batches.push(batch);
+    }
+
+    let start = Instant::now();
+    for &id in &admitted {
+        controller
+            .release(id)
+            // tidy-allow: unwrap invariant: every admitted candidate is live
+            .expect("admitted candidates are live");
+    }
+    let release_elapsed = start.elapsed();
+
+    MetroOutcome {
+        n_flows: config.n_flows(),
+        preload,
+        preload_elapsed,
+        batches,
+        released: admitted.len(),
+        release_elapsed,
+        final_flows: controller.n_accepted(),
+        final_shards: controller.partition().n_shards(),
+    }
+}
+
 /// Time `f` and return the median duration in nanoseconds over `samples`
 /// runs (fast bodies are batched so each sample spans at least ~100 µs).
 ///
@@ -362,6 +575,32 @@ mod tests {
             std::hint::black_box((0..100u64).sum::<u64>());
         });
         assert!(ns > 0);
+    }
+
+    #[test]
+    fn metro_run_counts_and_restores_the_preloaded_set() {
+        let config = gmf_workloads::MetroConfig {
+            n_cells: 3,
+            hosts_per_cell: 4,
+            flows_per_cell: 5,
+            ..gmf_workloads::MetroConfig::default()
+        };
+        let outcome = run_metro_admission(
+            METRO_BENCH_SEED,
+            &config,
+            &gmf_analysis::AnalysisConfig::paper(),
+            2,
+            6,
+            0.25,
+        );
+        assert_eq!(outcome.decisions(), 12);
+        assert_eq!(outcome.accepted() + outcome.rejected(), 12);
+        assert_eq!(outcome.released, outcome.accepted());
+        // The releases restore the preloaded set exactly.
+        assert_eq!(outcome.final_flows, outcome.n_flows);
+        assert_eq!(outcome.final_shards, outcome.preload.shards);
+        // Trials stay within one cell plus that cell's admitted candidates.
+        assert!(outcome.largest_trial() <= config.flows_per_cell + 12);
     }
 
     #[test]

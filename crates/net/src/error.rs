@@ -29,6 +29,8 @@ pub enum NetError {
     NoRoute(NodeId, NodeId),
     /// A flow id was used that does not exist in the flow set.
     UnknownFlow(usize),
+    /// A flow id was inserted that already exists in the flow set.
+    DuplicateFlow(usize),
     /// The underlying traffic model rejected a flow.
     Model(String),
 }
@@ -54,6 +56,7 @@ impl fmt::Display for NetError {
             NetError::NodeNotOnRoute(n) => write!(f, "node {n} is not on the route"),
             NetError::NoRoute(a, b) => write!(f, "no route exists from {a} to {b}"),
             NetError::UnknownFlow(i) => write!(f, "unknown flow id {i}"),
+            NetError::DuplicateFlow(i) => write!(f, "flow id {i} already exists"),
             NetError::Model(msg) => write!(f, "traffic model error: {msg}"),
         }
     }

@@ -189,6 +189,52 @@ impl FlowSet {
         }
     }
 
+    /// Insert a pre-built binding with its id intact (the admission
+    /// plane's shard-merge path: a trial set's accepted binding is folded
+    /// back into the global set without re-numbering).  Fails on a
+    /// duplicate id; the id counter advances past the inserted id so the
+    /// next [`FlowSet::add`] never collides.
+    pub fn insert(&mut self, binding: FlowBinding) -> Result<FlowId, NetError> {
+        match self.bindings.binary_search_by_key(&binding.id, |b| b.id) {
+            Ok(_) => Err(NetError::DuplicateFlow(binding.id.0)),
+            Err(index) => {
+                let id = binding.id;
+                self.bindings.insert(index, binding);
+                self.next_id = self.next_id.max(id.0 + 1);
+                Ok(id)
+            }
+        }
+    }
+
+    /// Reserve `n` consecutive flow ids, returning the first.  The ids are
+    /// not bound to any flow yet; [`FlowSet::insert`] materialises them.
+    /// A batched admission request reserves its ids up front so every
+    /// candidate's id is known before any trial runs — accepted or
+    /// rejected, each request consumes exactly one id.
+    pub fn reserve_ids(&mut self, n: usize) -> FlowId {
+        let base = FlowId(self.next_id);
+        self.next_id += n;
+        base
+    }
+
+    /// A new flow set holding clones of the member bindings of `ids`
+    /// (ids absent from the set are skipped).  The subset inherits the
+    /// parent's id counter, so ids stay aligned between the two — this is
+    /// how a shard-scoped admission trial is carved out of the accepted
+    /// set.
+    pub fn subset<I: IntoIterator<Item = FlowId>>(&self, ids: I) -> FlowSet {
+        let mut bindings: Vec<FlowBinding> = ids
+            .into_iter()
+            .filter_map(|id| self.get(id).ok().cloned())
+            .collect();
+        bindings.sort_by_key(|b| b.id);
+        bindings.dedup_by_key(|b| b.id);
+        FlowSet {
+            bindings,
+            next_id: self.next_id,
+        }
+    }
+
     /// Number of flows.
     pub fn len(&self) -> usize {
         self.bindings.len()

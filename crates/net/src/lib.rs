@@ -31,6 +31,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod builders;
+pub mod components;
 pub mod error;
 pub mod flowset;
 pub mod link;
@@ -43,6 +44,7 @@ pub use builders::{
     line, paper_figure1, paper_figure1_with, propagation_for_distance, random_tree, star,
     PaperNetwork, PaperNetworkConfig,
 };
+pub use components::FlowComponents;
 pub use error::NetError;
 pub use flowset::{FlowBinding, FlowSet, LinkIndex, Priority, PriorityPolicy};
 pub use link::{Link, LinkId, LinkProfile};

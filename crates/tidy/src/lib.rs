@@ -204,6 +204,17 @@ const BOUND_SCOPE: &[&str] = &[
     "crates/gmf-model/src/arrival.rs",
 ];
 
+/// Index-heavy engine modules where bare `as` casts are banned (rule
+/// `cast`): the analysis crate plus the shard scheduler's engine path —
+/// the flow-component union-find the partition layer is built on and the
+/// deterministic work-partitioning primitives admission lanes run
+/// through.
+const CAST_SCOPE: &[&str] = &[
+    "crates/analysis/src/",
+    "crates/net/src/components.rs",
+    "crates/par/src/",
+];
+
 /// The per-frame / busy-period hot paths where unchecked accumulation is
 /// banned entirely (rule `time-arith`).
 const HOT_PATHS: &[&str] = &[
@@ -223,7 +234,7 @@ fn rule_applies(rule: &str, ctx: &FileCtx<'_>) -> bool {
         "hash" => true,
         "float" => ctx.kind == FileKind::Lib && BOUND_SCOPE.iter().any(|p| ctx.rel.starts_with(p)),
         "clock" => ENGINE_CRATES.contains(&ctx.crate_name),
-        "cast" => ctx.kind == FileKind::Lib && ctx.rel.starts_with("crates/analysis/src/"),
+        "cast" => ctx.kind == FileKind::Lib && CAST_SCOPE.iter().any(|p| ctx.rel.starts_with(p)),
         "time-arith" => HOT_PATHS.contains(&ctx.rel),
         "unwrap" => ctx.kind == FileKind::Lib,
         _ => false,
@@ -684,6 +695,13 @@ mod tests {
     fn cast_rule_fires_on_bare_casts_only_in_analysis() {
         let bad = "let i = x as usize;\n";
         assert_eq!(rules_fired(&check(LIB, bad)), ["cast"]);
+        // The shard scheduler is an engine path: the union-find behind the
+        // partition layer and the parallel work-partitioning crate.
+        assert_eq!(
+            rules_fired(&check("crates/net/src/components.rs", bad)),
+            ["cast"]
+        );
+        assert_eq!(rules_fired(&check("crates/par/src/lib.rs", bad)), ["cast"]);
         assert!(check("crates/net/src/route.rs", bad).is_empty());
         // `as` used for imports is not a cast.
         assert!(check(LIB, "use gmf_model::Time as T;\n").is_empty());

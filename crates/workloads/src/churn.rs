@@ -20,7 +20,7 @@
 
 use crate::sweep::SweepConfig;
 use crate::synthetic::random_gmf_flow;
-use gmf_analysis::{AdmissionController, AdmissionMode, AnalysisConfig};
+use gmf_analysis::{AdmissionController, AdmissionMode, AdmissionRequest, AnalysisConfig};
 use gmf_model::FlowId;
 use gmf_net::{shortest_path, star, Priority};
 use gmf_par::derive_seed;
@@ -185,9 +185,12 @@ pub fn run_churn(
             let route = shortest_path(ctl.topology(), source, sink).expect("star is connected");
             let priority = Priority(rng.gen_range(0..config.sweep.priority_levels.max(1)));
             let decision = ctl
-                .request(flow, route, priority)
+                .request_batch([AdmissionRequest::new(flow, route, priority)])
                 // tidy-allow: unwrap invariant: routes on the star are structurally valid
-                .expect("routes on the star are structurally valid");
+                .expect("routes on the star are structurally valid")
+                .pop()
+                // tidy-allow: unwrap invariant: a one-element batch yields one decision
+                .expect("one decision per request");
             outcome.arrivals += 1;
             let cost = decision.cost();
             outcome.rounds += cost.rounds;

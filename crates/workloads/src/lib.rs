@@ -13,6 +13,9 @@
 //!   test;
 //! * [`churn`] — deterministic arrival/departure scripts replayed through
 //!   the admission controller (the incremental-engine experiment);
+//! * [`metro`] — metro-scale admission workloads: thousands of independent
+//!   access cells, a 100k+-flow pre-admitted set and a deterministic
+//!   candidate stream for the sharded admission plane (E14 / `exp_metro`);
 //! * [`fuzz`] — deterministic random *valid* scenario generation (random
 //!   topologies, mixed flow kinds, rejection-with-reason) for the
 //!   conformance harness (E13);
@@ -25,6 +28,7 @@
 
 pub mod churn;
 pub mod fuzz;
+pub mod metro;
 pub mod paper;
 pub mod scenario;
 pub mod sweep;
@@ -34,6 +38,7 @@ pub use churn::{run_churn, ChurnConfig, ChurnOutcome};
 pub use fuzz::{
     draw_scenario, valid_scenario, FuzzConfig, FuzzScenario, ScenarioRejection, TopologyShape,
 };
+pub use metro::{metro_candidates, metro_scenario, MetroCell, MetroConfig, MetroScenario};
 pub use paper::{
     conference_video, paper_scenario, paper_scenario_with, paper_video_only_scenario,
     PaperScenarioFlows, Scenario,
@@ -49,6 +54,7 @@ pub use synthetic::{random_flow_collection, random_gmf_flow, uunifast, Synthetic
 pub mod prelude {
     pub use crate::churn::{run_churn, ChurnConfig, ChurnOutcome};
     pub use crate::fuzz::{draw_scenario, valid_scenario, FuzzConfig, FuzzScenario};
+    pub use crate::metro::{metro_candidates, metro_scenario, MetroConfig, MetroScenario};
     pub use crate::paper::{paper_scenario, paper_video_only_scenario, Scenario};
     pub use crate::scenario::ScenarioFile;
     pub use crate::sweep::{acceptance_sweep, AcceptancePoint, SweepConfig};

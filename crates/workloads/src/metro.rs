@@ -1,0 +1,367 @@
+//! Metro-scale admission workloads: many independent access cells, one
+//! operator, one admission plane.
+//!
+//! A metropolitan operator network is not one giant coupled system — it is
+//! thousands of small access *cells* (a software switch and a handful of
+//! hosts each) whose traffic stays local.  The jitter-dependency graph of
+//! such a workload partitions into one shard per cell, which is exactly
+//! the regime the sharded admission plane is built for: preloading
+//! verifies cells concurrently, and admission trials touch one cell's
+//! worth of flows no matter how many cells the operator runs.
+//!
+//! [`metro_scenario`] builds the topology and a pre-admitted flow set
+//! (100k+ flows at the default scale); [`metro_candidates`] draws a
+//! deterministic stream of admission candidates against it, with a
+//! configurable fraction of impossible deadlines so rejection paths are
+//! exercised too.  Everything derives from `(seed, config)` via per-cell
+//! [`gmf_par::derive_seed`] streams — cells can be regenerated
+//! independently and the result never depends on thread counts.
+
+use crate::synthetic::{random_gmf_flow, SyntheticConfig};
+use gmf_analysis::AdmissionRequest;
+use gmf_model::{GmfFlow, Time};
+use gmf_net::{shortest_path, FlowSet, LinkProfile, NodeId, Priority, SwitchConfig, Topology};
+use gmf_par::derive_seed;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the metro workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetroConfig {
+    /// Number of independent access cells.
+    pub n_cells: usize,
+    /// Hosts per cell (all attached to the cell's switch).
+    pub hosts_per_cell: usize,
+    /// Pre-admitted flows per cell.
+    pub flows_per_cell: usize,
+    /// Speed of every access link.
+    pub link: LinkProfile,
+    /// Switch CPU parameters of every cell switch.
+    pub switch: SwitchConfig,
+    /// Flow-structure generator configuration.
+    pub synthetic: SyntheticConfig,
+    /// Per-flow target utilization of the reference link, drawn uniformly
+    /// from this range.  Keep it low: a cell aggregates
+    /// `flows_per_cell` × this much demand over `hosts_per_cell` access
+    /// links, and the pre-admitted set must verify as schedulable.
+    pub flow_utilization: (f64, f64),
+    /// Number of 802.1p priority levels assigned (uniformly at random).
+    pub priority_levels: u8,
+}
+
+impl Default for MetroConfig {
+    fn default() -> Self {
+        let link = LinkProfile::ethernet_100m();
+        MetroConfig {
+            n_cells: 5200,
+            hosts_per_cell: 8,
+            flows_per_cell: 20,
+            link,
+            switch: SwitchConfig::paper(),
+            synthetic: SyntheticConfig {
+                reference_speed_bps: link.speed.as_bps(),
+                // Lax deadlines: the pre-admitted set must verify, so the
+                // generator leaves slack for admission trials to consume.
+                deadline_factor: (6.0, 12.0),
+                jitter: Time::from_millis(0.2),
+                ..SyntheticConfig::default()
+            },
+            flow_utilization: (0.0005, 0.003),
+            priority_levels: 8,
+        }
+    }
+}
+
+impl MetroConfig {
+    /// A CI/bench-sized metro: a few dozen cells instead of thousands,
+    /// same per-cell shape.
+    pub fn small() -> Self {
+        MetroConfig {
+            n_cells: 24,
+            ..MetroConfig::default()
+        }
+    }
+
+    /// Total pre-admitted flows of the scenario.
+    pub fn n_flows(&self) -> usize {
+        self.n_cells * self.flows_per_cell
+    }
+
+    /// Check the configuration for values the generator cannot honour.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_cells == 0 {
+            return Err("n_cells must be at least 1".into());
+        }
+        if self.hosts_per_cell < 2 {
+            return Err("hosts_per_cell must be at least 2 (flows need distinct endpoints)".into());
+        }
+        if self.flows_per_cell == 0 {
+            return Err("flows_per_cell must be at least 1".into());
+        }
+        if self.flow_utilization.0 <= 0.0 || self.flow_utilization.0 > self.flow_utilization.1 {
+            return Err("flow_utilization must be a non-empty positive range".into());
+        }
+        Ok(())
+    }
+}
+
+/// One access cell: its switch and its hosts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetroCell {
+    /// The cell's software switch.
+    pub switch: NodeId,
+    /// The cell's end hosts, in creation order.
+    pub hosts: Vec<NodeId>,
+}
+
+/// A generated metro workload: the topology, the pre-admitted flow set
+/// (cell by cell, so flow ids are contiguous per cell) and the cell map.
+#[derive(Debug, Clone)]
+pub struct MetroScenario {
+    /// The network: `config.n_cells` disjoint stars.
+    pub topology: Topology,
+    /// The pre-admitted flows, every route internal to one cell.
+    pub flows: FlowSet,
+    /// The cells, in creation order.
+    pub cells: Vec<MetroCell>,
+}
+
+/// Draw one intra-cell flow: random distinct endpoints, random priority.
+fn cell_flow<R: Rng>(
+    rng: &mut R,
+    flow: GmfFlow,
+    topology: &Topology,
+    cell: &MetroCell,
+    priority_levels: u8,
+) -> (GmfFlow, gmf_net::Route, Priority) {
+    let source = cell.hosts[rng.gen_range(0..cell.hosts.len())];
+    let mut sink = cell.hosts[rng.gen_range(0..cell.hosts.len())];
+    while sink == source {
+        sink = cell.hosts[rng.gen_range(0..cell.hosts.len())];
+    }
+    // tidy-allow: unwrap invariant: cell hosts share a switch
+    let route = shortest_path(topology, source, sink).expect("cell hosts share a switch");
+    let priority = Priority(rng.gen_range(0..priority_levels.max(1)));
+    (flow, route, priority)
+}
+
+/// Build the metro topology and its pre-admitted flow set.
+///
+/// Cell `c` draws everything from its own ChaCha8 stream seeded with
+/// [`derive_seed`]`(seed, c)`, so the scenario depends only on
+/// `(seed, config)` and any cell can be regenerated in isolation.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (see [`MetroConfig::validate`]).
+pub fn metro_scenario(seed: u64, config: &MetroConfig) -> MetroScenario {
+    // tidy-allow: unwrap invariant: invalid metro configuration
+    config.validate().expect("invalid metro configuration");
+    let mut topology = Topology::new();
+    let mut cells = Vec::with_capacity(config.n_cells);
+    for c in 0..config.n_cells {
+        let switch = topology.add_switch(config.switch, format!("sw{c}"));
+        let hosts: Vec<NodeId> = (0..config.hosts_per_cell)
+            .map(|h| {
+                let host = topology.add_end_host(format!("c{c}h{h}"));
+                topology
+                    .add_duplex_link(host, switch, config.link)
+                    // tidy-allow: unwrap invariant: freshly created nodes are linkable
+                    .expect("freshly created nodes are linkable");
+                host
+            })
+            .collect();
+        cells.push(MetroCell { switch, hosts });
+    }
+
+    let mut flows = FlowSet::new();
+    for (c, cell) in cells.iter().enumerate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, c as u64));
+        for f in 0..config.flows_per_cell {
+            let utilization = rng.gen_range(config.flow_utilization.0..=config.flow_utilization.1);
+            let flow = random_gmf_flow(
+                &mut rng,
+                &format!("m{c}-{f}"),
+                utilization,
+                &config.synthetic,
+            );
+            let (flow, route, priority) =
+                cell_flow(&mut rng, flow, &topology, cell, config.priority_levels);
+            flows.add(flow, route, priority);
+        }
+    }
+    MetroScenario {
+        topology,
+        flows,
+        cells,
+    }
+}
+
+/// Draw `n` admission candidates against a metro scenario: each picks a
+/// pseudo-random cell and an intra-cell route.  A `tight_fraction` of them
+/// carry an impossible (sub-transmission-time) deadline so the stream
+/// exercises rejections and victim attribution, not just acceptances.
+///
+/// Candidate `i` draws from stream [`derive_seed`]`(seed, i)`; the stream
+/// is independent of [`metro_scenario`]'s cell streams, so candidates and
+/// scenario can be scaled separately.
+pub fn metro_candidates(
+    seed: u64,
+    scenario: &MetroScenario,
+    config: &MetroConfig,
+    n: usize,
+    tight_fraction: f64,
+) -> Vec<AdmissionRequest> {
+    assert!(
+        (0.0..=1.0).contains(&tight_fraction),
+        "tight_fraction must be within [0, 1]"
+    );
+    (0..n)
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, i as u64));
+            let cell = &scenario.cells[rng.gen_range(0..scenario.cells.len())];
+            let utilization = rng.gen_range(config.flow_utilization.0..=config.flow_utilization.1);
+            let mut flow = random_gmf_flow(
+                &mut rng,
+                &format!("cand{i}"),
+                utilization,
+                &config.synthetic,
+            );
+            if rng.gen_range(0.0..1.0) < tight_fraction {
+                // An impossible ask: tighter than one frame's transmission
+                // time on the access link.  Rejected with the candidate as
+                // the victim, deterministically.
+                let frames = flow
+                    .frames()
+                    .iter()
+                    .map(|frame| frame.with_deadline(Time::from_micros(1.0)))
+                    .collect();
+                flow = GmfFlow::new(flow.name(), frames)
+                    // tidy-allow: unwrap invariant: only the deadline changed
+                    .expect("only the deadline changed");
+            }
+            let (flow, route, priority) = cell_flow(
+                &mut rng,
+                flow,
+                &scenario.topology,
+                cell,
+                config.priority_levels,
+            );
+            AdmissionRequest::new(flow, route, priority)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmf_analysis::{AdmissionController, AnalysisConfig, DependencyGraph};
+
+    fn tiny() -> MetroConfig {
+        MetroConfig {
+            n_cells: 4,
+            hosts_per_cell: 4,
+            flows_per_cell: 6,
+            ..MetroConfig::default()
+        }
+    }
+
+    #[test]
+    fn scenario_is_reproducible_and_cell_local() {
+        let config = tiny();
+        let a = metro_scenario(11, &config);
+        let b = metro_scenario(11, &config);
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.cells, b.cells);
+        assert_eq!(a.flows.len(), config.n_flows());
+        a.flows.validate_against(&a.topology).unwrap();
+        // Every route stays inside one cell.
+        for binding in a.flows.bindings() {
+            let cell = a
+                .cells
+                .iter()
+                .find(|cell| cell.hosts.contains(&binding.route.source()))
+                .unwrap();
+            assert!(cell.hosts.contains(&binding.route.destination()));
+            assert_eq!(binding.route.nodes().len(), 3);
+            assert_eq!(binding.route.nodes()[1], cell.switch);
+        }
+        // Cells never couple: at most one shard per cell.
+        let graph = DependencyGraph::new(&a.flows);
+        assert!(graph.n_shards() >= config.n_cells);
+        let largest = graph
+            .shards()
+            .into_iter()
+            .map(|s| graph.shard_flows(s).unwrap().len())
+            .max()
+            .unwrap();
+        assert!(largest <= config.flows_per_cell);
+    }
+
+    #[test]
+    fn preadmitted_metro_verifies_and_admits_candidates() {
+        let config = tiny();
+        let scenario = metro_scenario(7, &config);
+        let (mut ctl, stats) = AdmissionController::with_accepted(
+            scenario.topology.clone(),
+            scenario.flows.clone(),
+            AnalysisConfig::paper(),
+        )
+        .unwrap();
+        assert_eq!(
+            stats.shards,
+            DependencyGraph::new(&scenario.flows).n_shards()
+        );
+        assert!(stats.largest_shard <= config.flows_per_cell);
+
+        let candidates = metro_candidates(13, &scenario, &config, 12, 0.25);
+        assert_eq!(candidates.len(), 12);
+        let decisions = ctl.request_batch(candidates.clone()).unwrap();
+        let accepted = decisions.iter().filter(|d| d.is_accepted()).count();
+        let rejected = decisions.len() - accepted;
+        assert!(accepted > 0, "no candidate admitted");
+        assert!(rejected > 0, "no candidate rejected (tight_fraction draw)");
+        // Every trial stayed within one cell's worth of flows.
+        for d in &decisions {
+            assert!(d.cost().shard_flows <= config.flows_per_cell + candidates.len());
+        }
+
+        // The candidate stream is deterministic.
+        assert_eq!(
+            candidates,
+            metro_candidates(13, &scenario, &config, 12, 0.25)
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(MetroConfig {
+            n_cells: 0,
+            ..tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(MetroConfig {
+            hosts_per_cell: 1,
+            ..tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(MetroConfig {
+            flows_per_cell: 0,
+            ..tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(MetroConfig {
+            flow_utilization: (0.2, 0.1),
+            ..tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(MetroConfig::default().validate().is_ok());
+        assert_eq!(MetroConfig::default().n_flows(), 104_000);
+        assert_eq!(MetroConfig::small().n_cells, 24);
+    }
+}

@@ -12,7 +12,7 @@
 //!
 //! Run with `cargo run --example voip_admission`.
 
-use gmfnet::analysis::AdmissionDecision;
+use gmfnet::analysis::{AdmissionDecision, AdmissionRequest};
 use gmfnet::prelude::*;
 
 fn main() {
@@ -34,7 +34,12 @@ fn main() {
             Time::from_micros(500.0),
         );
         let route = shortest_path(controller.topology(), net.hosts[from], net.hosts[to]).unwrap();
-        match controller.request(flow, route, Priority::HIGHEST).unwrap() {
+        let decision = controller
+            .request_batch([AdmissionRequest::new(flow, route, Priority::HIGHEST)])
+            .unwrap()
+            .pop()
+            .unwrap();
+        match decision {
             AdmissionDecision::Accepted { report, .. } => {
                 admitted += 1;
                 if admitted.is_multiple_of(20) {

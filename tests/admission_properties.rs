@@ -6,7 +6,9 @@
 //!     flow at a time takes exactly the decisions a cold controller takes,
 //!     and every decision's report is byte-identical (frame bounds,
 //!     verdicts, failure attribution) to a cold `analyze` of the same
-//!     trial set — iteration traces aside.
+//!     trial set — iteration traces aside.  Warm reports cover the
+//!     candidate's *shard*, so the comparison projects the global
+//!     reference onto the flows the shard report carries.
 //! (b) Releasing a random accepted flow and re-admitting the same binding
 //!     restores identical reports for every flow.  "Identical" here is up
 //!     to the analysis tolerance: the re-admitted flow's fresh id moves it
@@ -15,13 +17,29 @@
 //!     analysis of the same (reordered) trial set either way, which is
 //!     what (a) pins down exactly.
 
-use gmfnet::analysis::{analyze, AdmissionController, AdmissionMode, AnalysisConfig};
+use gmfnet::analysis::{
+    analyze, AdmissionController, AdmissionDecision, AdmissionMode, AdmissionRequest,
+    AnalysisConfig,
+};
 use gmfnet::model::GmfFlow;
 use gmfnet::net::{shortest_path, star, FlowSet, Priority, Route, Topology};
 use gmfnet::workloads::{random_flow_collection, SweepConfig};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// Submit one candidate through the batched admission API.
+fn submit(
+    ctl: &mut AdmissionController,
+    flow: GmfFlow,
+    route: Route,
+    priority: Priority,
+) -> AdmissionDecision {
+    ctl.request_batch([AdmissionRequest::new(flow, route, priority)])
+        .expect("routes on the star are structurally valid")
+        .pop()
+        .expect("one decision per request")
+}
 
 /// Random converging-star admission requests from the sweep generator:
 /// each flow gets a random source, a random sink and a random priority.
@@ -75,8 +93,8 @@ proptest! {
             trial.add(flow.clone(), route.clone(), priority);
             let reference = analyze(&topology, &trial, &analysis).unwrap();
 
-            let w = warm.request(flow.clone(), route.clone(), priority).unwrap();
-            let c = cold.request(flow, route, priority).unwrap();
+            let w = submit(&mut warm, flow.clone(), route.clone(), priority);
+            let c = submit(&mut cold, flow, route, priority);
 
             // Decisions agree with each other and with the reference.
             prop_assert_eq!(w.is_accepted(), c.is_accepted());
@@ -86,7 +104,11 @@ proptest! {
             // Bounds, verdicts and failure attribution are byte-identical
             // (iteration traces aside).  For non-converged trials the warm
             // engine restarts cold, so even the partial reports match.
-            prop_assert_eq!(&w.report().flows, &reference.flows);
+            // The warm report covers the candidate's shard; every entry it
+            // carries must equal the global reference's entry bytewise.
+            for flow_report in &w.report().flows {
+                prop_assert_eq!(Some(flow_report), reference.flow(flow_report.flow));
+            }
             prop_assert_eq!(w.report().schedulable, reference.schedulable);
             prop_assert_eq!(&w.report().failure, &reference.failure);
             prop_assert_eq!(w.report().converged, reference.converged);
@@ -119,7 +141,7 @@ proptest! {
         let mut ctl = AdmissionController::new(topology.clone(), analysis);
         let mut admitted = Vec::new();
         for (flow, route, priority) in requests {
-            let d = ctl.request(flow.clone(), route.clone(), priority).unwrap();
+            let d = submit(&mut ctl, flow.clone(), route.clone(), priority);
             if d.is_accepted() {
                 admitted.push((d.id(), flow, route, priority));
             }
@@ -134,7 +156,7 @@ proptest! {
             let pick = (seed as usize) % admitted.len();
             let (old_id, flow, route, priority) = admitted[pick].clone();
             ctl.release(old_id).unwrap();
-            let d = ctl.request(flow, route, priority).unwrap();
+            let d = submit(&mut ctl, flow, route, priority);
             prop_assert!(d.is_accepted(), "re-admission of an admitted flow");
             let after = ctl.reanalyze().unwrap();
 
@@ -183,7 +205,7 @@ fn warm_trials_after_departures_match_cold_analysis() {
     let mut leftover = Vec::new();
     for (i, (flow, route, priority)) in requests.into_iter().enumerate() {
         if i < 5 {
-            let d = ctl.request(flow, route, priority).unwrap();
+            let d = submit(&mut ctl, flow, route, priority);
             if d.is_accepted() {
                 accepted_ids.push(d.id());
             }
@@ -199,9 +221,11 @@ fn warm_trials_after_departures_match_cold_analysis() {
         let mut trial = ctl.accepted().clone();
         trial.add(flow.clone(), route.clone(), priority);
         let reference = analyze(&topology, &trial, &analysis).unwrap();
-        let d = ctl.request(flow, route, priority).unwrap();
+        let d = submit(&mut ctl, flow, route, priority);
         assert_eq!(d.is_accepted(), reference.schedulable);
-        assert_eq!(d.report().flows, reference.flows);
+        for flow_report in &d.report().flows {
+            assert_eq!(Some(flow_report), reference.flow(flow_report.flow));
+        }
         assert_eq!(d.report().failure, reference.failure);
     }
 }

@@ -97,14 +97,16 @@ fn end_to_end_analysis_of_the_paper_scenario() {
     // The same flows pass through the admission controller one by one.
     let mut controller =
         AdmissionController::new(scenario.topology.clone(), AnalysisConfig::paper());
-    for binding in scenario.flows.bindings() {
-        let decision = controller
-            .request(
+    let decisions = controller
+        .request_batch(scenario.flows.bindings().iter().map(|binding| {
+            gmfnet::analysis::AdmissionRequest::new(
                 binding.flow.clone(),
                 binding.route.clone(),
                 binding.priority,
             )
-            .unwrap();
+        }))
+        .unwrap();
+    for (decision, binding) in decisions.iter().zip(scenario.flows.bindings()) {
         assert!(
             decision.is_accepted(),
             "flow {} rejected",

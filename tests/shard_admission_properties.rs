@@ -1,0 +1,255 @@
+//! Property tests of the sharded admission plane: batched, shard-parallel
+//! warm admission must be *decision-for-decision byte-identical* to a
+//! sequential cold controller that re-analyses the whole accepted set per
+//! request — across worker threads, fixed-point strategies and
+//! arrival/departure (churn) orders — and the partition layer must track
+//! shard merges and splits exactly.
+//!
+//! The comparisons pin the tentpole claims of the sharded plane:
+//!
+//! (a) accept/reject verdicts, rejection reasons and victim attributions
+//!     are identical; warm (shard-scoped) trial reports are bytewise
+//!     projections of the cold (global) reports; the final accepted sets
+//!     are equal; and for the Picard strategy the final bounds also equal
+//!     the deliberately simple [`gmfnet::analysis::analyze_reference`]
+//!     oracle, which shares no hot-path code with the production engine;
+//! (b) an accepted bridge merges every shard its route touches
+//!     (merge-on-bridge), a rejection leaves the partition untouched, and
+//!     a departure splits the shard back — always agreeing with a
+//!     from-scratch [`DependencyGraph`] rebuild.
+
+use gmfnet::analysis::{
+    analyze_reference, AdmissionController, AdmissionDecision, AdmissionMode, AdmissionRequest,
+    AnalysisConfig, DependencyGraph, FixedPointStrategy,
+};
+use gmfnet::net::{FlowSet, Topology};
+use gmfnet::workloads::{random_sweep_set, SweepConfig};
+use proptest::prelude::*;
+
+fn sweep_set(seed: u64, n_flows: usize, utilization: f64) -> (Topology, FlowSet) {
+    random_sweep_set(seed, n_flows, utilization, &SweepConfig::default())
+}
+
+/// Assert one batched-warm decision equals its sequential-cold
+/// counterpart: same verdict, same id, same reason and victim, and the
+/// warm (shard-scoped) report is a bytewise projection of the cold
+/// (global) one.
+fn assert_decisions_match(warm: &AdmissionDecision, cold: &AdmissionDecision, context: &str) {
+    assert_eq!(warm.is_accepted(), cold.is_accepted(), "{context}");
+    assert_eq!(warm.id(), cold.id(), "{context}");
+    match (warm, cold) {
+        (
+            AdmissionDecision::Rejected {
+                reason: warm_reason,
+                victim: warm_victim,
+                ..
+            },
+            AdmissionDecision::Rejected {
+                reason: cold_reason,
+                victim: cold_victim,
+                ..
+            },
+        ) => {
+            assert_eq!(warm_reason, cold_reason, "{context}");
+            assert_eq!(warm_victim, cold_victim, "{context}");
+        }
+        (AdmissionDecision::Accepted { .. }, AdmissionDecision::Accepted { .. }) => {}
+        _ => unreachable!("verdicts already compared"),
+    }
+    for flow_report in &warm.report().flows {
+        assert_eq!(
+            Some(flow_report),
+            cold.report().flow(flow_report.flow),
+            "{context}: warm shard report must project out of the cold global report"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// (a) Batched shard-parallel warm admission == sequential global cold
+    /// admission, across threads and strategies, through a churn step.
+    #[test]
+    fn batched_warm_admission_matches_sequential_cold(
+        seed in 0u64..1_000_000,
+        n_flows in 3usize..10,
+        utilization in 0.1f64..1.0,
+        batch in 1usize..4,
+        drop_index in 0usize..4,
+    ) {
+        let (topology, set) = sweep_set(seed, n_flows, utilization);
+        for strategy in [FixedPointStrategy::Picard, FixedPointStrategy::Anderson1] {
+            for threads in [1usize, 4] {
+                let config = AnalysisConfig::paper()
+                    .with_strategy(strategy)
+                    .with_threads(threads);
+                let mut warm = AdmissionController::new(topology.clone(), config)
+                    .with_mode(AdmissionMode::Warm);
+                let mut cold = AdmissionController::new(
+                    topology.clone(),
+                    AnalysisConfig::paper().with_strategy(strategy),
+                )
+                .with_mode(AdmissionMode::Cold);
+
+                let bindings = set.bindings();
+                let (first, second) = bindings.split_at(bindings.len() / 2);
+                for (half, chunk_set) in [first, second].iter().enumerate() {
+                    for chunk in chunk_set.chunks(batch) {
+                        let requests: Vec<AdmissionRequest> = chunk
+                            .iter()
+                            .map(|b| {
+                                AdmissionRequest::new(
+                                    b.flow.clone(),
+                                    b.route.clone(),
+                                    b.priority,
+                                )
+                            })
+                            .collect();
+                        let warm_decisions = warm.request_batch(requests.clone()).unwrap();
+                        // The cold oracle takes the same requests one at a
+                        // time — the semantics request_batch must preserve.
+                        for (request, warm_decision) in
+                            requests.into_iter().zip(&warm_decisions)
+                        {
+                            let cold_decision =
+                                cold.request_batch([request]).unwrap().pop().unwrap();
+                            assert_decisions_match(
+                                warm_decision,
+                                &cold_decision,
+                                &format!("strategy {strategy:?}, threads {threads}"),
+                            );
+                        }
+                    }
+                    // Churn between the halves: the same departure on both
+                    // controllers must keep them in lockstep.
+                    if half == 0 {
+                        let ids: Vec<_> = warm.accepted().ids().collect();
+                        if !ids.is_empty() {
+                            let departing = ids[drop_index % ids.len()];
+                            warm.release(departing).unwrap();
+                            cold.release(departing).unwrap();
+                        }
+                    }
+                }
+
+                prop_assert_eq!(warm.accepted(), cold.accepted());
+                prop_assert_eq!(warm.partition(), &DependencyGraph::new(warm.accepted()));
+
+                // Independent final oracle: the reference engine (keyed,
+                // sequential Picard) agrees on the surviving set's bounds.
+                if strategy == FixedPointStrategy::Picard && !warm.accepted().is_empty() {
+                    let reference = analyze_reference(
+                        &topology,
+                        warm.accepted(),
+                        &AnalysisConfig::paper(),
+                    )
+                    .unwrap();
+                    let reanalyzed = warm.reanalyze().unwrap();
+                    prop_assert_eq!(&reference.flows, &reanalyzed.flows);
+                    prop_assert_eq!(reference.schedulable, reanalyzed.schedulable);
+                }
+            }
+        }
+    }
+}
+
+/// (b) Shard merge on an accepted bridge, no-op on a rejection, split on
+/// the bridge's departure — the partition always equals a from-scratch
+/// rebuild of the accepted set.
+#[test]
+fn bridge_admission_merges_shards_and_departure_splits_them() {
+    use gmfnet::analysis::ShardId;
+    use gmfnet::model::{cbr_flow, Time};
+    use gmfnet::net::{shortest_path, star, LinkProfile, Priority, SwitchConfig};
+
+    let probe = |name: &str, deadline_ms: f64| {
+        cbr_flow(
+            name,
+            200,
+            Time::from_millis(10.0),
+            Time::from_millis(deadline_ms),
+            Time::ZERO,
+        )
+    };
+    let (topology, _, hosts) = star(6, LinkProfile::ethernet_100m(), SwitchConfig::paper());
+    let mut ctl = AdmissionController::new(topology.clone(), AnalysisConfig::paper())
+        .with_mode(AdmissionMode::Warm);
+
+    // Two link-disjoint flows: two singleton shards.
+    let r01 = shortest_path(&topology, hosts[0], hosts[1]).unwrap();
+    let r23 = shortest_path(&topology, hosts[2], hosts[3]).unwrap();
+    let decisions = ctl
+        .request_batch([
+            AdmissionRequest::new(probe("a", 10.0), r01, Priority(3)),
+            AdmissionRequest::new(probe("b", 10.0), r23, Priority(3)),
+        ])
+        .unwrap();
+    assert!(decisions.iter().all(|d| d.is_accepted()));
+    let (a, b) = (decisions[0].id(), decisions[1].id());
+    assert_eq!(ctl.partition().n_shards(), 2);
+    assert_ne!(ctl.partition().shard_of(a), ctl.partition().shard_of(b));
+
+    // An impossible bridge (sub-transmission-time deadline) is rejected
+    // and leaves the partition untouched.
+    let bridge_route = shortest_path(&topology, hosts[0], hosts[3]).unwrap();
+    let rejected = ctl
+        .request_batch([AdmissionRequest::new(
+            probe("tight-bridge", 0.001),
+            bridge_route.clone(),
+            Priority(3),
+        )])
+        .unwrap()
+        .pop()
+        .unwrap();
+    assert!(!rejected.is_accepted());
+    assert_eq!(ctl.partition().n_shards(), 2);
+    assert_eq!(
+        ctl.partition().shards_touching_route(&bridge_route).len(),
+        2
+    );
+
+    // A feasible bridge merges both shards into one, named after the
+    // smallest member (merge-on-bridge).
+    let accepted = ctl
+        .request_batch([AdmissionRequest::new(
+            probe("bridge", 10.0),
+            bridge_route,
+            Priority(3),
+        )])
+        .unwrap()
+        .pop()
+        .unwrap();
+    assert!(accepted.is_accepted());
+    let bridge = accepted.id();
+    assert_eq!(ctl.partition().n_shards(), 1);
+    assert_eq!(ctl.partition().shard_of(b), Some(ShardId(a)));
+    assert_eq!(
+        ctl.partition().shard_flows(ShardId(a)).unwrap(),
+        &[a, b, bridge]
+    );
+
+    // Departure of the bridge splits the shard back into the originals.
+    ctl.release(bridge).unwrap();
+    assert_eq!(ctl.partition().n_shards(), 2);
+    assert_eq!(ctl.partition().shard_of(a), Some(ShardId(a)));
+    assert_eq!(ctl.partition().shard_of(b), Some(ShardId(b)));
+    assert_eq!(ctl.partition(), &DependencyGraph::new(ctl.accepted()));
+
+    // The post-split controller still decides identically to a cold one.
+    let r45 = shortest_path(&topology, hosts[4], hosts[5]).unwrap();
+    let mut cold = AdmissionController::with_accepted(
+        topology,
+        ctl.accepted().clone(),
+        AnalysisConfig::paper(),
+    )
+    .unwrap()
+    .0
+    .with_mode(AdmissionMode::Cold);
+    let request = AdmissionRequest::new(probe("c", 10.0), r45, Priority(3));
+    let w = ctl.request_batch([request.clone()]).unwrap().pop().unwrap();
+    let c = cold.request_batch([request]).unwrap().pop().unwrap();
+    assert_eq!(w.is_accepted(), c.is_accepted());
+    assert_eq!(w.id(), c.id());
+    assert_eq!(ctl.accepted(), cold.accepted());
+}
