@@ -18,7 +18,7 @@
 //! * the process repeats until the map stops changing.
 
 use crate::error::AnalysisError;
-use gmf_model::{FlowId, GmfFlow, LinkDemand, Time};
+use gmf_model::{DemandTable, FlowId, GmfFlow, LinkDemand, Time};
 use gmf_net::{FlowSet, NodeId, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -290,6 +290,9 @@ pub struct AnalysisContext<'a> {
     flows: &'a FlowSet,
     /// Demand storage, indexed by the dense plan's demand ids.
     demands: Vec<LinkDemand>,
+    /// Precompiled prefix-maximum tables, parallel to `demands` (same
+    /// index space) — the only demand view the per-frame kernels touch.
+    tables: Vec<DemandTable>,
     /// Keyed view of `demands` backing the public [`Self::demand`] API.
     demand_lookup: BTreeMap<(FlowId, NodeId, NodeId), u32>,
     /// The interner and interference tables.
@@ -305,10 +308,12 @@ impl<'a> AnalysisContext<'a> {
         let mut demand_lookup = BTreeMap::new();
         let plan =
             crate::dense::DensePlan::build(topology, flows, &mut demands, &mut demand_lookup)?;
+        let tables = demands.iter().map(DemandTable::new).collect();
         Ok(AnalysisContext {
             topology,
             flows,
             demands,
+            tables,
             demand_lookup,
             plan,
         })
@@ -323,6 +328,28 @@ impl<'a> AnalysisContext<'a> {
     #[inline]
     pub(crate) fn demand_by_index(&self, index: u32) -> &LinkDemand {
         &self.demands[crate::index::ux(index)]
+    }
+
+    /// The interned demand tables, parallel to the demand indices (the
+    /// kernels index this slice directly).
+    #[inline]
+    pub(crate) fn tables(&self) -> &[DemandTable] {
+        &self.tables
+    }
+
+    /// Aggregate table statistics for the `kernel/*` bench counters:
+    /// `(number of tables, total stored window spans, plan term count)`.
+    pub fn kernel_stats(&self) -> (u64, u64, u64) {
+        let windows = self
+            .tables
+            .iter()
+            .map(|t| u64::try_from(t.n_windows()).unwrap_or(u64::MAX))
+            .sum();
+        (
+            u64::try_from(self.tables.len()).unwrap_or(u64::MAX),
+            windows,
+            u64::try_from(self.plan.terms.len()).unwrap_or(u64::MAX),
+        )
     }
 
     /// The network topology.

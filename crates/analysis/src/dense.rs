@@ -59,6 +59,27 @@ pub(crate) struct Interferer {
     pub is_self: bool,
 }
 
+/// One interference term precompiled for the per-frame kernels: the
+/// interferer's demand-table index, its jitter pair and the static
+/// blocking widening, laid out contiguously in [`DensePlan::terms`] so a
+/// stage build resolves its round-dependent `extra_j` values with one
+/// branch-free slice walk (see [`crate::kernel`]).
+///
+/// `blocking_c` is stored as [`Time::ZERO`] for the flow under analysis,
+/// so the first-hop blocking refinement can add it unconditionally —
+/// `x + 0.0` is exact in IEEE 754, keeping the walk branchless *and*
+/// byte-identical to the keyed `is_self` branch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TermSpec {
+    /// Index of the interferer's demand table (same index space as
+    /// demands — the interner stores them side by side).
+    pub table: u32,
+    /// Pair id of the interferer's jitter at the stage's resource.
+    pub pair: u32,
+    /// Static first-hop blocking widening (zero for self / non-first-hop).
+    pub blocking_c: Time,
+}
+
 /// One resource of a flow's Figure 6 pipeline walk, with everything its
 /// response-time analysis needs precomputed.
 #[derive(Debug, Clone)]
@@ -75,10 +96,15 @@ pub(crate) struct StagePlan {
     /// The stage's long-run demand (left-hand side of its overload check),
     /// summed in interferer id order exactly as the keyed analyses do.
     pub utilization: f64, // tidy-allow: float utilization ratio, not a bound
-    /// Flows interfering at this stage, in id order: all flows on the
-    /// link (first hop, ingress) or the higher-or-equal-priority flows
-    /// (egress).
-    pub interferers: Vec<Interferer>,
+    /// Range into [`DensePlan::terms`] with every interferer of the stage
+    /// in id order (all flows on the link for first hop / ingress, the
+    /// higher-or-equal-priority flows for egress) — the slice the
+    /// busy-period kernels walk.
+    pub all_terms: std::ops::Range<u32>,
+    /// Range into [`DensePlan::terms`] with the non-self interferers in id
+    /// order — the slice the `w(q)` kernels walk.  Equal to `all_terms`
+    /// for egress stages, whose interferer set never contains self.
+    pub other_terms: std::ops::Range<u32>,
     /// `CIRC(N)` of the switch (ingress / egress stages; zero first hop).
     pub circ: Time,
     /// Propagation delay of the traversed link (first hop / egress stages;
@@ -122,6 +148,9 @@ pub(crate) struct DensePlan {
     pub pair_frames: Vec<u32>,
     /// Total arena length (sum of all pair ranges).
     pub arena_len: usize,
+    /// Flat arena of precompiled interference terms; stage plans address
+    /// it through their `all_terms` / `other_terms` ranges.
+    pub terms: Vec<TermSpec>,
 }
 
 impl DensePlan {
@@ -248,6 +277,7 @@ impl DensePlan {
 
         // Per-flow stage plans with interference tables.
         let mut flow_plans = Vec::with_capacity(bindings.len());
+        let mut terms: Vec<TermSpec> = Vec::new();
         for (binding, walk) in bindings.iter().zip(&walks) {
             let mut stages = Vec::with_capacity(walk.len());
             let mut input_pairs: Vec<u32> = Vec::new();
@@ -335,13 +365,38 @@ impl DensePlan {
                         .map(|i| i.pair)
                         .filter(|&pair| pair != NO_PAIR),
                 );
+                // Precompile the kernel term slices: all interferers, then
+                // (for stages whose w(q) recurrence drops self) the
+                // non-self subset, both preserving id order.
+                // tidy-allow: unwrap invariant: term count fits u32
+                let all_start = u32::try_from(terms.len()).expect("term count fits u32");
+                terms.extend(interferers.iter().map(|i| TermSpec {
+                    table: i.demand,
+                    pair: i.pair,
+                    blocking_c: i.blocking_c,
+                }));
+                // tidy-allow: unwrap invariant: term count fits u32
+                let all_end = u32::try_from(terms.len()).expect("term count fits u32");
+                let other_terms = if interferers.iter().any(|i| i.is_self) {
+                    terms.extend(interferers.iter().filter(|i| !i.is_self).map(|i| TermSpec {
+                        table: i.demand,
+                        pair: i.pair,
+                        blocking_c: i.blocking_c,
+                    }));
+                    // tidy-allow: unwrap invariant: term count fits u32
+                    let other_end = u32::try_from(terms.len()).expect("term count fits u32");
+                    all_end..other_end
+                } else {
+                    all_start..all_end
+                };
                 stages.push(StagePlan {
                     stage,
                     resource,
                     pair: pair_of(binding.id, resource),
                     own_demand: demand_of(binding.id, from, to),
                     utilization,
-                    interferers,
+                    all_terms: all_start..all_end,
+                    other_terms,
                     circ,
                     propagation,
                 });
@@ -364,7 +419,14 @@ impl DensePlan {
             pair_base,
             pair_frames,
             arena_len: ux(arena_len),
+            terms,
         })
+    }
+
+    /// The term slice of a stage range (kernel walks).
+    #[inline]
+    pub fn term_slice(&self, range: &std::ops::Range<u32>) -> &[TermSpec] {
+        &self.terms[ux(range.start)..ux(range.end)]
     }
 
     /// Number of pairs in the layout.
@@ -614,14 +676,18 @@ mod tests {
         // `hep` interferer with a live jitter pair.
         let last = plan.flows[0].stages.last().unwrap();
         let voice_pairs: Vec<u32> = plan.flows[1].stages.iter().map(|s| s.pair).collect();
-        assert!(last
-            .interferers
-            .iter()
-            .any(|i| voice_pairs.contains(&i.pair)));
-        assert!(last
-            .interferers
-            .iter()
-            .all(|i| i.pair != NO_PAIR || i.is_self));
+        let last_terms = plan.term_slice(&last.all_terms);
+        assert!(last_terms.iter().any(|t| voice_pairs.contains(&t.pair)));
+        // Egress interferer slices carry no self entry (every pair is
+        // live), so both kernel walks share one slice; the first hop's
+        // `w(q)` slice drops exactly the self term.
+        assert!(last_terms.iter().all(|t| t.pair != NO_PAIR));
+        assert_eq!(last.all_terms, last.other_terms);
+        let first = &plan.flows[0].stages[0];
+        assert_eq!(
+            plan.term_slice(&first.all_terms).len(),
+            plan.term_slice(&first.other_terms).len() + 1
+        );
         // Input pairs are sorted and deduplicated.
         for flow in &plan.flows {
             assert!(flow.input_pairs.windows(2).all(|w| w[0] < w[1]));

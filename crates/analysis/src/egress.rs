@@ -33,7 +33,8 @@ use crate::busy_period::{fixed_point, FixedPointOutcome};
 use crate::config::AnalysisConfig;
 use crate::context::{AnalysisContext, JitterMap, ResourceId};
 use crate::error::{AnalysisError, StageKind};
-use crate::index::{qw, qx};
+use crate::index::qw;
+use crate::kernel::KernelScratch;
 use crate::stage::StageResult;
 use gmf_model::{FlowId, Time};
 use gmf_net::NodeId;
@@ -234,11 +235,12 @@ pub(crate) struct EgressDense {
     instances: u64,
     own_demand: u32,
     propagation: Time,
-    /// `(demand index, extra_j)` per hep interferer, in id order.
-    extras: Vec<(u32, Time)>,
-    /// `w(q)` for `q < Q_i` (eq. 31) of single-frame packets, solved at
-    /// build.
-    w: Vec<Time>,
+    /// Range into the scratch term arena with the resolved hep
+    /// interferers, in id order.
+    terms: std::ops::Range<usize>,
+    /// Range into the scratch `w` arena holding `w(q)` for `q < Q_i`
+    /// (eq. 31) of single-frame packets, solved at build.
+    w: std::ops::Range<usize>,
 }
 
 impl EgressDense {
@@ -251,6 +253,7 @@ impl EgressDense {
         config: &AnalysisConfig,
         flow: gmf_model::FlowId,
         stage: &crate::dense::StagePlan,
+        scratch: &mut KernelScratch,
     ) -> Result<Self, AnalysisError> {
         let circ = stage.circ;
         if stage.utilization >= 1.0 {
@@ -279,32 +282,23 @@ impl EgressDense {
         };
 
         // extra_j: accumulated jitter of flow j on this output link (the
-        // egress interferer table holds `hep` only — no self entry).
-        let extras: Vec<(u32, Time)> = stage
-            .interferers
-            .iter()
-            .map(|i| (i.demand, jitters.max_jitter(i.pair)))
-            .collect();
-
-        let interference = |window_base: Time| -> Time {
-            let mut total = Time::ZERO;
-            for &(demand, extra) in &extras {
-                let d = ctx.demand_by_index(demand);
-                let window = window_base + extra;
-                total = total.saturating_add(
-                    d.mx(window)
-                        .saturating_add(circ.saturating_mul(d.nx(window))),
-                );
-            }
-            total
-        };
+        // egress interferer table holds `hep` only — no self entry, so
+        // `all_terms` is the one slice both walks use).
+        let tables = ctx.tables();
+        let terms_range =
+            scratch.resolve_terms(ctx.plan().term_slice(&stage.all_terms), jitters, false);
+        let KernelScratch { terms, w, .. } = scratch;
+        let resolved = &terms[terms_range.clone()];
 
         // Busy period, equations (28)–(29).
-        let busy_period = match fixed_point(
+        let busy_period = match crate::kernel::solve_mx_nx(
+            tables,
+            resolved,
+            circ,
+            busy_seed,
             busy_seed,
             config.horizon,
             config.max_fixed_point_iterations,
-            |t| busy_seed + interference(t),
         ) {
             FixedPointOutcome::Converged(t) => t,
             FixedPointOutcome::ExceededHorizon { .. } => {
@@ -330,14 +324,17 @@ impl EgressDense {
         // single-frame packets (`blocking_k` = one MFT, plus one CIRC
         // own-send-wait under the refinement).
         let single_blocking = if refine { own_frame_cost } else { mft };
-        let mut w = Vec::with_capacity(qx(instances));
+        let w_start = w.len();
         for q in 0..instances {
             let own = single_blocking.saturating_add(cycle_extra.saturating_mul(q));
-            let wq = match fixed_point(
+            let wq = match crate::kernel::solve_mx_nx(
+                tables,
+                resolved,
+                circ,
+                own,
                 own,
                 config.horizon,
                 config.max_fixed_point_iterations,
-                |w| own + interference(w),
             ) {
                 FixedPointOutcome::Converged(w) => w,
                 FixedPointOutcome::ExceededHorizon { .. } => {
@@ -369,8 +366,8 @@ impl EgressDense {
             instances,
             own_demand: stage.own_demand,
             propagation: stage.propagation,
-            extras,
-            w,
+            terms: terms_range,
+            w: w_start..w.len(),
         })
     }
 
@@ -383,42 +380,36 @@ impl EgressDense {
         ctx: &AnalysisContext<'_>,
         config: &AnalysisConfig,
         frame: usize,
+        scratch: &KernelScratch,
     ) -> Result<Time, AnalysisError> {
         let d_i = ctx.demand_by_index(self.own_demand);
         let c_k = d_i.c(frame);
         let n_k = d_i.n_ethernet_frames(frame);
         if !(config.refine_egress_own_frames && n_k > 1) {
             let mut worst = Time::ZERO;
-            for (q, &wq) in self.w.iter().enumerate() {
+            for (q, &wq) in scratch.w[self.w.clone()].iter().enumerate() {
                 let response = wq - self.tsum_i.saturating_mul(qw(q)) + c_k;
                 worst = worst.max(response);
             }
             return Ok(worst + self.propagation);
         }
 
-        let interference = |window_base: Time| -> Time {
-            let mut total = Time::ZERO;
-            for &(demand, extra) in &self.extras {
-                let d = ctx.demand_by_index(demand);
-                let window = window_base + extra;
-                total = total.saturating_add(
-                    d.mx(window)
-                        .saturating_add(self.circ.saturating_mul(d.nx(window))),
-                );
-            }
-            total
-        };
+        let tables = ctx.tables();
+        let resolved = &scratch.terms[self.terms.clone()];
         let mut worst = Time::ZERO;
         for q in 0..self.instances {
             let base = (self.mft + self.circ)
                 .saturating_mul(n_k)
                 .saturating_add(self.cycle_extra.saturating_mul(q))
                 + c_k;
-            let r = match fixed_point(
+            let r = match crate::kernel::solve_mx_nx(
+                tables,
+                resolved,
+                self.circ,
+                base,
                 base,
                 config.horizon,
                 config.max_fixed_point_iterations,
-                |r| base + interference(r),
             ) {
                 FixedPointOutcome::Converged(r) => r,
                 FixedPointOutcome::ExceededHorizon { .. } => {

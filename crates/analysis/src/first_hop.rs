@@ -36,6 +36,7 @@ use crate::config::AnalysisConfig;
 use crate::context::{AnalysisContext, JitterMap, ResourceId};
 use crate::error::{AnalysisError, StageKind};
 use crate::index::qx;
+use crate::kernel::KernelScratch;
 use crate::stage::StageResult;
 use gmf_model::{FlowId, Time};
 
@@ -179,11 +180,11 @@ pub fn first_hop_response(
     })
 }
 
-/// The dense per-round state of one flow's first-hop stage: extras
-/// resolved to arena reads once, interferer demands resolved to indices,
-/// and the queueing-time fixed points `w(q)` memoised across frames (they
-/// depend on `q` but not on the frame, yet the keyed path re-solved them
-/// for every frame of the cycle).
+/// The dense per-round state of one flow's first-hop stage: interference
+/// terms resolved into the worker's [`KernelScratch`] arena once, and the
+/// queueing-time fixed points `w(q)` memoised across frames (they depend
+/// on `q` but not on the frame, yet the keyed path re-solved them for
+/// every frame of the cycle).
 ///
 /// The busy period (eq. 15) *is* frame-dependent — it is seeded at the
 /// frame's own transmission time — so it stays in
@@ -194,23 +195,25 @@ pub fn first_hop_response(
 pub(crate) struct FirstHopDense {
     flow: gmf_model::FlowId,
     resource: crate::context::ResourceId,
-    /// `(demand index, extra_j, is_self)` per interferer, in id order.
-    extras: Vec<(u32, Time, bool)>,
+    /// Every interferer's resolved term (busy-period walk), in id order.
+    all_terms: std::ops::Range<usize>,
+    /// The non-self terms (`w(q)` walk), in id order.
+    other_terms: std::ops::Range<usize>,
     own_demand: u32,
     propagation: Time,
-    /// `w(q)` least fixed points computed so far (index = `q`).
-    w_memo: Vec<Time>,
 }
 
 impl FirstHopDense {
-    /// Resolve the stage's extras against the current iterate and run the
-    /// overload check (eq. 20) — everything frame-independent and
-    /// fallible-once.
+    /// Resolve the stage's terms against the current iterate into the
+    /// scratch arena and run the overload check (eq. 20) — everything
+    /// frame-independent and fallible-once.
     pub(crate) fn build(
+        plan: &crate::dense::DensePlan,
         jitters: &crate::dense::DenseJitters,
         config: &AnalysisConfig,
         flow: gmf_model::FlowId,
         stage: &crate::dense::StagePlan,
+        scratch: &mut KernelScratch,
     ) -> Result<Self, AnalysisError> {
         if stage.utilization >= 1.0 {
             return Err(AnalysisError::Overload {
@@ -220,53 +223,54 @@ impl FirstHopDense {
                 resource: stage.resource.to_string(),
             });
         }
-        let extras = stage
-            .interferers
-            .iter()
-            .map(|i| {
-                let mut extra = jitters.max_jitter(i.pair);
-                if config.refine_first_hop_blocking && !i.is_self {
-                    extra = extra.saturating_add(i.blocking_c);
-                }
-                (i.demand, extra, i.is_self)
-            })
-            .collect();
+        // Under the blocking refinement the widening folds into `extra`
+        // for every term: the plan stores `blocking_c == 0` for the
+        // flow's own term, so the unconditional add matches the keyed
+        // `is_self` branch bit for bit.
+        let add_blocking = config.refine_first_hop_blocking;
+        let all_terms =
+            scratch.resolve_terms(plan.term_slice(&stage.all_terms), jitters, add_blocking);
+        let other_terms =
+            scratch.resolve_terms(plan.term_slice(&stage.other_terms), jitters, add_blocking);
         Ok(FirstHopDense {
             flow,
             resource: stage.resource,
-            extras,
+            all_terms,
+            other_terms,
             own_demand: stage.own_demand,
             propagation: stage.propagation,
-            w_memo: Vec::new(),
         })
     }
 
     /// The first-hop response-time bound of `frame` — the same equations
-    /// (15)–(19) as [`first_hop_response`], evaluated over the dense
-    /// tables.
+    /// (15)–(19) as [`first_hop_response`], evaluated as table walks over
+    /// the scratch arena's terms.
     pub(crate) fn response(
-        &mut self,
+        &self,
         ctx: &AnalysisContext<'_>,
         config: &AnalysisConfig,
         frame: usize,
+        scratch: &mut KernelScratch,
     ) -> Result<Time, AnalysisError> {
         let d_i = ctx.demand_by_index(self.own_demand);
         let c_k = d_i.c(frame);
         let tsum_i = d_i.tsum();
         let csum_i = d_i.csum();
+        let tables = ctx.tables();
+        let KernelScratch {
+            terms, first_hop_w, ..
+        } = scratch;
+        let all = &terms[self.all_terms.clone()];
+        let others = &terms[self.other_terms.clone()];
 
         // Busy period, equation (15), seeded at the frame's own C.
-        let busy_period = match fixed_point(
+        let busy_period = match crate::kernel::solve_sum_mx(
+            tables,
+            all,
+            Time::ZERO,
             c_k,
             config.horizon,
             config.max_fixed_point_iterations,
-            |t| {
-                let mut total = Time::ZERO;
-                for &(demand, extra, _) in &self.extras {
-                    total = total.saturating_add(ctx.demand_by_index(demand).mx(t + extra));
-                }
-                total
-            },
         ) {
             FixedPointOutcome::Converged(t) => t,
             FixedPointOutcome::ExceededHorizon { .. } => {
@@ -292,22 +296,15 @@ impl FirstHopDense {
         // solved once per `q` across the whole cycle.
         let mut worst = Time::ZERO;
         for q in 0..instances {
-            if self.w_memo.len() <= qx(q) {
+            if first_hop_w.len() <= qx(q) {
                 let own = csum_i.saturating_mul(q);
-                let w = match fixed_point(
+                let w = match crate::kernel::solve_sum_mx(
+                    tables,
+                    others,
+                    own,
                     own,
                     config.horizon,
                     config.max_fixed_point_iterations,
-                    |w| {
-                        let mut total = own;
-                        for &(demand, extra, is_self) in &self.extras {
-                            if is_self {
-                                continue;
-                            }
-                            total = total.saturating_add(ctx.demand_by_index(demand).mx(w + extra));
-                        }
-                        total
-                    },
                 ) {
                     FixedPointOutcome::Converged(w) => w,
                     FixedPointOutcome::ExceededHorizon { .. } => {
@@ -326,10 +323,10 @@ impl FirstHopDense {
                         })
                     }
                 };
-                self.w_memo.push(w);
+                first_hop_w.push(w);
             }
             // Equation (18).
-            let response = self.w_memo[qx(q)] - tsum_i.saturating_mul(q) + c_k;
+            let response = first_hop_w[qx(q)] - tsum_i.saturating_mul(q) + c_k;
             worst = worst.max(response);
         }
 

@@ -104,7 +104,8 @@ use crate::error::AnalysisError;
 use crate::pipeline::analyze_flow_dense;
 use crate::report::{AnalysisReport, FlowReport, FrameBound};
 use gmf_model::Time;
-use gmf_par::{par_map_interleaved, Threads};
+use crate::kernel::KernelScratch;
+use gmf_par::{par_map_interleaved_with, Threads};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -591,15 +592,16 @@ fn evaluate_round(
     // byte-identical at any thread count.
     type FlowResult = Result<(Vec<FrameBound>, Vec<Vec<Time>>), AnalysisError>;
     let mut results: Box<dyn Iterator<Item = FlowResult> + '_> = if threads.get() == 1 {
+        let mut scratch = KernelScratch::default();
         Box::new(
             dirty
                 .iter()
-                .map(|&index| analyze_flow_dense(ctx, jitters, config, index)),
+                .map(move |&index| analyze_flow_dense(ctx, jitters, config, index, &mut scratch)),
         )
     } else {
         Box::new(
-            par_map_interleaved(threads, &dirty, |_, &index| {
-                analyze_flow_dense(ctx, jitters, config, index)
+            par_map_interleaved_with(threads, &dirty, KernelScratch::default, {
+                |scratch, _, &index| analyze_flow_dense(ctx, jitters, config, index, scratch)
             })
             .into_iter(),
         )

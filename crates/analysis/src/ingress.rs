@@ -36,7 +36,8 @@ use crate::busy_period::{fixed_point, FixedPointOutcome};
 use crate::config::AnalysisConfig;
 use crate::context::{AnalysisContext, JitterMap, ResourceId};
 use crate::error::{AnalysisError, StageKind};
-use crate::index::{qw, qx};
+use crate::index::qw;
+use crate::kernel::KernelScratch;
 use crate::stage::StageResult;
 use gmf_model::{FlowId, Time};
 use gmf_net::NodeId;
@@ -197,19 +198,22 @@ pub(crate) struct IngressDense {
     tsum_i: Time,
     own_demand: u32,
     refine_own_frames: bool,
-    /// `w(q)` for `q < Q_i` (eq. 24), solved at build.
-    w: Vec<Time>,
+    /// Range into the scratch `w` arena holding `w(q)` for `q < Q_i`
+    /// (eq. 24), solved at build.
+    w: std::ops::Range<usize>,
 }
 
 impl IngressDense {
     /// Run the overload check and solve the busy period and every `w(q)`
-    /// against the current iterate.
+    /// against the current iterate, as table walks over the scratch
+    /// arena's terms.
     pub(crate) fn build(
         ctx: &AnalysisContext<'_>,
         jitters: &crate::dense::DenseJitters,
         config: &AnalysisConfig,
         flow: gmf_model::FlowId,
         stage: &crate::dense::StagePlan,
+        scratch: &mut KernelScratch,
     ) -> Result<Self, AnalysisError> {
         let circ = stage.circ;
         if stage.utilization >= 1.0 {
@@ -222,26 +226,26 @@ impl IngressDense {
         }
         let d_i = ctx.demand_by_index(stage.own_demand);
         let tsum_i = d_i.tsum();
+        let tables = ctx.tables();
+        let plan = ctx.plan();
 
         // extra_j: accumulated jitter of flow j at reception on this node.
-        let extras: Vec<(u32, Time, bool)> = stage
-            .interferers
-            .iter()
-            .map(|i| (i.demand, jitters.max_jitter(i.pair), i.is_self))
-            .collect();
+        let all_range = scratch.resolve_terms(plan.term_slice(&stage.all_terms), jitters, false);
+        let other_range =
+            scratch.resolve_terms(plan.term_slice(&stage.other_terms), jitters, false);
+        let KernelScratch { terms, w, .. } = scratch;
+        let all = &terms[all_range];
+        let others = &terms[other_range];
 
         // Busy period, equation (22).
-        let busy_period = match fixed_point(
+        let busy_period = match crate::kernel::solve_sum_nx(
+            tables,
+            all,
+            circ,
+            Time::ZERO,
             circ,
             config.horizon,
             config.max_fixed_point_iterations,
-            |t| {
-                let mut rounds: u64 = 0;
-                for &(demand, extra, _) in &extras {
-                    rounds = rounds.saturating_add(ctx.demand_by_index(demand).nx(t + extra));
-                }
-                circ.saturating_mul(rounds)
-            },
         ) {
             FixedPointOutcome::Converged(t) => t,
             FixedPointOutcome::ExceededHorizon { .. } => {
@@ -269,23 +273,17 @@ impl IngressDense {
         };
 
         // Queueing time per instance, equation (24).
-        let mut w = Vec::with_capacity(qx(instances));
+        let w_start = w.len();
         for q in 0..instances {
             let own = circ.saturating_mul(q.saturating_mul(own_rounds_per_cycle));
-            let wq = match fixed_point(
+            let wq = match crate::kernel::solve_sum_nx(
+                tables,
+                others,
+                circ,
+                own,
                 own,
                 config.horizon,
                 config.max_fixed_point_iterations,
-                |w| {
-                    let mut rounds: u64 = 0;
-                    for &(demand, extra, is_self) in &extras {
-                        if is_self {
-                            continue;
-                        }
-                        rounds = rounds.saturating_add(ctx.demand_by_index(demand).nx(w + extra));
-                    }
-                    own.saturating_add(circ.saturating_mul(rounds))
-                },
             ) {
                 FixedPointOutcome::Converged(w) => w,
                 FixedPointOutcome::ExceededHorizon { .. } => {
@@ -312,13 +310,18 @@ impl IngressDense {
             tsum_i,
             own_demand: stage.own_demand,
             refine_own_frames: config.refine_ingress_own_frames,
-            w,
+            w: w_start..w.len(),
         })
     }
 
     /// Equation (25)–(26): maximise the response over the precomputed
     /// instances, charging the frame's own service rounds.
-    pub(crate) fn response(&self, ctx: &AnalysisContext<'_>, frame: usize) -> Time {
+    pub(crate) fn response(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        frame: usize,
+        scratch: &KernelScratch,
+    ) -> Time {
         let own_rounds_final: u64 = if self.refine_own_frames {
             ctx.demand_by_index(self.own_demand)
                 .n_ethernet_frames(frame)
@@ -326,7 +329,7 @@ impl IngressDense {
             1
         };
         let mut worst = Time::ZERO;
-        for (q, &wq) in self.w.iter().enumerate() {
+        for (q, &wq) in scratch.w[self.w.clone()].iter().enumerate() {
             let response =
                 wq - self.tsum_i.saturating_mul(qw(q)) + self.circ.saturating_mul(own_rounds_final);
             worst = worst.max(response);

@@ -65,6 +65,7 @@ pub mod fixed_point;
 pub mod holistic;
 pub(crate) mod index;
 pub mod ingress;
+pub(crate) mod kernel;
 pub mod pipeline;
 pub mod reference;
 pub mod report;

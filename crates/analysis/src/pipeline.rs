@@ -179,11 +179,13 @@ pub(crate) fn analyze_flow_dense(
     jitters: &crate::dense::DenseJitters,
     config: &AnalysisConfig,
     flow_index: usize,
+    scratch: &mut crate::kernel::KernelScratch,
 ) -> Result<(Vec<FrameBound>, Vec<Vec<Time>>), AnalysisError> {
     let plan = ctx.plan();
     let flow_plan = &plan.flows[flow_index];
     let binding = &ctx.flows().bindings()[flow_index];
     let flow = flow_plan.id;
+    scratch.reset();
 
     let mut states: Vec<StageState> = Vec::with_capacity(flow_plan.stages.len());
     let mut bounds = Vec::with_capacity(flow_plan.n_frames);
@@ -205,21 +207,27 @@ pub(crate) fn analyze_flow_dense(
             frame_assignments.push(jsum);
             if states.len() == index {
                 states.push(match stage.stage {
-                    crate::error::StageKind::FirstHop => StageState::First(
-                        crate::first_hop::FirstHopDense::build(jitters, config, flow, stage)?,
-                    ),
-                    crate::error::StageKind::SwitchIngress => StageState::Ingress(
-                        crate::ingress::IngressDense::build(ctx, jitters, config, flow, stage)?,
-                    ),
-                    crate::error::StageKind::EgressLink => StageState::Egress(
-                        crate::egress::EgressDense::build(ctx, jitters, config, flow, stage)?,
-                    ),
+                    crate::error::StageKind::FirstHop => {
+                        StageState::First(crate::first_hop::FirstHopDense::build(
+                            plan, jitters, config, flow, stage, scratch,
+                        )?)
+                    }
+                    crate::error::StageKind::SwitchIngress => {
+                        StageState::Ingress(crate::ingress::IngressDense::build(
+                            ctx, jitters, config, flow, stage, scratch,
+                        )?)
+                    }
+                    crate::error::StageKind::EgressLink => {
+                        StageState::Egress(crate::egress::EgressDense::build(
+                            ctx, jitters, config, flow, stage, scratch,
+                        )?)
+                    }
                 });
             }
             let response = match &mut states[index] {
-                StageState::First(state) => state.response(ctx, config, frame)?,
-                StageState::Ingress(state) => state.response(ctx, frame),
-                StageState::Egress(state) => state.response(ctx, config, frame)?,
+                StageState::First(state) => state.response(ctx, config, frame, scratch)?,
+                StageState::Ingress(state) => state.response(ctx, frame, scratch),
+                StageState::Egress(state) => state.response(ctx, config, frame, scratch)?,
             };
             hops.push(HopBound {
                 resource: stage.resource,

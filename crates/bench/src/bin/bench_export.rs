@@ -37,7 +37,9 @@ use gmf_bench::{
     synthetic_converging_set, CHURN_BENCH_SEED, HOLISTIC_SYNTHETIC_AXIS, HOLISTIC_THREAD_AXIS,
     METRO_BENCH_SEED, METRO_SMALL_BATCHES, METRO_SMALL_BATCH_SIZE, METRO_TIGHT_FRACTION,
 };
-use gmf_model::{paper_figure3_flow, BitRate, EncapsulationConfig, FlowId, LinkDemand, Time};
+use gmf_model::{
+    paper_figure3_flow, BitRate, DemandTable, EncapsulationConfig, FlowId, LinkDemand, Time,
+};
 use gmf_workloads::{paper_scenario, run_churn};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -96,6 +98,12 @@ fn main() {
         "mx_multi_cycle_window",
         median_ns(samples, || {
             black_box(demand.mx(black_box(Time::from_secs(3.0))));
+        }),
+    );
+    record(
+        "demand_table_build",
+        median_ns(samples, || {
+            black_box(DemandTable::new(black_box(&demand)));
         }),
     );
 
@@ -186,6 +194,18 @@ fn main() {
             ("mixed_depth", &mixed_topology, &mixed_flows),
         ];
         for (name, workload_topology, workload_flows) in cost_workloads {
+            {
+                // The demand-kernel shape of the workload: how many
+                // precompiled tables the interner holds, how many window
+                // spans they store in total, and how many interference
+                // terms the dense plan walks.  Deterministic like the
+                // round counters — a change means the plan changed.
+                let ctx = AnalysisContext::new(workload_topology, workload_flows).unwrap();
+                let (tables, windows, terms) = ctx.kernel_stats();
+                counters.insert(format!("kernel/tables/{name}"), tables);
+                counters.insert(format!("kernel/windows/{name}"), windows);
+                counters.insert(format!("kernel/terms/{name}"), terms);
+            }
             for (mode, skip) in [("full", false), ("skip", true)] {
                 let config = AnalysisConfig::paper().with_skip_unchanged_flows(skip);
                 let ctx = AnalysisContext::new(workload_topology, workload_flows).unwrap();

@@ -42,6 +42,7 @@ pub mod error;
 pub mod flow;
 pub mod frame;
 pub mod gop;
+pub mod table;
 pub mod units;
 pub mod voip;
 
@@ -55,6 +56,7 @@ pub use error::ModelError;
 pub use flow::{FlowId, GmfFlow};
 pub use frame::FrameSpec;
 pub use gop::{paper_figure3_flow, paper_figure3_pattern, GopFrameType, GopSizes, GopSpec};
+pub use table::DemandTable;
 pub use units::{BitRate, Bits, Time};
 pub use voip::{cbr_flow, conference_flows, voip_flow, VoiceCodec};
 

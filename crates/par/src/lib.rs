@@ -178,10 +178,40 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_interleaved_with(threads, items, || (), |(), index, item| f(index, item))
+}
+
+/// [`par_map_interleaved`] with per-worker mutable state: every worker
+/// builds one `S` via `init` and threads it through each item of its
+/// stride (the caller's inline path builds exactly one).
+///
+/// The motivating use is pooling scratch arenas — the analysis rounds hand
+/// each worker one reusable kernel arena instead of allocating per flow.
+/// Determinism is preserved as long as `f`'s *result* does not depend on
+/// the state's content (the state is storage, not an accumulator): the
+/// stride assignment and the deal back into input order are exactly those
+/// of [`par_map_interleaved`].
+pub fn par_map_interleaved_with<T, R, S, I, F>(
+    threads: Threads,
+    items: &[T],
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let n = items.len();
     let workers = threads.get().min(n);
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| f(&mut state, i, x))
+            .collect();
     }
 
     // Each worker produces its stride's results in stride order; the deal
@@ -191,19 +221,22 @@ where
     let mut strides: Vec<Vec<R>> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let f = &f;
+        let init = &init;
         let handles: Vec<_> = (0..workers - 1)
             .map(|w| {
                 scope.spawn(move || {
+                    let mut state = init();
                     (w..n)
                         .step_by(workers)
-                        .map(|index| f(index, &items[index]))
+                        .map(|index| f(&mut state, index, &items[index]))
                         .collect::<Vec<R>>()
                 })
             })
             .collect();
+        let mut state = init();
         let last: Vec<R> = (workers - 1..n)
             .step_by(workers)
-            .map(|index| f(index, &items[index]))
+            .map(|index| f(&mut state, index, &items[index]))
             .collect();
         for handle in handles {
             match handle.join() {
@@ -364,6 +397,32 @@ mod tests {
         assert_eq!(
             par_map_interleaved(Threads::new(8), &[21], |_, x| *x * 2),
             vec![42]
+        );
+    }
+
+    #[test]
+    fn stateful_interleaved_map_matches_sequential_at_any_thread_count() {
+        // The state is a reusable scratch buffer: correctness must not
+        // depend on which worker (and hence which buffer) serves an item.
+        let items: Vec<usize> = (0..103).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 4, 8, 16, 200] {
+            let out = par_map_interleaved_with(
+                Threads::new(threads),
+                &items,
+                Vec::<usize>::new,
+                |scratch, _, &x| {
+                    scratch.clear();
+                    scratch.extend((0..x.min(7)).map(|_| x));
+                    x * x
+                },
+            );
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+        let empty: Vec<i32> = Vec::new();
+        assert!(
+            par_map_interleaved_with(Threads::new(8), &empty, || (), |(), _, x: &i32| *x)
+                .is_empty()
         );
     }
 

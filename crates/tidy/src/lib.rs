@@ -125,6 +125,13 @@ pub const RULES: &[RuleDef] = &[
                     expect() kept for a structural invariant needs an allow stating \
                     that invariant.",
     },
+    RuleDef {
+        name: "alloc",
+        rationale: "the per-frame kernel paths must stay allocation-free: storage \
+                    comes from the per-worker KernelScratch arena, reset per flow. \
+                    Vec::new/to_vec/collect there reintroduces per-frame heap \
+                    traffic the refactor removed.",
+    },
 ];
 
 fn known_rule(name: &str) -> bool {
@@ -222,7 +229,15 @@ const HOT_PATHS: &[&str] = &[
     "crates/analysis/src/first_hop.rs",
     "crates/analysis/src/ingress.rs",
     "crates/analysis/src/egress.rs",
+    "crates/analysis/src/kernel.rs",
+    "crates/gmf-model/src/table.rs",
 ];
+
+/// The per-frame kernel modules where heap allocation is banned entirely
+/// (rule `alloc`): every byte of scratch must come from the per-worker
+/// `KernelScratch` arena so the steady-state analysis loop performs no
+/// allocator calls at all.
+const ALLOC_SCOPE: &[&str] = &["crates/analysis/src/kernel.rs"];
 
 fn rule_applies(rule: &str, ctx: &FileCtx<'_>) -> bool {
     // Test code may use whatever is convenient; the properties it asserts
@@ -237,6 +252,7 @@ fn rule_applies(rule: &str, ctx: &FileCtx<'_>) -> bool {
         "cast" => ctx.kind == FileKind::Lib && CAST_SCOPE.iter().any(|p| ctx.rel.starts_with(p)),
         "time-arith" => HOT_PATHS.contains(&ctx.rel),
         "unwrap" => ctx.kind == FileKind::Lib,
+        "alloc" => ALLOC_SCOPE.contains(&ctx.rel),
         _ => false,
     }
 }
@@ -320,6 +336,15 @@ fn rule_check(rule: &str, code: &str) -> Option<String> {
         "time-arith" => ["+=", "-="].iter().find(|t| code.contains(**t)).map(|t| {
             format!("`{t}` in an analysis hot path; use Time::saturating_add/checked_mul helpers")
         }),
+        "alloc" => ["Vec::new", ".to_vec(", ".collect("]
+            .iter()
+            .find(|t| code.contains(**t))
+            .map(|t| {
+                format!(
+                    "`{t}` allocates in a per-frame kernel path; take storage from the \
+                     KernelScratch arena"
+                )
+            }),
         "unwrap" => [".unwrap()", ".expect("]
             .iter()
             .find(|t| code.contains(**t))
@@ -718,6 +743,35 @@ mod tests {
         assert!(check(LIB, bad).is_empty());
         let good = "total = total.saturating_add(d.mx(t));\n";
         assert!(check(hot, good).is_empty());
+        // The kernel modules added by the demand-table refactor are hot
+        // paths too.
+        assert_eq!(
+            rules_fired(&check("crates/analysis/src/kernel.rs", bad)),
+            ["time-arith"]
+        );
+        assert_eq!(
+            rules_fired(&check("crates/gmf-model/src/table.rs", bad)),
+            ["time-arith"]
+        );
+    }
+
+    #[test]
+    fn alloc_rule_scoped_to_kernel_paths() {
+        let kernel = "crates/analysis/src/kernel.rs";
+        for bad in [
+            "let v: Vec<Time> = Vec::new();\n",
+            "let copy = slice.to_vec();\n",
+            "let all: Vec<Time> = items.iter().map(f).collect();\n",
+        ] {
+            assert_eq!(rules_fired(&check(kernel, bad)), ["alloc"], "{bad:?}");
+            // The same allocation outside the kernel paths is fine.
+            assert!(check(LIB, bad).is_empty(), "{bad:?}");
+        }
+        // Arena reuse is the sanctioned pattern.
+        assert!(check(kernel, "scratch.terms.extend(specs.iter().map(f));\n").is_empty());
+        // The escape hatch documents intentional one-time allocation.
+        let allowed = "// tidy-allow: alloc arena construction, once per worker\nlet v: Vec<Time> = Vec::new();\n";
+        assert!(check(kernel, allowed).is_empty());
     }
 
     #[test]
