@@ -516,6 +516,11 @@ impl AdmissionController {
         self.mode
     }
 
+    /// The analysis configuration the controller runs trials with.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
     /// The currently accepted flow set.
     pub fn accepted(&self) -> &FlowSet {
         &self.accepted
@@ -1007,6 +1012,152 @@ impl AdmissionController {
         Ok(binding)
     }
 
+    /// Release several accepted flows at once — the multi-flow stranding
+    /// path of the survivability sweep, where one failed cable tears down
+    /// every flow routed over it.
+    ///
+    /// Equivalent to calling [`AdmissionController::release`] on the ids
+    /// one at a time in order, except the warm cache is invalidated
+    /// *once*, with the union of the per-flow invalidation sets.  The
+    /// union is computed on the pre-removal partition — a superset of
+    /// what the sequential releases would invalidate step by step, and
+    /// invalidating more only costs re-verification, never soundness.
+    ///
+    /// The batch is atomic: every id must name a distinct accepted flow,
+    /// or the whole call fails with [`gmf_net::NetError::UnknownFlow`]
+    /// before anything is removed.  Returns the removed bindings in the
+    /// order given.
+    pub fn release_batch(&mut self, ids: &[FlowId]) -> Result<Vec<FlowBinding>, AnalysisError> {
+        let mut seen = BTreeSet::new();
+        for &id in ids {
+            if !self.accepted.contains(id) || !seen.insert(id) {
+                return Err(AnalysisError::Net(gmf_net::NetError::UnknownFlow(id.0)));
+            }
+        }
+        // Compute the invalidation union on the *pre-removal* shards: the
+        // departing flows' interference edges still exist there.
+        let affected: Option<BTreeSet<FlowId>> = if self.cache.is_some() {
+            let mut union = BTreeSet::new();
+            let mut complete = true;
+            for &id in ids {
+                let closure = self
+                    .partition
+                    .shard_of(id)
+                    .and_then(|shard| self.partition.shard_flows(shard))
+                    .map(|members| self.accepted.subset(members.iter().copied()))
+                    .and_then(|shard_set| affected_flows(&shard_set, id));
+                match closure {
+                    Some(closure) => union.extend(closure),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            complete.then_some(union)
+        } else {
+            None
+        };
+        let mut bindings = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let binding = self.accepted.remove(id).map_err(AnalysisError::Net)?;
+            self.partition.remove(&binding, &self.accepted);
+            bindings.push(binding);
+        }
+        if self.cache.is_some() {
+            match affected {
+                Some(affected) => {
+                    // tidy-allow: unwrap invariant: checked is_some above
+                    let cache = self.cache.as_mut().expect("cache checked above");
+                    for &id in ids {
+                        cache.jitters.remove_flow(id);
+                    }
+                    for flow in affected {
+                        cache.reports.remove(&flow);
+                    }
+                }
+                // No dependency information for some departing flow: drop
+                // the whole cache and let the next request restart cold.
+                None => self.cache = None,
+            }
+        }
+        Ok(bindings)
+    }
+
+    /// Swap the managed topology for a new one *without* invalidating the
+    /// warm cache — the survivability sweep's bridge from the pristine
+    /// network to a survivor network.
+    ///
+    /// Sound only when every **retained** flow's analysis inputs are
+    /// unchanged between the two topologies, which this method verifies
+    /// flow by flow: the route must re-validate on the new topology, and
+    /// every node (kind, switch configuration, interface count) and every
+    /// traversed link (speed, propagation) must carry identical
+    /// parameters.  Any violation fails with
+    /// [`AnalysisError::RebaseDirty`] and leaves the controller untouched
+    /// — release the affected flows first, then rebase, then re-admit
+    /// them over the new topology.
+    pub fn rebase(&mut self, topology: Topology) -> Result<(), AnalysisError> {
+        for binding in self.accepted.bindings() {
+            Route::new(&topology, binding.route.nodes().to_vec()).map_err(|e| {
+                AnalysisError::RebaseDirty {
+                    flow: binding.id,
+                    detail: format!("route no longer valid: {e}"),
+                }
+            })?;
+            for &node in binding.route.nodes() {
+                let old = self.topology.node(node).map_err(AnalysisError::Net)?;
+                let new = topology.node(node).map_err(AnalysisError::Net)?;
+                if old.kind != new.kind {
+                    return Err(AnalysisError::RebaseDirty {
+                        flow: binding.id,
+                        detail: format!("{node} changed kind or switch configuration"),
+                    });
+                }
+                if old.is_switch()
+                    && self.topology.n_interfaces(node) != topology.n_interfaces(node)
+                {
+                    return Err(AnalysisError::RebaseDirty {
+                        flow: binding.id,
+                        detail: format!("{node} changed interface count"),
+                    });
+                }
+            }
+            for hop in binding.route.hops() {
+                let old = self
+                    .topology
+                    .link_between(hop.from, hop.to)
+                    .map_err(AnalysisError::Net)?;
+                let new = topology
+                    .link_between(hop.from, hop.to)
+                    .map_err(AnalysisError::Net)?;
+                if old.speed != new.speed || old.propagation != new.propagation {
+                    return Err(AnalysisError::RebaseDirty {
+                        flow: binding.id,
+                        detail: format!("link {}->{} changed parameters", hop.from, hop.to),
+                    });
+                }
+            }
+        }
+        self.topology = topology;
+        Ok(())
+    }
+
+    /// The warm cache's converged per-flow reports, in flow-id order —
+    /// empty in [`AdmissionMode::Cold`] or after the cache was dropped.
+    ///
+    /// A cached report is exact for the current accepted set: reports
+    /// that a departure or a trial could have changed are invalidated
+    /// eagerly and only re-inserted by a converged analysis.
+    pub fn cached_reports(&self) -> impl Iterator<Item = (FlowId, &FlowReport)> + '_ {
+        self.cache.iter().flat_map(|cache| {
+            cache
+                .reports
+                .iter()
+                .map(|(id, report)| (*id, report.as_ref()))
+        })
+    }
+
     /// Re-run the analysis of the currently accepted set (e.g. after the
     /// operator changed the analysis configuration).
     pub fn reanalyze(&self) -> Result<AnalysisReport, AnalysisError> {
@@ -1467,6 +1618,117 @@ mod tests {
         // Releasing an unknown id is an error and changes nothing.
         assert!(ctl.release(first.id()).is_err());
         assert_eq!(ctl.n_accepted(), 1);
+    }
+
+    #[test]
+    fn release_batch_matches_sequential_releases_and_is_atomic() {
+        let (t, net) = paper_figure1();
+        let requests = |t: &Topology| {
+            vec![
+                AdmissionRequest::new(
+                    voice(20.0),
+                    shortest_path(t, net.hosts[1], net.hosts[3]).unwrap(),
+                    Priority(7),
+                ),
+                AdmissionRequest::new(
+                    paper_figure3_flow("video", Time::from_millis(150.0), Time::from_millis(1.0)),
+                    shortest_path(t, net.hosts[0], net.hosts[3]).unwrap(),
+                    Priority(5),
+                ),
+                AdmissionRequest::new(
+                    voice(25.0),
+                    shortest_path(t, net.hosts[2], net.hosts[0]).unwrap(),
+                    Priority(7),
+                ),
+            ]
+        };
+        let mut batched = AdmissionController::new(t.clone(), AnalysisConfig::paper());
+        let mut sequential = AdmissionController::new(t.clone(), AnalysisConfig::paper());
+        let a = batched.request_batch(requests(&t)).unwrap();
+        let b = sequential.request_batch(requests(&t)).unwrap();
+        assert!(a.iter().all(AdmissionDecision::is_accepted));
+        assert_eq!(a, b);
+
+        // Tear down the two flows sharing the video's shard in one batch
+        // vs one at a time: same survivors, same partition, and the next
+        // decision is byte-identical.
+        let removed = batched.release_batch(&[a[0].id(), a[1].id()]).unwrap();
+        assert_eq!(
+            removed.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![a[0].id(), a[1].id()]
+        );
+        sequential.release(b[0].id()).unwrap();
+        sequential.release(b[1].id()).unwrap();
+        assert_eq!(batched.accepted(), sequential.accepted());
+        assert_eq!(
+            batched.partition().n_shards(),
+            sequential.partition().n_shards()
+        );
+        let candidate = |t: &Topology| {
+            AdmissionRequest::new(
+                voice(18.0),
+                shortest_path(t, net.hosts[1], net.hosts[3]).unwrap(),
+                Priority(6),
+            )
+        };
+        let da = batched.request_batch([candidate(&t)]).unwrap();
+        let db = sequential.request_batch([candidate(&t)]).unwrap();
+        assert_eq!(da, db);
+
+        // Atomicity: an unknown or duplicated id fails the whole batch
+        // without removing anything.
+        let before = batched.accepted().clone();
+        assert!(batched.release_batch(&[FlowId(999)]).is_err());
+        let live = a[2].id();
+        assert!(batched.release_batch(&[live, live]).is_err());
+        assert_eq!(*batched.accepted(), before);
+
+        // An empty batch is a no-op.
+        assert_eq!(batched.release_batch(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rebase_swaps_topology_only_when_retained_flows_are_untouched() {
+        // h0 - s1 - h3 carries the retained flow; s2 - h4 hang off s1 via
+        // s2, far from the flow's route.
+        let mut t = Topology::new();
+        let h0 = t.add_end_host("h0");
+        let s1 = t.add_switch(gmf_net::SwitchConfig::paper(), "s1");
+        let h3 = t.add_end_host("h3");
+        let s2 = t.add_switch(gmf_net::SwitchConfig::paper(), "s2");
+        let h4 = t.add_end_host("h4");
+        for (a, b) in [(h0, s1), (s1, h3), (s1, s2), (s2, h4)] {
+            t.add_duplex_link(a, b, gmf_net::LinkProfile::ethernet_100m())
+                .unwrap();
+        }
+        let route = shortest_path(&t, h0, h3).unwrap();
+        let mut ctl = AdmissionController::new(t.clone(), AnalysisConfig::paper());
+        let d = one(&mut ctl, voice(20.0), route.clone(), Priority(7));
+        assert!(d.is_accepted());
+
+        // Failing the s2-h4 cable touches neither the flow's route nodes
+        // nor their interface counts: rebase succeeds and keeps the cache.
+        let mut faulty = t.clone();
+        faulty.fail_link(s2, h4).unwrap();
+        ctl.rebase(faulty.survivor().into_topology()).unwrap();
+        assert_eq!(ctl.topology().n_links(), t.n_links() - 2);
+        let d2 = one(&mut ctl, voice(25.0), route.clone(), Priority(6));
+        assert!(d2.is_accepted());
+        assert!(d2.cost().warm, "cache must survive a clean rebase");
+
+        // Failing s1-s2 changes s1's interface count; s1 is on the
+        // retained route, so the rebase is refused and nothing changes.
+        let mut faulty = t.clone();
+        faulty.fail_link(s1, s2).unwrap();
+        let err = ctl.rebase(faulty.survivor().into_topology()).unwrap_err();
+        assert!(matches!(err, AnalysisError::RebaseDirty { .. }));
+        assert!(err.to_string().contains("interface count"));
+
+        // Failing the access link severs the retained route outright.
+        let mut faulty = t.clone();
+        faulty.fail_link(h0, s1).unwrap();
+        let err = ctl.rebase(faulty.survivor().into_topology()).unwrap_err();
+        assert!(matches!(err, AnalysisError::RebaseDirty { .. }));
     }
 
     #[test]

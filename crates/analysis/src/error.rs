@@ -90,6 +90,16 @@ pub enum AnalysisError {
         /// The first per-flow failure message of that shard's analysis.
         failure: String,
     },
+    /// [`crate::admission::AdmissionController::rebase`] was asked to swap
+    /// in a topology on which a retained flow's cached analysis would be
+    /// invalid (a node or link on its route changed parameters).  Release
+    /// the flow before rebasing.
+    RebaseDirty {
+        /// The first retained flow whose route touches changed hardware.
+        flow: FlowId,
+        /// What changed, human-readable.
+        detail: String,
+    },
     /// An inconsistency between the flow set and the topology.
     Net(NetError),
 }
@@ -139,6 +149,11 @@ impl fmt::Display for AnalysisError {
             AnalysisError::PreloadUnschedulable { shard, failure } => write!(
                 f,
                 "preloaded flow set is not schedulable: shard of flow {shard} fails ({failure})"
+            ),
+            AnalysisError::RebaseDirty { flow, detail } => write!(
+                f,
+                "cannot rebase: retained flow {flow} traverses changed hardware ({detail}); \
+                 release it first"
             ),
             AnalysisError::Net(e) => write!(f, "network error: {e}"),
         }
@@ -209,6 +224,14 @@ mod tests {
         let e: AnalysisError = NetError::UnknownNode(NodeId(3)).into();
         assert!(!e.is_unschedulable());
         assert!(e.to_string().contains("network error"));
+
+        let e = AnalysisError::RebaseDirty {
+            flow: FlowId(4),
+            detail: "node2 changed interface count".into(),
+        };
+        assert!(!e.is_unschedulable());
+        assert!(e.to_string().contains("rebase"));
+        assert!(e.to_string().contains("node2"));
     }
 
     #[test]

@@ -101,10 +101,10 @@ use crate::config::AnalysisConfig;
 use crate::context::{AnalysisContext, JitterMap};
 use crate::dense::{DenseJitters, DensePlan};
 use crate::error::AnalysisError;
+use crate::kernel::KernelScratch;
 use crate::pipeline::analyze_flow_dense;
 use crate::report::{AnalysisReport, FlowReport, FrameBound};
 use gmf_model::Time;
-use crate::kernel::KernelScratch;
 use gmf_par::{par_map_interleaved_with, Threads};
 use serde::{Deserialize, Serialize};
 use std::fmt;

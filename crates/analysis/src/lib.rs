@@ -24,6 +24,8 @@
 //!   flow set, yielding an [`AnalysisReport`];
 //! * [`admission::AdmissionController`] — the admission controller built on
 //!   top of it;
+//! * [`resilience::SurvivabilityAnalysis`] — the single-failure
+//!   survivability sweep built on the warm admission plane;
 //! * [`baseline`] — the sporadic-collapse and utilization-only baselines
 //!   used for comparison experiments;
 //! * [`reference::analyze_reference`] — the deliberately simple keyed
@@ -69,6 +71,7 @@ pub(crate) mod kernel;
 pub mod pipeline;
 pub mod reference;
 pub mod report;
+pub mod resilience;
 pub mod stage;
 
 pub use admission::{
@@ -94,6 +97,10 @@ pub use ingress::ingress_response;
 pub use pipeline::{analyze_flow, analyze_frame, hop_sum_matches, JitterAssignments};
 pub use reference::analyze_reference;
 pub use report::{AnalysisReport, FlowReport, FrameBound, HopBound};
+pub use resilience::{
+    divergence, single_failure_scenarios, ColdVerdict, FailureScenario, FailureVerdict,
+    SurvivabilityAnalysis, SurvivabilityReport,
+};
 pub use stage::StageResult;
 
 /// Convenient glob import of the most frequently used items.
@@ -110,4 +117,8 @@ pub mod prelude {
     pub use crate::holistic::analyze;
     pub use crate::pipeline::{analyze_flow, analyze_frame};
     pub use crate::report::{AnalysisReport, FlowReport, FrameBound, HopBound};
+    pub use crate::resilience::{
+        single_failure_scenarios, FailureScenario, FailureVerdict, SurvivabilityAnalysis,
+        SurvivabilityReport,
+    };
 }

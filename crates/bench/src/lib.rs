@@ -524,6 +524,100 @@ pub fn run_metro_admission(
     }
 }
 
+/// The master seed of the resilience survivability workload (E16).
+pub const RESILIENCE_BENCH_SEED: u64 = 1608;
+
+/// CPU-degradation factors E16 sweeps per switch (mild throttling and a
+/// heavy slowdown).
+pub const RESILIENCE_DEGRADE_FACTORS: [u64; 2] = [2, 8];
+
+/// Fuzz-corpus workloads E16 sweeps in addition to the ring metro.
+pub const RESILIENCE_FUZZ_WORKLOADS: u64 = 10;
+
+/// One workload's single-failure survivability sweep, with the incremental
+/// verdicts cross-checked against the cold oracle.
+#[derive(Debug, Clone)]
+pub struct SurvivabilityOutcome {
+    /// Workload label ("ring-metro", "fuzz-…").
+    pub label: String,
+    /// Admitted flows of the workload.
+    pub n_flows: usize,
+    /// Preload statistics of the pristine warm controller.
+    pub preload: gmf_analysis::PreloadStats,
+    /// The incremental sweep's verdicts, in scenario order.
+    pub report: gmf_analysis::SurvivabilityReport,
+    /// Incremental-vs-cold divergences (must be empty; the zero-divergence
+    /// gate of the sweep).
+    pub divergences: Vec<String>,
+    /// Wall clock of the preload (nondeterministic; stderr only).
+    pub preload_elapsed: std::time::Duration,
+    /// Wall clock of the incremental sweep.
+    pub sweep_elapsed: std::time::Duration,
+    /// Wall clock of the cold cross-check.
+    pub cold_elapsed: std::time::Duration,
+}
+
+/// Sweep every single-failure scenario of `(topology, flows)` — each cable
+/// cut, each switch degraded by each factor — through the incremental
+/// [`gmf_analysis::SurvivabilityAnalysis`] *and* the cold oracle, and
+/// report both the verdicts and any divergence between the two paths.
+///
+/// # Panics
+///
+/// Panics when the pre-admitted `flows` do not verify as schedulable on
+/// the pristine `topology` (the workload generators guarantee they do).
+pub fn run_survivability_sweep(
+    label: &str,
+    topology: gmf_net::Topology,
+    flows: gmf_net::FlowSet,
+    analysis: &gmf_analysis::AnalysisConfig,
+    degrade_factors: &[u64],
+) -> SurvivabilityOutcome {
+    use gmf_analysis::{divergence, single_failure_scenarios, SurvivabilityAnalysis};
+    use std::time::Instant;
+
+    let n_flows = flows.len();
+    let scenarios = single_failure_scenarios(&topology, degrade_factors);
+
+    let start = Instant::now();
+    let (analysis, preload) = SurvivabilityAnalysis::new(topology, flows, *analysis)
+        // tidy-allow: unwrap invariant: workload generators emit schedulable pre-admitted sets
+        .expect("pre-admitted set verifies as schedulable");
+    let preload_elapsed = start.elapsed();
+
+    let start = Instant::now();
+    let report = analysis
+        .sweep(&scenarios)
+        // tidy-allow: unwrap invariant: enumerated scenarios reference existing hardware
+        .expect("enumerated scenarios are assessable");
+    let sweep_elapsed = start.elapsed();
+
+    let start = Instant::now();
+    let divergences: Vec<String> = scenarios
+        .iter()
+        .zip(&report.verdicts)
+        .filter_map(|(scenario, verdict)| {
+            let cold = analysis
+                .cold_verdict(scenario)
+                // tidy-allow: unwrap invariant: enumerated scenarios reference existing hardware
+                .expect("enumerated scenarios are assessable");
+            divergence(verdict, &cold)
+        })
+        .collect();
+    let cold_elapsed = start.elapsed();
+
+    SurvivabilityOutcome {
+        label: label.to_string(),
+        n_flows,
+        preload,
+        report,
+        divergences,
+        preload_elapsed,
+        sweep_elapsed,
+        cold_elapsed,
+    }
+}
+
 /// Time `f` and return the median duration in nanoseconds over `samples`
 /// runs (fast bodies are batched so each sample spans at least ~100 µs).
 ///
@@ -601,6 +695,31 @@ mod tests {
         assert_eq!(outcome.final_shards, outcome.preload.shards);
         // Trials stay within one cell plus that cell's admitted candidates.
         assert!(outcome.largest_trial() <= config.flows_per_cell + 12);
+    }
+
+    #[test]
+    fn survivability_sweep_has_zero_divergence_on_the_tiny_ring() {
+        let config = gmf_workloads::ResilienceConfig::tiny();
+        let scenario = gmf_workloads::resilience_scenario(RESILIENCE_BENCH_SEED, &config);
+        let outcome = run_survivability_sweep(
+            "ring-metro",
+            scenario.topology,
+            scenario.flows,
+            &gmf_analysis::AnalysisConfig::paper(),
+            &RESILIENCE_DEGRADE_FACTORS,
+        );
+        assert_eq!(outcome.n_flows, config.n_flows());
+        // One cable cut per access link and trunk, one degrade per switch
+        // per factor.
+        let cables = config.n_cells * config.hosts_per_cell + config.n_cells;
+        let degrades = config.n_cells * RESILIENCE_DEGRADE_FACTORS.len();
+        assert_eq!(outcome.report.n_scenarios(), cables + degrades);
+        assert_eq!(outcome.divergences, Vec::<String>::new());
+        // Trunk cuts re-route around the ring; access cuts strand a host's
+        // flows.
+        assert!(outcome.report.n_survivable() >= config.n_cells);
+        assert!(outcome.report.n_stranding() >= 1);
+        assert!(outcome.report.worst_margin().is_some());
     }
 
     #[test]

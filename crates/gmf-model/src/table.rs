@@ -96,14 +96,14 @@ impl DemandTable {
                 // span only once the next frame extends the window.
                 if k2 > 1 {
                     let (prev_gap, _, _) = per_frame[(k1 + k2 - 2) % n];
-                    span = span + prev_gap;
+                    span = span.saturating_add(prev_gap);
                 }
-                csum = csum + c;
+                csum = csum.saturating_add(c);
                 nsum = nsum.saturating_add(n_eth);
                 windows.push((span, csum, nsum));
             }
         }
-        windows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        windows.sort_unstable_by_key(|w| w.0);
 
         let mut rows: Vec<WindowRow> = Vec::with_capacity(windows.len());
         let mut best_c = Time::ZERO;

@@ -27,6 +27,10 @@ pub enum NetError {
     NodeNotOnRoute(NodeId),
     /// No route could be found between the two nodes.
     NoRoute(NodeId, NodeId),
+    /// A link was marked failed although its cable is already failed.
+    LinkAlreadyFailed(NodeId, NodeId),
+    /// A switch operation (degrade) targeted a node that is not a switch.
+    NotASwitch(NodeId),
     /// A flow id was used that does not exist in the flow set.
     UnknownFlow(usize),
     /// A flow id was inserted that already exists in the flow set.
@@ -54,6 +58,10 @@ impl fmt::Display for NetError {
                 )
             }
             NetError::NodeNotOnRoute(n) => write!(f, "node {n} is not on the route"),
+            NetError::LinkAlreadyFailed(a, b) => {
+                write!(f, "the cable between {a} and {b} is already failed")
+            }
+            NetError::NotASwitch(n) => write!(f, "{n} is not an Ethernet switch"),
             NetError::NoRoute(a, b) => write!(f, "no route exists from {a} to {b}"),
             NetError::UnknownFlow(i) => write!(f, "unknown flow id {i}"),
             NetError::DuplicateFlow(i) => write!(f, "flow id {i} already exists"),
@@ -90,6 +98,12 @@ mod tests {
             .to_string()
             .contains("no route"));
         assert!(NetError::Model("bad".into()).to_string().contains("bad"));
+        assert!(NetError::LinkAlreadyFailed(NodeId(1), NodeId(2))
+            .to_string()
+            .contains("already failed"));
+        assert!(NetError::NotASwitch(NodeId(5))
+            .to_string()
+            .contains("not an Ethernet switch"));
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod link;
 pub mod node;
 pub mod route;
 pub mod routing;
+pub mod survivor;
 pub mod topology;
 
 pub use builders::{
@@ -50,7 +51,8 @@ pub use flowset::{FlowBinding, FlowSet, LinkIndex, Priority, PriorityPolicy};
 pub use link::{Link, LinkId, LinkProfile};
 pub use node::{Node, NodeId, NodeKind, SwitchConfig};
 pub use route::{Hop, Route};
-pub use routing::{fastest_path, shortest_path};
+pub use routing::{fastest_path, reroute_severed, shortest_path, RerouteOutcome};
+pub use survivor::SurvivorView;
 pub use topology::Topology;
 
 /// Convenient glob import of the most frequently used items.
@@ -62,6 +64,7 @@ pub mod prelude {
     pub use crate::link::{Link, LinkId, LinkProfile};
     pub use crate::node::{Node, NodeId, NodeKind, SwitchConfig};
     pub use crate::route::{Hop, Route};
-    pub use crate::routing::{fastest_path, shortest_path};
+    pub use crate::routing::{fastest_path, reroute_severed, shortest_path, RerouteOutcome};
+    pub use crate::survivor::SurvivorView;
     pub use crate::topology::Topology;
 }

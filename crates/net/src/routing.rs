@@ -16,9 +16,12 @@
 //! network.
 
 use crate::error::NetError;
+use crate::flowset::FlowSet;
 use crate::node::NodeId;
 use crate::route::Route;
+use crate::survivor::SurvivorView;
 use crate::topology::Topology;
+use gmf_model::FlowId;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Compute the route with the fewest hops from `src` to `dst`.
@@ -133,6 +136,70 @@ pub fn fastest_path(topology: &Topology, src: NodeId, dst: NodeId) -> Result<Rou
     reconstruct(predecessor, src, dst)
 }
 
+/// The fate of one severed flow after re-routing over the survivor network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RerouteOutcome {
+    /// A replacement route exists: the flow can be re-admitted over it.
+    Rerouted {
+        /// The severed flow.
+        id: FlowId,
+        /// Its shortest-path fallback route on the survivor.
+        route: Route,
+    },
+    /// The survivor no longer connects the flow's endpoints.
+    Stranded {
+        /// The severed flow.
+        id: FlowId,
+        /// Why no route exists (typically [`NetError::NoRoute`]).
+        reason: NetError,
+    },
+}
+
+impl RerouteOutcome {
+    /// The severed flow this outcome is about.
+    pub fn id(&self) -> FlowId {
+        match self {
+            RerouteOutcome::Rerouted { id, .. } | RerouteOutcome::Stranded { id, .. } => *id,
+        }
+    }
+
+    /// `true` if the flow could not be re-routed.
+    pub fn is_stranded(&self) -> bool {
+        matches!(self, RerouteOutcome::Stranded { .. })
+    }
+
+    /// The fallback route, if one was found.
+    pub fn route(&self) -> Option<&Route> {
+        match self {
+            RerouteOutcome::Rerouted { route, .. } => Some(route),
+            RerouteOutcome::Stranded { .. } => None,
+        }
+    }
+}
+
+/// Re-route every severed flow (route crossing a failed cable) over the
+/// survivor topology with the deterministic [`shortest_path`] fallback.
+///
+/// Returns one [`RerouteOutcome`] per severed flow in ascending flow-id
+/// order; flows whose routes survive — including flows that merely traverse a
+/// dirty node and only need re-analysis — are not listed.
+pub fn reroute_severed(survivor: &SurvivorView, flows: &FlowSet) -> Vec<RerouteOutcome> {
+    survivor
+        .severed_flows(flows)
+        .into_iter()
+        .map(|id| {
+            let binding = flows
+                .get(id)
+                // tidy-allow: unwrap invariant: severed_flows only returns ids present in the set
+                .expect("severed flow id comes from the same flow set");
+            match shortest_path(survivor.topology(), binding.source(), binding.destination()) {
+                Ok(route) => RerouteOutcome::Rerouted { id, route },
+                Err(reason) => RerouteOutcome::Stranded { id, reason },
+            }
+        })
+        .collect()
+}
+
 fn reconstruct(
     predecessor: Vec<Option<NodeId>>,
     src: NodeId,
@@ -235,6 +302,49 @@ mod tests {
             Err(NetError::RouteTooShort)
         ));
         assert!(shortest_path(&t, n[0], NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn reroute_severed_finds_fallback_or_strands() {
+        use crate::flowset::{FlowSet, Priority};
+        use gmf_model::Time;
+        let (mut t, n) = topo();
+        let mut flows = FlowSet::new();
+        let flow = gmf_model::voip_flow(
+            "f",
+            gmf_model::VoiceCodec::G711,
+            Time::from_millis(20.0),
+            Time::from_millis(1.0),
+        );
+        // f0: h0 -> s1 -> s3 -> h4 (severed by s1-s3, reroutable via s2).
+        let r0 = shortest_path(&t, n[0], n[4]).unwrap();
+        let f0 = flows.add(flow.clone(), r0, Priority(3));
+        // f1: h5 -> s1 -> h0 — untouched by the failure.
+        let r1 = shortest_path(&t, n[5], n[0]).unwrap();
+        flows.add(flow.clone(), r1, Priority(3));
+        t.fail_link(n[1], n[3]).unwrap();
+        let view = t.survivor();
+        let outcomes = reroute_severed(&view, &flows);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].id(), f0);
+        assert!(!outcomes[0].is_stranded());
+        let fallback = outcomes[0].route().unwrap();
+        assert_eq!(fallback.nodes()[1], n[2]);
+        assert!(view.route_survives(fallback));
+
+        // Fail the spare path too: the flow is stranded.
+        t.fail_link(n[0], n[2]).unwrap();
+        let view = t.survivor();
+        let outcomes = reroute_severed(&view, &flows);
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].is_stranded());
+        assert!(matches!(
+            outcomes[0],
+            RerouteOutcome::Stranded {
+                reason: NetError::NoRoute(_, _),
+                ..
+            }
+        ));
     }
 
     #[test]

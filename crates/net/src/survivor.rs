@@ -1,0 +1,254 @@
+//! The surviving network after failures: [`SurvivorView`].
+//!
+//! [`crate::Topology::fail_link`] and [`crate::Topology::degrade_switch`]
+//! record faults in a transient overlay on the base topology;
+//! [`crate::Topology::survivor`] materialises the network that remains: the
+//! same node ids, failed cables removed, degraded switch configurations
+//! applied.  The view additionally records the *dirty nodes* — nodes whose
+//! analysis-relevant parameters changed:
+//!
+//! * both endpoints of every failed cable (their `NINTERFACES`, and for
+//!   switches therefore `CIRC`, shrank), and
+//! * every degraded switch (its `CROUTE`/`CSEND` changed).
+//!
+//! A flow is *affected* by the failure exactly when its route traverses a
+//! dirty node.  This is deliberately a superset of the flows whose route is
+//! *severed* (those crossing the failed cable itself — the cable's endpoints
+//! are dirty, so every severed flow is affected): a flow that merely passes
+//! through the endpoint switch of a failed cable keeps its route, but its
+//! response-time bounds change because the switch's round length changed, so
+//! it must be re-analysed all the same.
+
+use crate::flowset::FlowSet;
+use crate::node::NodeId;
+use crate::route::Route;
+use crate::topology::Topology;
+use gmf_model::FlowId;
+
+/// The network surviving a set of injected faults, plus the bookkeeping the
+/// analysis layer needs to scope re-verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivorView {
+    topology: Topology,
+    failed: Vec<(NodeId, NodeId)>,
+    degraded: Vec<NodeId>,
+    dirty: Vec<NodeId>,
+}
+
+impl SurvivorView {
+    /// Assemble a view; `failed` holds unordered `(min, max)` cable pairs and
+    /// `dirty` must be sorted and deduplicated (both are produced that way by
+    /// [`Topology::survivor`]).
+    pub(crate) fn new(
+        topology: Topology,
+        failed: Vec<(NodeId, NodeId)>,
+        degraded: Vec<NodeId>,
+        dirty: Vec<NodeId>,
+    ) -> Self {
+        SurvivorView {
+            topology,
+            failed,
+            degraded,
+            dirty,
+        }
+    }
+
+    /// The surviving topology (same node ids as the base topology).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Consume the view, keeping only the surviving topology.
+    pub fn into_topology(self) -> Topology {
+        self.topology
+    }
+
+    /// The failed cables as unordered `(min, max)` endpoint pairs, ascending.
+    pub fn failed_cables(&self) -> &[(NodeId, NodeId)] {
+        &self.failed
+    }
+
+    /// The degraded switches, ascending.
+    pub fn degraded_switches(&self) -> &[NodeId] {
+        &self.degraded
+    }
+
+    /// Nodes whose analysis-relevant parameters changed (sorted, deduped):
+    /// failed-cable endpoints and degraded switches.
+    pub fn dirty_nodes(&self) -> &[NodeId] {
+        &self.dirty
+    }
+
+    /// `true` if `node` is dirty.
+    pub fn is_dirty(&self, node: NodeId) -> bool {
+        self.dirty.binary_search(&node).is_ok()
+    }
+
+    /// `true` if the route crosses no failed cable, i.e. it is still
+    /// physically intact on the survivor (its bounds may change anyway if it
+    /// touches a dirty node).
+    pub fn route_survives(&self, route: &Route) -> bool {
+        route.nodes().windows(2).all(|hop| {
+            self.failed
+                .binary_search(&crate::topology::cable_key(hop[0], hop[1]))
+                .is_err()
+        })
+    }
+
+    /// Flow ids (ascending) whose route traverses a dirty node — the exact
+    /// set whose reports the failure can change, and a superset of
+    /// [`SurvivorView::severed_flows`].
+    pub fn affected_flows(&self, flows: &FlowSet) -> Vec<FlowId> {
+        flows
+            .bindings()
+            .iter()
+            .filter(|b| b.route.nodes().iter().any(|&n| self.is_dirty(n)))
+            .map(|b| b.id)
+            .collect()
+    }
+
+    /// Flow ids (ascending) whose route crosses a failed cable and therefore
+    /// needs re-routing (or stranding).
+    pub fn severed_flows(&self, flows: &FlowSet) -> Vec<FlowId> {
+        flows
+            .bindings()
+            .iter()
+            .filter(|b| !self.route_survives(&b.route))
+            .map(|b| b.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkProfile;
+    use crate::node::SwitchConfig;
+    use crate::routing::shortest_path;
+    use gmf_model::Time;
+
+    /// h0 - s1 - s2 - h3, with a spare path s1 - s4 - s2.
+    fn topo() -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let h0 = t.add_end_host("h0");
+        let s1 = t.add_switch(SwitchConfig::paper(), "s1");
+        let s2 = t.add_switch(SwitchConfig::paper(), "s2");
+        let h3 = t.add_end_host("h3");
+        let s4 = t.add_switch(SwitchConfig::paper(), "s4");
+        for (a, b) in [(h0, s1), (s1, s2), (s2, h3), (s1, s4), (s4, s2)] {
+            t.add_duplex_link(a, b, LinkProfile::ethernet_100m())
+                .unwrap();
+        }
+        (t, vec![h0, s1, s2, h3, s4])
+    }
+
+    #[test]
+    fn fail_link_is_direction_insensitive_and_idempotent_only_once() {
+        let (mut t, n) = topo();
+        t.fail_link(n[2], n[1]).unwrap();
+        assert!(t.is_failed(n[1], n[2]));
+        assert!(t.is_failed(n[2], n[1]));
+        assert!(matches!(
+            t.fail_link(n[1], n[2]),
+            Err(NetError::LinkAlreadyFailed(_, _))
+        ));
+        assert!(matches!(
+            t.fail_link(n[0], n[3]),
+            Err(NetError::NoSuchLink(_, _))
+        ));
+        // The base graph is untouched.
+        assert!(t.has_link(n[1], n[2]));
+        assert_eq!(t.n_links(), 10);
+    }
+
+    use crate::error::NetError;
+
+    #[test]
+    fn degrade_switch_returns_previous_and_rejects_hosts() {
+        let (mut t, n) = topo();
+        let slow = SwitchConfig {
+            croute: Time::from_micros(27.0),
+            csend: Time::from_micros(10.0),
+            processors: 1,
+        };
+        let prev = t.degrade_switch(n[1], slow).unwrap();
+        assert_eq!(prev, SwitchConfig::paper());
+        let prev2 = t.degrade_switch(n[1], SwitchConfig::paper()).unwrap();
+        assert_eq!(prev2, slow);
+        assert!(matches!(
+            t.degrade_switch(n[0], slow),
+            Err(NetError::NotASwitch(_))
+        ));
+        // Base accessor still reports the installed configuration.
+        assert_eq!(*t.switch_config(n[1]).unwrap(), SwitchConfig::paper());
+    }
+
+    #[test]
+    fn survivor_removes_cable_and_applies_degradation() {
+        let (mut t, n) = topo();
+        let slow = SwitchConfig {
+            croute: Time::from_micros(5.4),
+            csend: Time::from_micros(2.0),
+            processors: 1,
+        };
+        t.fail_link(n[1], n[2]).unwrap();
+        t.degrade_switch(n[4], slow).unwrap();
+        let view = t.survivor();
+        let s = view.topology();
+        assert_eq!(s.n_nodes(), t.n_nodes());
+        assert_eq!(s.n_links(), t.n_links() - 2);
+        assert!(!s.has_link(n[1], n[2]));
+        assert!(!s.has_link(n[2], n[1]));
+        assert_eq!(*s.switch_config(n[4]).unwrap(), slow);
+        // s1 lost an interface: 3 neighbours -> 2.
+        assert_eq!(t.n_interfaces(n[1]), 3);
+        assert_eq!(s.n_interfaces(n[1]), 2);
+        assert_eq!(view.dirty_nodes(), &[n[1], n[2], n[4]]);
+        assert_eq!(view.failed_cables(), &[(n[1], n[2])]);
+        assert_eq!(view.degraded_switches(), &[n[4]]);
+    }
+
+    #[test]
+    fn restore_clears_overlay_deterministically() {
+        let (mut t, n) = topo();
+        let pristine = t.clone();
+        t.fail_link(n[1], n[2]).unwrap();
+        t.degrade_switch(n[2], SwitchConfig::fast()).unwrap();
+        assert!(t.has_faults());
+        t.restore();
+        assert!(!t.has_faults());
+        assert_eq!(t, pristine);
+        // Refail after restore behaves exactly like the first failure.
+        t.fail_link(n[1], n[2]).unwrap();
+        let a = t.survivor();
+        t.restore();
+        t.fail_link(n[1], n[2]).unwrap();
+        let b = t.survivor();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn affected_and_severed_flows() {
+        let (mut t, n) = topo();
+        let mut flows = FlowSet::new();
+        let flow = gmf_model::voip_flow(
+            "f",
+            gmf_model::VoiceCodec::G711,
+            Time::from_millis(20.0),
+            Time::from_millis(1.0),
+        );
+        // f0 crosses s1-s2 forward; f1 crosses it in the reverse direction.
+        let r0 = shortest_path(&t, n[0], n[3]).unwrap();
+        let f0 = flows.add(flow.clone(), r0, crate::flowset::Priority(3));
+        let r1 = shortest_path(&t, n[3], n[0]).unwrap();
+        let f1 = flows.add(flow, r1, crate::flowset::Priority(3));
+        t.fail_link(n[1], n[2]).unwrap();
+        let view = t.survivor();
+        assert_eq!(view.severed_flows(&flows), vec![f0, f1]);
+        assert_eq!(view.affected_flows(&flows), vec![f0, f1]);
+        // Routes re-validate on the survivor via the spare path.
+        let alt = shortest_path(view.topology(), n[0], n[3]).unwrap();
+        assert!(view.route_survives(&alt));
+        assert_eq!(alt.n_hops(), 4);
+    }
+}

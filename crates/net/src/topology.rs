@@ -10,14 +10,18 @@
 use crate::error::NetError;
 use crate::link::{Link, LinkId, LinkProfile};
 use crate::node::{Node, NodeId, NodeKind, SwitchConfig};
+use crate::survivor::SurvivorView;
 use gmf_model::{BitRate, Time};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A directed multigraph-free network graph.
 ///
 /// Serialization only stores the nodes and links; the lookup indexes are
-/// rebuilt on deserialization.
+/// rebuilt on deserialization.  The failure overlay ([`Topology::fail_link`],
+/// [`Topology::degrade_switch`]) is *transient* operational state and is
+/// deliberately dropped by serialization: a persisted topology always
+/// describes the installed hardware.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 #[serde(from = "TopologySerde", into = "TopologySerde")]
 pub struct Topology {
@@ -29,6 +33,22 @@ pub struct Topology {
     out_neighbours: Vec<Vec<NodeId>>,
     /// Incoming neighbours of every node.
     in_neighbours: Vec<Vec<NodeId>>,
+    /// Failure overlay: failed full-duplex cables, keyed by unordered
+    /// endpoint pair `(min, max)`.  The base graph above stays untouched.
+    failed: BTreeSet<(NodeId, NodeId)>,
+    /// Failure overlay: degraded switch CPU configurations that override the
+    /// installed [`SwitchConfig`] until [`Topology::restore`].
+    degraded: BTreeMap<NodeId, SwitchConfig>,
+}
+
+/// Normalise a cable's endpoint pair to the unordered `(min, max)` key used
+/// by the failure overlay.
+pub(crate) fn cable_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 /// Plain serialized form of a [`Topology`]: nodes and links only.
@@ -240,6 +260,123 @@ impl Topology {
             .filter(|n| !n.is_switch())
             .map(|n| n.id)
             .collect()
+    }
+
+    /// Mark the full-duplex cable between `a` and `b` as failed.
+    ///
+    /// Both directions go down together (a cable fault takes out the whole
+    /// duplex pair).  The base graph — and therefore every accessor above,
+    /// which describes the *installed* hardware — is untouched; the failure
+    /// only becomes visible through [`Topology::survivor`].  Errors:
+    /// [`NetError::NoSuchLink`] if no link exists in either direction, and
+    /// [`NetError::LinkAlreadyFailed`] if the cable is already failed.
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) -> Result<(), NetError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !self.by_endpoints.contains_key(&(a, b)) && !self.by_endpoints.contains_key(&(b, a)) {
+            return Err(NetError::NoSuchLink(a, b));
+        }
+        if !self.failed.insert(cable_key(a, b)) {
+            return Err(NetError::LinkAlreadyFailed(a, b));
+        }
+        Ok(())
+    }
+
+    /// Override the CPU configuration of switch `id` with a degraded one
+    /// (e.g. a thermally throttled or half-provisioned processor).
+    ///
+    /// Returns the configuration that was effective before this call.  The
+    /// installed configuration is untouched and comes back on
+    /// [`Topology::restore`].  Errors with [`NetError::NotASwitch`] for end
+    /// hosts and routers.
+    pub fn degrade_switch(
+        &mut self,
+        id: NodeId,
+        config: SwitchConfig,
+    ) -> Result<SwitchConfig, NetError> {
+        let node = self.node(id)?;
+        let installed = match &node.kind {
+            NodeKind::Switch(cfg) => *cfg,
+            _ => return Err(NetError::NotASwitch(id)),
+        };
+        let previous = self.degraded.insert(id, config).unwrap_or(installed);
+        Ok(previous)
+    }
+
+    /// Clear the whole failure overlay: every failed cable comes back up and
+    /// every degraded switch returns to its installed configuration.
+    pub fn restore(&mut self) {
+        self.failed.clear();
+        self.degraded.clear();
+    }
+
+    /// `true` if the cable between `a` and `b` is currently failed
+    /// (direction-insensitive).
+    pub fn is_failed(&self, a: NodeId, b: NodeId) -> bool {
+        self.failed.contains(&cable_key(a, b))
+    }
+
+    /// The currently failed cables as unordered `(min, max)` endpoint pairs,
+    /// in ascending order.
+    pub fn failed_cables(&self) -> Vec<(NodeId, NodeId)> {
+        self.failed.iter().copied().collect()
+    }
+
+    /// The currently degraded switches with their effective (degraded)
+    /// configurations, in ascending node order.
+    pub fn degraded_switches(&self) -> Vec<(NodeId, SwitchConfig)> {
+        self.degraded.iter().map(|(id, cfg)| (*id, *cfg)).collect()
+    }
+
+    /// `true` if any cable is failed or any switch degraded.
+    pub fn has_faults(&self) -> bool {
+        !self.failed.is_empty() || !self.degraded.is_empty()
+    }
+
+    /// Materialise the surviving network: a fresh [`Topology`] with the same
+    /// node ids, failed cables removed and degraded switch configurations
+    /// applied, wrapped in a [`SurvivorView`] that records which nodes'
+    /// analysis-relevant parameters changed.
+    ///
+    /// Node ids are preserved verbatim (failed cables leave their endpoints
+    /// in place, possibly isolated), so routes and flow sets can be
+    /// re-validated against the survivor unchanged.  Link ids may be
+    /// renumbered — everything downstream keys links by their
+    /// `(NodeId, NodeId)` endpoints, never by [`LinkId`].
+    pub fn survivor(&self) -> SurvivorView {
+        let mut topology = Topology::new();
+        for node in &self.nodes {
+            let kind = match (&node.kind, self.degraded.get(&node.id)) {
+                (NodeKind::Switch(_), Some(degraded)) => NodeKind::Switch(*degraded),
+                (kind, _) => *kind,
+            };
+            topology.add_node(kind, node.name.clone());
+        }
+        for link in &self.links {
+            if self.failed.contains(&cable_key(link.src, link.dst)) {
+                continue;
+            }
+            topology
+                .add_link(link.src, link.dst, link.speed, link.propagation)
+                // tidy-allow: unwrap invariant: base topology links are well-formed
+                .expect("base topology links are well-formed");
+        }
+        // Dirty nodes: every endpoint of a failed cable (its interface count
+        // and hence CIRC changed) plus every degraded switch.
+        let mut dirty: Vec<NodeId> = self
+            .failed
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .chain(self.degraded.keys().copied())
+            .collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        SurvivorView::new(
+            topology,
+            self.failed.iter().copied().collect(),
+            self.degraded.keys().copied().collect(),
+            dirty,
+        )
     }
 }
 

@@ -101,6 +101,13 @@ pub struct SimConfig {
     pub idle_poll_cost: Time,
     /// Seed for all randomness (arrival slack, jitter placement, phases).
     pub seed: u64,
+    /// Packets that *arrive at their source* before this instant are
+    /// excluded from the per-frame response-time aggregates (they still
+    /// count towards `packets_completed`).  Fault-recovery conformance runs
+    /// use this to measure only traffic released after the network settled
+    /// back into the analysed state.
+    #[serde(default)]
+    pub measure_from: Time,
 }
 
 impl Default for SimConfig {
@@ -112,6 +119,7 @@ impl Default for SimConfig {
             aligned_start: true,
             idle_poll_cost: Time::from_micros(0.1),
             seed: 0xC0FFEE,
+            measure_from: Time::ZERO,
         }
     }
 }
@@ -134,6 +142,12 @@ impl SimConfig {
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Override the measurement start (see [`SimConfig::measure_from`]).
+    pub fn with_measure_from(mut self, measure_from: Time) -> Self {
+        self.measure_from = measure_from;
         self
     }
 }

@@ -4,6 +4,7 @@
 //! increasing insertion sequence number so that simulation runs are fully
 //! deterministic regardless of how the events were generated.
 
+use crate::faults::FaultKind;
 use crate::packet::EthFrame;
 use gmf_model::Time;
 use gmf_net::NodeId;
@@ -53,6 +54,11 @@ pub enum EventKind {
         switch: NodeId,
         /// The receiving neighbour.
         to: NodeId,
+    },
+    /// A scripted infrastructure fault fires (see [`crate::faults`]).
+    Fault {
+        /// What the fault does.
+        kind: FaultKind,
     },
 }
 

@@ -1,0 +1,275 @@
+//! Scripted fault injection: [`TransientEvent`] and [`FaultScript`].
+//!
+//! A fault script is a deterministic, time-ordered list of infrastructure
+//! events injected into a running simulation — the dynamic counterpart of
+//! the static failure overlay on [`gmf_net::Topology`]:
+//!
+//! * [`FaultKind::LinkDown`] — the full-duplex cable stops accepting *new*
+//!   transmissions in both directions.  Frames already handed to a NIC (or
+//!   already on the wire) complete normally — store-and-forward hardware
+//!   cannot recall a frame mid-serialisation — but blocked frames stay in
+//!   their output queues until the cable comes back;
+//! * [`FaultKind::LinkUp`] — the cable is repaired; blocked output queues
+//!   drain from this instant on;
+//! * [`FaultKind::CpuDegrade`] — the switch CPU slows down: its current
+//!   per-frame `CROUTE`/`CSEND` are multiplied by an integer factor, the
+//!   simulation-side twin of
+//!   `gmf_net::Topology::degrade_switch` with the analysis's
+//!   `SwitchDegrade` scenario (a single degrade event by factor `k` leaves
+//!   the switch running at exactly the configuration the survivor analysis
+//!   bounds).
+//!
+//! Scripts are validated against the topology before the simulation starts
+//! (cables must exist, degraded nodes must be switches, link state must
+//! toggle consistently), and the whole mechanism is deterministic: fault
+//! events go through the same tie-broken event queue as traffic, so a run
+//! with a script is exactly reproducible for a given seed.
+
+use crate::sim::SimError;
+use gmf_model::Time;
+use gmf_net::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Normalised unordered cable key (both directions of a duplex link).
+pub(crate) fn cable(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    (a.min(b), a.max(b))
+}
+
+/// What a transient fault does.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The cable between the two nodes goes down (both directions).
+    LinkDown {
+        /// One cable endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The cable between the two nodes is repaired.
+    LinkUp {
+        /// One cable endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The switch's current `CROUTE`/`CSEND` are multiplied by `factor`.
+    CpuDegrade {
+        /// The degraded switch.
+        switch: NodeId,
+        /// Integer slowdown factor (≥ 1; 1 is a no-op).
+        factor: u64,
+    },
+}
+
+/// One scripted fault at a point on the simulation timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransientEvent {
+    /// When the fault fires (simulated time).
+    pub at: Time,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, time-ordered fault script.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultScript {
+    events: Vec<TransientEvent>,
+}
+
+impl FaultScript {
+    /// An empty script (no faults).
+    pub fn empty() -> Self {
+        FaultScript::default()
+    }
+
+    /// Build a script; events are stably sorted by firing time, so
+    /// same-instant events keep the order they were given in.
+    pub fn new(mut events: Vec<TransientEvent>) -> Self {
+        events.sort_by_key(|x| x.at);
+        FaultScript { events }
+    }
+
+    /// The events, ascending by time.
+    pub fn events(&self) -> &[TransientEvent] {
+        &self.events
+    }
+
+    /// `true` if the script contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Check the script against a topology: every event references
+    /// existing hardware, times are non-negative, degrade factors are ≥ 1,
+    /// and cable state toggles consistently (no `LinkDown` of an
+    /// already-down cable, no `LinkUp` of a cable that is up).
+    pub fn validate(&self, topology: &Topology) -> Result<(), SimError> {
+        let mut down: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for event in &self.events {
+            if event.at.is_negative() {
+                return Err(SimError::InvalidFaultScript(format!(
+                    "event at {} fires before the simulation starts",
+                    event.at
+                )));
+            }
+            match event.kind {
+                FaultKind::LinkDown { a, b } => {
+                    if !topology.has_link(a, b) && !topology.has_link(b, a) {
+                        return Err(SimError::InvalidFaultScript(format!(
+                            "no cable between {a} and {b}"
+                        )));
+                    }
+                    if !down.insert(cable(a, b)) {
+                        return Err(SimError::InvalidFaultScript(format!(
+                            "cable between {a} and {b} is already down"
+                        )));
+                    }
+                }
+                FaultKind::LinkUp { a, b } => {
+                    if !down.remove(&cable(a, b)) {
+                        return Err(SimError::InvalidFaultScript(format!(
+                            "cable between {a} and {b} is not down"
+                        )));
+                    }
+                }
+                FaultKind::CpuDegrade { switch, factor } => {
+                    match topology.node(switch) {
+                        Ok(node) if node.is_switch() => {}
+                        _ => {
+                            return Err(SimError::InvalidFaultScript(format!(
+                                "{switch} is not an Ethernet switch"
+                            )))
+                        }
+                    }
+                    if factor == 0 {
+                        return Err(SimError::InvalidFaultScript(format!(
+                            "degrade factor of {switch} must be at least 1"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmf_net::{LinkProfile, SwitchConfig};
+
+    fn topo() -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let h0 = t.add_end_host("h0");
+        let s1 = t.add_switch(SwitchConfig::paper(), "s1");
+        let h2 = t.add_end_host("h2");
+        t.add_duplex_link(h0, s1, LinkProfile::ethernet_100m())
+            .unwrap();
+        t.add_duplex_link(s1, h2, LinkProfile::ethernet_100m())
+            .unwrap();
+        (t, vec![h0, s1, h2])
+    }
+
+    fn down(at_ms: f64, a: NodeId, b: NodeId) -> TransientEvent {
+        TransientEvent {
+            at: Time::from_millis(at_ms),
+            kind: FaultKind::LinkDown { a, b },
+        }
+    }
+
+    fn up(at_ms: f64, a: NodeId, b: NodeId) -> TransientEvent {
+        TransientEvent {
+            at: Time::from_millis(at_ms),
+            kind: FaultKind::LinkUp { a, b },
+        }
+    }
+
+    #[test]
+    fn script_sorts_stably_by_time() {
+        let (_, n) = topo();
+        let script = FaultScript::new(vec![
+            up(30.0, n[0], n[1]),
+            down(10.0, n[0], n[1]),
+            down(30.0, n[1], n[2]),
+        ]);
+        let times: Vec<Time> = script.events().iter().map(|e| e.at).collect();
+        assert_eq!(
+            times,
+            vec![
+                Time::from_millis(10.0),
+                Time::from_millis(30.0),
+                Time::from_millis(30.0)
+            ]
+        );
+        // Same-instant events keep input order: the LinkUp came first.
+        assert!(matches!(script.events()[1].kind, FaultKind::LinkUp { .. }));
+        assert!(!script.is_empty());
+        assert!(FaultScript::empty().is_empty());
+    }
+
+    #[test]
+    fn validation_catches_bad_references_and_inconsistent_toggles() {
+        let (t, n) = topo();
+        // Direction-insensitive cable references are fine.
+        FaultScript::new(vec![down(1.0, n[1], n[0]), up(2.0, n[0], n[1])])
+            .validate(&t)
+            .unwrap();
+        // No such cable.
+        let e = FaultScript::new(vec![down(1.0, n[0], n[2])])
+            .validate(&t)
+            .unwrap_err();
+        assert!(e.to_string().contains("no cable"));
+        // Double LinkDown.
+        let e = FaultScript::new(vec![down(1.0, n[0], n[1]), down(2.0, n[1], n[0])])
+            .validate(&t)
+            .unwrap_err();
+        assert!(e.to_string().contains("already down"));
+        // LinkUp of a healthy cable.
+        let e = FaultScript::new(vec![up(1.0, n[0], n[1])])
+            .validate(&t)
+            .unwrap_err();
+        assert!(e.to_string().contains("not down"));
+        // Degrading an end host.
+        let e = FaultScript::new(vec![TransientEvent {
+            at: Time::ZERO,
+            kind: FaultKind::CpuDegrade {
+                switch: n[0],
+                factor: 2,
+            },
+        }])
+        .validate(&t)
+        .unwrap_err();
+        assert!(e.to_string().contains("not an Ethernet switch"));
+        // Zero factor.
+        let e = FaultScript::new(vec![TransientEvent {
+            at: Time::ZERO,
+            kind: FaultKind::CpuDegrade {
+                switch: n[1],
+                factor: 0,
+            },
+        }])
+        .validate(&t)
+        .unwrap_err();
+        assert!(e.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn script_roundtrips_through_serde() {
+        let (_, n) = topo();
+        let script = FaultScript::new(vec![
+            down(5.0, n[0], n[1]),
+            TransientEvent {
+                at: Time::from_millis(7.0),
+                kind: FaultKind::CpuDegrade {
+                    switch: n[1],
+                    factor: 3,
+                },
+            },
+            up(9.0, n[0], n[1]),
+        ]);
+        let json = serde_json::to_string(&script).unwrap();
+        let back: FaultScript = serde_json::from_str(&json).unwrap();
+        assert_eq!(script, back);
+    }
+}

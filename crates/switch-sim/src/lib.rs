@@ -15,7 +15,9 @@
 //! * output queues are 802.1p static-priority queues;
 //! * links add serialisation and propagation delay;
 //! * destinations reassemble UDP packets and record end-to-end response
-//!   times.
+//!   times;
+//! * scripted [`faults`] deterministically take cables down and up and
+//!   degrade switch CPUs mid-run, for failure-and-recovery experiments.
 //!
 //! ```
 //! use switch_sim::prelude::*;
@@ -39,6 +41,7 @@
 
 pub mod config;
 pub mod event;
+pub mod faults;
 pub mod nodes;
 pub mod packet;
 pub mod sim;
@@ -47,6 +50,7 @@ pub mod stride;
 
 pub use config::{ArrivalPolicy, JitterSpread, SimConfig};
 pub use event::{Event, EventKind, EventQueue};
+pub use faults::{FaultKind, FaultScript, TransientEvent};
 pub use nodes::{EndpointState, PriorityQueue, SwitchState, SwitchTask};
 pub use packet::{EthFrame, PacketId};
 pub use sim::{SimError, SimulationResult, Simulator};
@@ -56,6 +60,7 @@ pub use stride::StrideScheduler;
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
     pub use crate::config::{ArrivalPolicy, JitterSpread, SimConfig};
+    pub use crate::faults::{FaultKind, FaultScript, TransientEvent};
     pub use crate::sim::{SimError, SimulationResult, Simulator};
     pub use crate::stats::{PacketSample, ResponseStats, SimStats};
     pub use crate::stride::StrideScheduler;

@@ -27,6 +27,7 @@
 
 use crate::config::{ArrivalPolicy, JitterSpread, SimConfig};
 use crate::event::{EventKind, EventQueue};
+use crate::faults::{cable, FaultKind, FaultScript};
 use crate::nodes::{EndpointState, PendingCompletion, SwitchState, SwitchTask};
 use crate::packet::{EthFrame, PacketId};
 use crate::stats::{PacketSample, SimStats};
@@ -34,7 +35,7 @@ use gmf_model::{packetize, FlowId, Time};
 use gmf_net::{FlowSet, NetError, NodeId, Topology};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Hard cap on processed events, protecting against configuration mistakes
@@ -50,6 +51,9 @@ pub enum SimError {
     Net(NetError),
     /// The event cap was exceeded (runaway simulation).
     EventLimitExceeded,
+    /// A fault script references missing hardware or toggles link state
+    /// inconsistently.
+    InvalidFaultScript(String),
 }
 
 impl fmt::Display for SimError {
@@ -60,6 +64,9 @@ impl fmt::Display for SimError {
             }
             SimError::Net(e) => write!(f, "network error: {e}"),
             SimError::EventLimitExceeded => write!(f, "event limit exceeded"),
+            SimError::InvalidFaultScript(detail) => {
+                write!(f, "invalid fault script: {detail}")
+            }
         }
     }
 }
@@ -88,6 +95,7 @@ pub struct Simulator<'a> {
     topology: &'a Topology,
     flows: &'a FlowSet,
     config: SimConfig,
+    faults: FaultScript,
 }
 
 impl<'a> Simulator<'a> {
@@ -97,6 +105,17 @@ impl<'a> Simulator<'a> {
         flows: &'a FlowSet,
         config: SimConfig,
     ) -> Result<Self, SimError> {
+        Simulator::with_faults(topology, flows, config, FaultScript::empty())
+    }
+
+    /// Create a simulator that additionally injects the scripted faults
+    /// mid-run (see [`crate::faults`]).
+    pub fn with_faults(
+        topology: &'a Topology,
+        flows: &'a FlowSet,
+        config: SimConfig,
+        faults: FaultScript,
+    ) -> Result<Self, SimError> {
         flows.validate_against(topology)?;
         for binding in flows.bindings() {
             for endpoint in [binding.route.source(), binding.route.destination()] {
@@ -105,16 +124,19 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
+        faults.validate(topology)?;
         Ok(Simulator {
             topology,
             flows,
             config,
+            faults,
         })
     }
 
     /// Run the simulation to completion (all generated traffic drained).
     pub fn run(&self) -> Result<SimulationResult, SimError> {
         let mut engine = Engine::new(self.topology, self.flows, self.config)?;
+        engine.schedule_faults(&self.faults);
         engine.generate_traffic();
         engine.run()
     }
@@ -134,6 +156,8 @@ struct Engine<'a> {
     destinations: BTreeMap<FlowId, NodeId>,
     /// Packet reassembly progress at destinations.
     reassembly: BTreeMap<PacketId, usize>,
+    /// Cables currently down (unordered `(min, max)` endpoint pairs).
+    downed: BTreeSet<(NodeId, NodeId)>,
     stats: SimStats,
     rng: ChaCha8Rng,
 }
@@ -183,6 +207,7 @@ impl<'a> Engine<'a> {
             forwarding,
             destinations,
             reassembly: BTreeMap::new(),
+            downed: BTreeSet::new(),
             // Debug knob: `GMF_SIM_KEEP_SAMPLES=1` retains every per-packet
             // sample on `SimStats` (memory-heavy; used to reconstruct the
             // critical window of a conformance violation).  Unset, empty or
@@ -194,6 +219,16 @@ impl<'a> Engine<'a> {
             ),
             rng: ChaCha8Rng::seed_from_u64(config.seed),
         })
+    }
+
+    /// Schedule the scripted faults.  Called before traffic generation so
+    /// that a fault firing at the same instant as a frame release is
+    /// applied first (the event queue breaks ties by insertion order).
+    fn schedule_faults(&mut self, faults: &FaultScript) {
+        for event in faults.events() {
+            self.queue
+                .schedule(event.at, EventKind::Fault { kind: event.kind });
+        }
     }
 
     /// Generate all packet arrivals up to the horizon and schedule the
@@ -393,6 +428,7 @@ impl<'a> Engine<'a> {
                     // The NIC is idle again: the send task may have work.
                     self.wake_cpu(switch, now);
                 }
+                EventKind::Fault { kind } => self.apply_fault(kind, now)?,
             }
         }
         Ok(SimulationResult {
@@ -400,6 +436,39 @@ impl<'a> Engine<'a> {
             events_processed,
             final_time,
         })
+    }
+
+    /// Apply one scripted fault.  Link faults gate *new* transmissions
+    /// only: frames already handed to a NIC complete normally, and blocked
+    /// frames wait in their output queues until the cable comes back.
+    fn apply_fault(&mut self, kind: FaultKind, now: Time) -> Result<(), SimError> {
+        match kind {
+            FaultKind::LinkDown { a, b } => {
+                self.downed.insert(cable(a, b));
+            }
+            FaultKind::LinkUp { a, b } => {
+                self.downed.remove(&cable(a, b));
+                // Blocked senders on both ends may resume immediately.
+                for (from, to) in [(a, b), (b, a)] {
+                    if self.endpoints.contains_key(&from) {
+                        self.try_start_endpoint_tx(from, to, now)?;
+                    } else {
+                        self.wake_cpu(from, now);
+                    }
+                }
+            }
+            FaultKind::CpuDegrade { switch, factor } => {
+                // Validated against the topology before the run started.
+                let sw = self
+                    .switches
+                    .get_mut(&switch)
+                    // tidy-allow: unwrap invariant: script was validated
+                    .expect("script was validated");
+                sw.croute = sw.croute * factor;
+                sw.csend = sw.csend * factor;
+            }
+        }
+        Ok(())
     }
 
     /// Start transmitting the next queued frame of an endpoint NIC if it is
@@ -410,6 +479,9 @@ impl<'a> Engine<'a> {
         to: NodeId,
         now: Time,
     ) -> Result<(), SimError> {
+        if self.downed.contains(&cable(host, to)) {
+            return Ok(());
+        }
         // tidy-allow: unwrap invariant: host exists
         let endpoint = self.endpoints.get_mut(&host).expect("host exists");
         if endpoint.is_transmitting(to) {
@@ -441,13 +513,19 @@ impl<'a> Engine<'a> {
         *received += 1;
         if *received == frame.n_fragments {
             self.reassembly.remove(&frame.packet);
-            self.stats.record(PacketSample {
-                flow: frame.packet.flow,
-                sequence: frame.packet.sequence,
-                gmf_frame: frame.gmf_frame,
-                arrival: frame.packet_arrival,
-                completion: now,
-            });
+            if frame.packet_arrival >= self.config.measure_from {
+                self.stats.record(PacketSample {
+                    flow: frame.packet.flow,
+                    sequence: frame.packet.sequence,
+                    gmf_frame: frame.gmf_frame,
+                    arrival: frame.packet_arrival,
+                    completion: now,
+                });
+            } else {
+                // Outside the measurement window: the packet drained, but
+                // its response time is not part of the aggregates.
+                self.stats.packets_completed += 1;
+            }
         }
     }
 
@@ -495,10 +573,31 @@ impl<'a> Engine<'a> {
         }
 
         // 2. Select the next task with work, charging idle polls for the
-        //    tasks that are offered a turn but have nothing to do.
+        //    tasks that are offered a turn but have nothing to do.  Send
+        //    tasks towards a downed cable have no useful work: their frames
+        //    stay queued until the cable comes back.
+        let downed_neighbours: Vec<NodeId> = self
+            .downed
+            .iter()
+            .filter_map(|&(x, y)| match switch {
+                s if s == x => Some(y),
+                s if s == y => Some(x),
+                _ => None,
+            })
+            .collect();
         // tidy-allow: unwrap invariant: switch exists
         let sw = self.switches.get_mut(&switch).expect("switch exists");
-        let work: Vec<bool> = sw.tasks.iter().map(|&t| sw.task_has_work(t)).collect();
+        let work: Vec<bool> = sw
+            .tasks
+            .iter()
+            .map(|&t| {
+                sw.task_has_work(t)
+                    && match t {
+                        SwitchTask::Send { to } => !downed_neighbours.contains(&to),
+                        SwitchTask::Route { .. } => true,
+                    }
+            })
+            .collect();
         if !work.iter().any(|&w| w) {
             sw.cpu_busy = false;
             return Ok(());
@@ -986,6 +1085,209 @@ mod tests {
             .unwrap();
         assert_eq!(result.events_processed, 0);
         assert_eq!(result.stats.packets_completed, 0);
+    }
+
+    #[test]
+    fn link_down_blocks_and_link_up_drains() {
+        // One voice flow over a direct cable; the cable is down for
+        // 30–60 ms.  Packets released in that window complete only after
+        // the repair, so the worst response grows by roughly the outage
+        // length; the run still drains completely and deterministically.
+        let (t, fs) = direct_link_scenario();
+        let script = crate::faults::FaultScript::new(vec![
+            crate::faults::TransientEvent {
+                at: Time::from_millis(30.0),
+                kind: crate::faults::FaultKind::LinkDown {
+                    a: NodeId(0),
+                    b: NodeId(1),
+                },
+            },
+            crate::faults::TransientEvent {
+                at: Time::from_millis(60.0),
+                kind: crate::faults::FaultKind::LinkUp {
+                    a: NodeId(1),
+                    b: NodeId(0),
+                },
+            },
+        ]);
+        let cfg = SimConfig::quick();
+        let baseline = Simulator::new(&t, &fs, cfg).unwrap().run().unwrap();
+        let faulted = Simulator::with_faults(&t, &fs, cfg, script.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            faulted.stats.packets_released,
+            baseline.stats.packets_released
+        );
+        assert_eq!(
+            faulted.stats.packets_completed,
+            faulted.stats.packets_released
+        );
+        let worst_base = baseline.stats.worst_response(FlowId(0)).unwrap();
+        let worst_fault = faulted.stats.worst_response(FlowId(0)).unwrap();
+        // The packet released at 40 ms waits out the rest of the outage
+        // (~20 ms) before its transmission can start.
+        assert!(worst_fault >= worst_base + Time::from_millis(15.0));
+        assert!(worst_fault <= worst_base + Time::from_millis(25.0));
+        // Byte-identical across repeat runs.
+        let again = Simulator::with_faults(&t, &fs, cfg, script)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(faulted.stats, again.stats);
+        assert_eq!(faulted.events_processed, again.events_processed);
+    }
+
+    #[test]
+    fn measure_from_excludes_outage_traffic_and_recovery_conforms() {
+        // Same outage, but measurement starts 40 ms after the repair: the
+        // post-recovery response times match the fault-free run exactly.
+        let (t, fs) = direct_link_scenario();
+        let script = crate::faults::FaultScript::new(vec![
+            crate::faults::TransientEvent {
+                at: Time::from_millis(30.0),
+                kind: crate::faults::FaultKind::LinkDown {
+                    a: NodeId(0),
+                    b: NodeId(1),
+                },
+            },
+            crate::faults::TransientEvent {
+                at: Time::from_millis(60.0),
+                kind: crate::faults::FaultKind::LinkUp {
+                    a: NodeId(0),
+                    b: NodeId(1),
+                },
+            },
+        ]);
+        let cfg = SimConfig::quick().with_measure_from(Time::from_millis(100.0));
+        let clean = Simulator::new(&t, &fs, cfg).unwrap().run().unwrap();
+        let faulted = Simulator::with_faults(&t, &fs, cfg, script)
+            .unwrap()
+            .run()
+            .unwrap();
+        // Every drained packet still counts, measured or not.
+        assert_eq!(
+            faulted.stats.packets_completed,
+            faulted.stats.packets_released
+        );
+        // Only post-100 ms arrivals are aggregated, and by then the
+        // backlog has drained: the aggregates match the fault-free run.
+        let sc = clean.stats.frame_stats(FlowId(0), 0).unwrap();
+        let sf = faulted.stats.frame_stats(FlowId(0), 0).unwrap();
+        assert_eq!(sc.count, sf.count);
+        assert!(sf.max.approx_eq(sc.max));
+        assert!(sf.min.approx_eq(sc.min));
+        assert!(sc.count < clean.stats.packets_completed);
+    }
+
+    #[test]
+    fn cpu_degrade_slows_the_switch() {
+        let (t, fs) = single_switch_scenario(1000);
+        let degrade = crate::faults::FaultScript::new(vec![crate::faults::TransientEvent {
+            at: Time::ZERO,
+            kind: crate::faults::FaultKind::CpuDegrade {
+                switch: NodeId(0),
+                factor: 8,
+            },
+        }]);
+        let cfg = SimConfig::quick();
+        let base = Simulator::new(&t, &fs, cfg).unwrap().run().unwrap();
+        let slow = Simulator::with_faults(&t, &fs, cfg, degrade)
+            .unwrap()
+            .run()
+            .unwrap();
+        let wb = base.stats.worst_response(FlowId(0)).unwrap();
+        let ws = slow.stats.worst_response(FlowId(0)).unwrap();
+        // One CROUTE + one CSEND grew by 7× (3.7 µs -> 29.6 µs).
+        let added = (Time::from_micros(2.7) + Time::from_micros(1.0)) * 7u64;
+        assert!(ws >= wb + added * 0.99, "ws {ws} wb {wb}");
+        assert_eq!(slow.stats.packets_completed, slow.stats.packets_released);
+    }
+
+    /// Conformance under failure: a switch degraded mid-script by factor
+    /// `k` is exactly the network the survivor analysis of the matching
+    /// `SwitchDegrade` scenario bounds — observed response times of
+    /// post-degradation traffic must stay below those bounds.
+    #[test]
+    fn degraded_simulation_respects_survivor_analysis_bounds() {
+        let netcfg = gmf_net::PaperNetworkConfig {
+            access: LinkProfile::ethernet_100m(),
+            ..Default::default()
+        };
+        let (t, net) = gmf_net::paper_figure1_with(netcfg);
+        let mut fs = FlowSet::new();
+        let video = paper_figure3_flow("video", Time::from_millis(500.0), Time::from_millis(1.0));
+        fs.add(
+            video,
+            shortest_path(&t, net.hosts[0], net.hosts[3]).unwrap(),
+            Priority(6),
+        );
+        let voice = voip_flow(
+            "voice",
+            VoiceCodec::G711,
+            Time::from_millis(50.0),
+            Time::from_millis(0.5),
+        );
+        fs.add(
+            voice,
+            shortest_path(&t, net.hosts[1], net.hosts[3]).unwrap(),
+            Priority(7),
+        );
+
+        // The analysis side: degrade the first switch on the routes by 2×
+        // via the failure overlay and bound the survivor.
+        let factor = 2u64;
+        let switch = net.switches[0];
+        let mut faulty = t.clone();
+        let installed = *faulty.switch_config(switch).unwrap();
+        let degraded = SwitchConfig {
+            croute: installed.croute * factor,
+            csend: installed.csend * factor,
+            processors: installed.processors,
+        };
+        faulty.degrade_switch(switch, degraded).unwrap();
+        let survivor = faulty.survivor();
+        let report = gmf_analysis::analyze(
+            survivor.topology(),
+            &fs,
+            &gmf_analysis::AnalysisConfig::conservative(),
+        )
+        .unwrap();
+        assert!(report.schedulable);
+
+        // The simulation side: the same degradation fires at 100 ms;
+        // measurement starts at 200 ms, well after the last pre-fault
+        // packet drained.
+        let script = crate::faults::FaultScript::new(vec![crate::faults::TransientEvent {
+            at: Time::from_millis(100.0),
+            kind: crate::faults::FaultKind::CpuDegrade { switch, factor },
+        }]);
+        let sim_cfg = SimConfig {
+            horizon: Time::from_secs(2.0),
+            measure_from: Time::from_millis(200.0),
+            ..SimConfig::default()
+        };
+        let result = Simulator::with_faults(&t, &fs, sim_cfg, script)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(result.stats.packets_completed > 50);
+
+        for binding in fs.bindings() {
+            let flow_report = report.flow(binding.id).unwrap();
+            for (k, frame_bound) in flow_report.frames.iter().enumerate() {
+                if let Some(observed) = result.stats.worst_frame_response(binding.id, k) {
+                    assert!(
+                        observed <= frame_bound.bound,
+                        "flow {} frame {k}: degraded simulation {} exceeds survivor bound {}",
+                        binding.flow.name(),
+                        observed,
+                        frame_bound.bound
+                    );
+                }
+            }
+        }
     }
 
     /// The central soundness check (experiment E7 in miniature): the

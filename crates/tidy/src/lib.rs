@@ -717,6 +717,21 @@ mod tests {
     }
 
     #[test]
+    fn clock_rule_covers_the_resilience_surfaces() {
+        // The failure-and-recovery subsystem is engine code on all three
+        // layers: survivor analysis, scripted simulator faults and the
+        // ring workload generator must stay pure functions of their seeds.
+        let bad = "let t0 = std::time::Instant::now();\n";
+        for path in [
+            "crates/analysis/src/resilience.rs",
+            "crates/switch-sim/src/faults.rs",
+            "crates/workloads/src/resilience.rs",
+        ] {
+            assert_eq!(rules_fired(&check(path, bad)), ["clock"], "{path}");
+        }
+    }
+
+    #[test]
     fn cast_rule_fires_on_bare_casts_only_in_analysis() {
         let bad = "let i = x as usize;\n";
         assert_eq!(rules_fired(&check(LIB, bad)), ["cast"]);

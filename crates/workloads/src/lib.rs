@@ -16,6 +16,9 @@
 //! * [`metro`] — metro-scale admission workloads: thousands of independent
 //!   access cells, a 100k+-flow pre-admitted set and a deterministic
 //!   candidate stream for the sharded admission plane (E14 / `exp_metro`);
+//! * [`resilience`] — metro cells on a protection ring plus deterministic
+//!   fault scripts, the workload of the survivability experiments (E16 /
+//!   `exp_resilience`);
 //! * [`fuzz`] — deterministic random *valid* scenario generation (random
 //!   topologies, mixed flow kinds, rejection-with-reason) for the
 //!   conformance harness (E13);
@@ -30,6 +33,7 @@ pub mod churn;
 pub mod fuzz;
 pub mod metro;
 pub mod paper;
+pub mod resilience;
 pub mod scenario;
 pub mod sweep;
 pub mod synthetic;
@@ -42,6 +46,9 @@ pub use metro::{metro_candidates, metro_scenario, MetroCell, MetroConfig, MetroS
 pub use paper::{
     conference_video, paper_scenario, paper_scenario_with, paper_video_only_scenario,
     PaperScenarioFlows, Scenario,
+};
+pub use resilience::{
+    fault_script, resilience_scenario, FaultPlan, ResilienceConfig, ResilienceScenario,
 };
 pub use scenario::ScenarioFile;
 pub use sweep::{
@@ -56,6 +63,9 @@ pub mod prelude {
     pub use crate::fuzz::{draw_scenario, valid_scenario, FuzzConfig, FuzzScenario};
     pub use crate::metro::{metro_candidates, metro_scenario, MetroConfig, MetroScenario};
     pub use crate::paper::{paper_scenario, paper_video_only_scenario, Scenario};
+    pub use crate::resilience::{
+        fault_script, resilience_scenario, FaultPlan, ResilienceConfig, ResilienceScenario,
+    };
     pub use crate::scenario::ScenarioFile;
     pub use crate::sweep::{acceptance_sweep, AcceptancePoint, SweepConfig};
     pub use crate::synthetic::{random_flow_collection, random_gmf_flow, SyntheticConfig};

@@ -128,7 +128,7 @@ pub struct MetroScenario {
 }
 
 /// Draw one intra-cell flow: random distinct endpoints, random priority.
-fn cell_flow<R: Rng>(
+pub(crate) fn cell_flow<R: Rng>(
     rng: &mut R,
     flow: GmfFlow,
     topology: &Topology,

@@ -1,0 +1,384 @@
+//! Resilience workloads: metro cells on a protection ring, plus the
+//! deterministic fault scripts that break them.
+//!
+//! The plain [`crate::metro`] workload keeps every cell disjoint — cut any
+//! access cable and the victim host is simply gone.  Survivability needs
+//! *redundancy*, so this generator joins the cell switches into a ring of
+//! trunk links: cut one trunk and every transit flow still reaches its
+//! destination the long way around; degrade one switch CPU and only its
+//! cell plus the transit flows through it feel it.  That makes the
+//! topology a worthwhile subject for
+//! `gmf_analysis::resilience::SurvivabilityAnalysis` (every trunk cut is
+//! survivable by re-routing, not vacuously fatal) and for the simulator's
+//! scripted faults (`switch_sim::FaultScript`).
+//!
+//! Everything derives from `(seed, config)` via per-cell
+//! [`gmf_par::derive_seed`] streams, exactly like the metro generator:
+//! same seed, same scenario, regardless of thread counts.
+
+use crate::metro::{cell_flow, MetroCell};
+use crate::synthetic::{random_gmf_flow, SyntheticConfig};
+use gmf_model::Time;
+use gmf_net::{shortest_path, FlowSet, LinkProfile, NodeId, Priority, SwitchConfig, Topology};
+use gmf_par::derive_seed;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use switch_sim::{FaultKind, FaultScript, TransientEvent};
+
+/// Parameters of the resilient-metro workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceConfig {
+    /// Number of cells on the protection ring (≥ 3, so one trunk cut
+    /// always leaves an alternate path).
+    pub n_cells: usize,
+    /// Hosts per cell (all attached to the cell's switch).
+    pub hosts_per_cell: usize,
+    /// Intra-cell flows per cell.
+    pub local_flows_per_cell: usize,
+    /// Transit flows per cell (each from a host of cell `c` to a host of
+    /// cell `c+1`, routed over the trunk between them).
+    pub transit_flows_per_cell: usize,
+    /// Speed of every host–switch access link.
+    pub access: LinkProfile,
+    /// Speed of every switch–switch trunk link.
+    pub trunk: LinkProfile,
+    /// Switch CPU parameters of every cell switch.
+    pub switch: SwitchConfig,
+    /// Flow-structure generator configuration.
+    pub synthetic: SyntheticConfig,
+    /// Per-flow target utilization of the reference link, drawn uniformly
+    /// from this range.  Keep it low enough that the pre-admitted set
+    /// verifies even after a trunk cut doubles up traffic on the ring.
+    pub flow_utilization: (f64, f64),
+    /// Number of 802.1p priority levels assigned (uniformly at random).
+    pub priority_levels: u8,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        let access = LinkProfile::ethernet_100m();
+        ResilienceConfig {
+            n_cells: 6,
+            hosts_per_cell: 4,
+            local_flows_per_cell: 4,
+            transit_flows_per_cell: 2,
+            access,
+            trunk: LinkProfile::ethernet_1g(),
+            switch: SwitchConfig::paper(),
+            synthetic: SyntheticConfig {
+                reference_speed_bps: access.speed.as_bps(),
+                // Generous deadlines: a re-routed transit flow crosses up
+                // to `n_cells` switches the long way around the ring, and
+                // the survivor set must still verify.
+                deadline_factor: (20.0, 40.0),
+                jitter: Time::from_millis(0.2),
+                ..SyntheticConfig::default()
+            },
+            flow_utilization: (0.0005, 0.002),
+            priority_levels: 8,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// A minimal configuration for unit tests: three cells, few flows.
+    pub fn tiny() -> Self {
+        ResilienceConfig {
+            n_cells: 3,
+            hosts_per_cell: 3,
+            local_flows_per_cell: 2,
+            transit_flows_per_cell: 1,
+            ..ResilienceConfig::default()
+        }
+    }
+
+    /// Total pre-admitted flows of the scenario.
+    pub fn n_flows(&self) -> usize {
+        self.n_cells * (self.local_flows_per_cell + self.transit_flows_per_cell)
+    }
+
+    /// Check the configuration for values the generator cannot honour.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_cells < 3 {
+            return Err("n_cells must be at least 3 (a 2-ring has no spare path)".into());
+        }
+        if self.hosts_per_cell < 2 {
+            return Err("hosts_per_cell must be at least 2 (flows need distinct endpoints)".into());
+        }
+        if self.local_flows_per_cell + self.transit_flows_per_cell == 0 {
+            return Err("at least one flow per cell is required".into());
+        }
+        if self.flow_utilization.0 <= 0.0 || self.flow_utilization.0 > self.flow_utilization.1 {
+            return Err("flow_utilization must be a non-empty positive range".into());
+        }
+        Ok(())
+    }
+}
+
+/// A generated resilient-metro workload.
+#[derive(Debug, Clone)]
+pub struct ResilienceScenario {
+    /// The network: `n_cells` stars whose switches form a ring.
+    pub topology: Topology,
+    /// The pre-admitted flows: per cell, first the local flows, then the
+    /// transit flows to the next cell.
+    pub flows: FlowSet,
+    /// The cells, in creation (= ring) order.
+    pub cells: Vec<MetroCell>,
+    /// The ring's trunk cables: entry `c` joins the switches of cells `c`
+    /// and `(c+1) % n_cells`.
+    pub trunks: Vec<(NodeId, NodeId)>,
+}
+
+/// Build the ring-of-cells topology and its pre-admitted flow set.
+///
+/// Cell `c` draws everything (local flows, then transit flows) from its own
+/// ChaCha8 stream seeded with [`derive_seed`]`(seed, c)`.  Transit flows
+/// are routed with [`shortest_path`], which picks the direct trunk — a ring
+/// of ≥ 3 cells makes the one-trunk route strictly shorter than the
+/// long way around.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (see [`ResilienceConfig::validate`]).
+pub fn resilience_scenario(seed: u64, config: &ResilienceConfig) -> ResilienceScenario {
+    // tidy-allow: unwrap invariant: invalid resilience configuration
+    config.validate().expect("invalid resilience configuration");
+    let mut topology = Topology::new();
+    let mut cells = Vec::with_capacity(config.n_cells);
+    for c in 0..config.n_cells {
+        let switch = topology.add_switch(config.switch, format!("rsw{c}"));
+        let hosts: Vec<NodeId> = (0..config.hosts_per_cell)
+            .map(|h| {
+                let host = topology.add_end_host(format!("r{c}h{h}"));
+                topology
+                    .add_duplex_link(host, switch, config.access)
+                    // tidy-allow: unwrap invariant: freshly created nodes are linkable
+                    .expect("freshly created nodes are linkable");
+                host
+            })
+            .collect();
+        cells.push(MetroCell { switch, hosts });
+    }
+    let trunks: Vec<(NodeId, NodeId)> = (0..config.n_cells)
+        .map(|c| {
+            let a = cells[c].switch;
+            let b = cells[(c + 1) % config.n_cells].switch;
+            topology
+                .add_duplex_link(a, b, config.trunk)
+                // tidy-allow: unwrap invariant: ring switches are distinct
+                .expect("ring switches are distinct");
+            (a, b)
+        })
+        .collect();
+
+    let mut flows = FlowSet::new();
+    for (c, cell) in cells.iter().enumerate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, c as u64));
+        for f in 0..config.local_flows_per_cell {
+            let utilization = rng.gen_range(config.flow_utilization.0..=config.flow_utilization.1);
+            let flow = random_gmf_flow(
+                &mut rng,
+                &format!("r{c}-local{f}"),
+                utilization,
+                &config.synthetic,
+            );
+            let (flow, route, priority) =
+                cell_flow(&mut rng, flow, &topology, cell, config.priority_levels);
+            flows.add(flow, route, priority);
+        }
+        let next = &cells[(c + 1) % config.n_cells];
+        for f in 0..config.transit_flows_per_cell {
+            let utilization = rng.gen_range(config.flow_utilization.0..=config.flow_utilization.1);
+            let flow = random_gmf_flow(
+                &mut rng,
+                &format!("r{c}-transit{f}"),
+                utilization,
+                &config.synthetic,
+            );
+            let source = cell.hosts[rng.gen_range(0..cell.hosts.len())];
+            let sink = next.hosts[rng.gen_range(0..next.hosts.len())];
+            let route = shortest_path(&topology, source, sink)
+                // tidy-allow: unwrap invariant: ring cells are connected
+                .expect("ring cells are connected");
+            let priority = Priority(rng.gen_range(0..config.priority_levels.max(1)));
+            flows.add(flow, route, priority);
+        }
+    }
+    ResilienceScenario {
+        topology,
+        flows,
+        cells,
+        trunks,
+    }
+}
+
+/// When the scripted faults of [`fault_script`] fire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// When the chosen trunk cable goes down.
+    pub outage_start: Time,
+    /// How long the trunk stays down.
+    pub outage: Time,
+    /// When the chosen switch CPU degrades.
+    pub degrade_at: Time,
+    /// The degradation factor (≥ 1; 1 disables the degrade event).
+    pub degrade_factor: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            outage_start: Time::from_millis(50.0),
+            outage: Time::from_millis(40.0),
+            degrade_at: Time::from_millis(120.0),
+            degrade_factor: 2,
+        }
+    }
+}
+
+/// Draw a deterministic fault script against a resilient-metro scenario:
+/// one seeded trunk cable goes down and comes back
+/// (`outage_start`/`outage`), and one seeded cell switch degrades by
+/// `degrade_factor` (omitted when the factor is 1).  The script validates
+/// against the scenario's topology by construction.
+pub fn fault_script(seed: u64, scenario: &ResilienceScenario, plan: &FaultPlan) -> FaultScript {
+    let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, u64::MAX));
+    let (a, b) = scenario.trunks[rng.gen_range(0..scenario.trunks.len())];
+    let switch = scenario.cells[rng.gen_range(0..scenario.cells.len())].switch;
+    let mut events = vec![
+        TransientEvent {
+            at: plan.outage_start,
+            kind: FaultKind::LinkDown { a, b },
+        },
+        TransientEvent {
+            at: plan.outage_start + plan.outage,
+            kind: FaultKind::LinkUp { a, b },
+        },
+    ];
+    if plan.degrade_factor > 1 {
+        events.push(TransientEvent {
+            at: plan.degrade_at,
+            kind: FaultKind::CpuDegrade {
+                switch,
+                factor: plan.degrade_factor,
+            },
+        });
+    }
+    FaultScript::new(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmf_analysis::{resilience::SurvivabilityAnalysis, AnalysisConfig};
+    use gmf_net::reroute_severed;
+
+    #[test]
+    fn scenario_is_reproducible_and_well_formed() {
+        let config = ResilienceConfig::tiny();
+        let a = resilience_scenario(5, &config);
+        let b = resilience_scenario(5, &config);
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.cells, b.cells);
+        assert_eq!(a.trunks, b.trunks);
+        assert_eq!(a.flows.len(), config.n_flows());
+        assert_eq!(a.trunks.len(), config.n_cells);
+        a.flows.validate_against(&a.topology).unwrap();
+        // Transit flows cross exactly one trunk: 4 nodes, 3 links.
+        let transit = a
+            .flows
+            .bindings()
+            .iter()
+            .filter(|f| f.route.nodes().len() == 4)
+            .count();
+        assert_eq!(transit, config.n_cells * config.transit_flows_per_cell);
+    }
+
+    #[test]
+    fn every_trunk_cut_is_reroutable() {
+        let config = ResilienceConfig::tiny();
+        let scenario = resilience_scenario(9, &config);
+        for &(a, b) in &scenario.trunks {
+            let mut faulty = scenario.topology.clone();
+            faulty.fail_link(a, b).unwrap();
+            let survivor = faulty.survivor();
+            let outcomes = reroute_severed(&survivor, &scenario.flows);
+            assert!(
+                outcomes.iter().all(|o| !o.is_stranded()),
+                "trunk ({a}, {b}) stranded a flow despite the ring"
+            );
+        }
+    }
+
+    #[test]
+    fn preadmitted_set_verifies_and_survives_trunk_cuts() {
+        let config = ResilienceConfig::tiny();
+        let scenario = resilience_scenario(3, &config);
+        let (analysis, stats) = SurvivabilityAnalysis::new(
+            scenario.topology.clone(),
+            scenario.flows.clone(),
+            AnalysisConfig::paper(),
+        )
+        .unwrap();
+        assert!(stats.shards >= 1);
+        for &(a, b) in &scenario.trunks {
+            let verdict = analysis
+                .assess(&gmf_analysis::resilience::FailureScenario::CableCut {
+                    a: a.min(b),
+                    b: a.max(b),
+                })
+                .unwrap();
+            assert!(verdict.stranded.is_empty());
+            assert!(verdict.survivable, "trunk cut ({a}, {b}) not survivable");
+        }
+    }
+
+    #[test]
+    fn fault_script_is_deterministic_and_valid() {
+        let config = ResilienceConfig::tiny();
+        let scenario = resilience_scenario(7, &config);
+        let plan = FaultPlan::default();
+        let script = fault_script(11, &scenario, &plan);
+        assert_eq!(script, fault_script(11, &scenario, &plan));
+        script.validate(&scenario.topology).unwrap();
+        assert_eq!(script.events().len(), 3);
+        // Factor 1 drops the degrade event.
+        let no_degrade = fault_script(
+            11,
+            &scenario,
+            &FaultPlan {
+                degrade_factor: 1,
+                ..plan
+            },
+        );
+        assert_eq!(no_degrade.events().len(), 2);
+        no_degrade.validate(&scenario.topology).unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(ResilienceConfig {
+            n_cells: 2,
+            ..ResilienceConfig::tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(ResilienceConfig {
+            hosts_per_cell: 1,
+            ..ResilienceConfig::tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(ResilienceConfig {
+            local_flows_per_cell: 0,
+            transit_flows_per_cell: 0,
+            ..ResilienceConfig::tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(ResilienceConfig::default().validate().is_ok());
+        assert_eq!(ResilienceConfig::default().n_flows(), 36);
+    }
+}

@@ -253,3 +253,81 @@ fn bridge_admission_merges_shards_and_departure_splits_them() {
     assert_eq!(w.id(), c.id());
     assert_eq!(ctl.accepted(), cold.accepted());
 }
+
+/// Topology-mutation edge case: cut a trunk of a ring workload, drive the
+/// admission plane through the primitives the survivability module
+/// composes — whole-shard `release_batch`, `rebase` onto the survivor
+/// topology, shard-scoped re-admission over fallback routes — and the
+/// partition must still equal a from-scratch [`DependencyGraph`] rebuild,
+/// with every flow re-admitted (the ring strands nothing).
+#[test]
+fn release_rebase_readmit_after_cable_cut_keeps_partition_exact() {
+    use gmfnet::model::FlowId;
+    use gmfnet::net::reroute_severed;
+    use gmfnet::workloads::{resilience_scenario, ResilienceConfig};
+    use std::collections::BTreeSet;
+
+    let config = ResilienceConfig::tiny();
+    let scenario = resilience_scenario(42, &config);
+    let (mut ctl, _) = AdmissionController::with_accepted(
+        scenario.topology.clone(),
+        scenario.flows.clone(),
+        AnalysisConfig::paper(),
+    )
+    .unwrap();
+    let n_before = ctl.n_accepted();
+
+    let (a, b) = scenario.trunks[0];
+    let mut faulty = scenario.topology.clone();
+    faulty.fail_link(a, b).unwrap();
+    let survivor = faulty.survivor();
+
+    // Release the whole shard of every flow touching a dirty node, so the
+    // retained cache stays exactly valid across the rebase.
+    let mut release: BTreeSet<FlowId> = BTreeSet::new();
+    for id in survivor.affected_flows(ctl.accepted()) {
+        match ctl
+            .partition()
+            .shard_of(id)
+            .and_then(|shard| ctl.partition().shard_flows(shard))
+        {
+            Some(members) => release.extend(members.iter().copied()),
+            None => {
+                release.insert(id);
+            }
+        }
+    }
+    let order: Vec<FlowId> = release.iter().copied().collect();
+    assert!(!order.is_empty(), "a trunk cut must affect transit flows");
+
+    let outcomes = reroute_severed(&survivor, ctl.accepted());
+    assert!(outcomes.iter().all(|o| !o.is_stranded()));
+    let fallback: std::collections::BTreeMap<FlowId, _> = outcomes
+        .iter()
+        .filter_map(|o| o.route().map(|r| (o.id(), r.clone())))
+        .collect();
+
+    let requests: Vec<AdmissionRequest> = order
+        .iter()
+        .map(|&id| {
+            let binding = ctl.accepted().get(id).unwrap().clone();
+            let route = fallback
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| binding.route.clone());
+            AdmissionRequest::new(binding.flow, route, binding.priority)
+        })
+        .collect();
+    ctl.release_batch(&order).unwrap();
+    assert_eq!(
+        ctl.partition(),
+        &DependencyGraph::new(ctl.accepted()),
+        "partition must stay exact after the batched release"
+    );
+    ctl.rebase(survivor.topology().clone()).unwrap();
+    let decisions = ctl.request_batch(requests).unwrap();
+    assert!(decisions.iter().all(|d| d.is_accepted()));
+
+    assert_eq!(ctl.n_accepted(), n_before);
+    assert_eq!(ctl.partition(), &DependencyGraph::new(ctl.accepted()));
+}
