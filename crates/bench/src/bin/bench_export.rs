@@ -6,15 +6,19 @@
 //! writes `BENCH.json`:
 //!
 //! ```json
-//! { "schema": 2,
+//! { "schema": 3,
 //!   "timings_ns": { "<bench>": <median ns per iteration>, ... },
 //!   "counters":   { "<counter>": <deterministic count>, ... } }
 //! ```
 //!
 //! `timings_ns` carries the wall-clock medians (machine-dependent);
 //! `counters` carries the engine's *deterministic* cost metrics — holistic
-//! rounds and per-flow analyses per workload, with dirty-flow skipping off
-//! and on — which must be bit-identical on every machine.
+//! rounds and per-flow analyses per workload (with dirty-flow skipping off
+//! and on), the simulator's event and calendar-queue shape counters, and
+//! the tightness-atlas percentile counters — which must be bit-identical
+//! on every machine.  Schema 3 added the `sim/*` and `atlas/*` counters;
+//! with the event count pinned exactly, the normalised gate on the
+//! simulator timing is an events/sec gate.
 //!
 //! **Baseline check** (`--baseline <path>`): compares the fresh run
 //! against a committed baseline and exits non-zero on regression.
@@ -31,6 +35,7 @@ use gmf_analysis::{
     analyze, first_hop_response, iterate_from, AdmissionMode, AnalysisConfig, AnalysisContext,
     FixedPointStrategy, JitterMap,
 };
+use gmf_bench::atlas::{tightness_atlas, AtlasConfig};
 use gmf_bench::{
     churn_bench_config, long_tail_bench_scenario, median_ns, metro_bench_config,
     mixed_depth_line_scenario, print_header, print_table, run_metro_admission,
@@ -285,7 +290,11 @@ fn main() {
         }
     }
 
-    // B4 — simulator throughput.
+    // B4 — simulator throughput.  The event count is deterministic and
+    // pinned by the `sim/*` counters below, so the timing gate on this
+    // entry *is* an events/sec gate: ns-per-event regressing past the
+    // calibrated tolerance fails the perf smoke even though raw wall time
+    // varies by machine.
     let sim_config = SimConfig {
         horizon: Time::from_millis(300.0),
         ..SimConfig::default()
@@ -301,6 +310,68 @@ fn main() {
             );
         }),
     );
+    {
+        // Event-core shape counters: the work the simulator performs and
+        // how the calendar queue held it.  Any drift means the event core
+        // changed behaviour, not just speed.
+        let result = Simulator::new(&scenario.topology, &scenario.flows, sim_config)
+            .unwrap()
+            .run()
+            .unwrap();
+        counters.insert("sim/paper_300ms/events".into(), result.events_processed);
+        counters.insert(
+            "sim/paper_300ms/packets".into(),
+            result.stats.packets_completed,
+        );
+        counters.insert(
+            "sim/paper_300ms/max_pending".into(),
+            result.queue.max_pending as u64,
+        );
+        counters.insert(
+            "sim/paper_300ms/max_bucket".into(),
+            result.queue.max_bucket as u64,
+        );
+        counters.insert(
+            "sim/paper_300ms/buckets_opened".into(),
+            result.queue.buckets_opened,
+        );
+        counters.insert(
+            "sim/paper_300ms/pool_reuses".into(),
+            result.queue.pool_reuses,
+        );
+    }
+
+    // B7 — the tightness atlas (E17) on a small corpus: one timing for the
+    // analysis + long-horizon simulation sweep, plus deterministic
+    // percentile counters.  The permille columns are integer ratios of
+    // integer histogram edges, so they are bit-identical everywhere; the
+    // worst row moving is a tightness change worth noticing in review.
+    let atlas_config = AtlasConfig {
+        scenarios: 3,
+        horizon_factor: 4,
+        ..AtlasConfig::default()
+    };
+    record(
+        "tightness_atlas/small",
+        median_ns(samples, || {
+            black_box(tightness_atlas(black_box(&atlas_config)));
+        }),
+    );
+    {
+        let atlas = tightness_atlas(&atlas_config);
+        counters.insert("atlas/rows".into(), atlas.rows.len() as u64);
+        counters.insert("atlas/scenarios_ok".into(), atlas.scenarios_ok as u64);
+        counters.insert("atlas/events".into(), atlas.events_processed);
+        counters.insert("atlas/packets".into(), atlas.packets_completed);
+        counters.insert("atlas/max_pending".into(), atlas.queue.max_pending as u64);
+        counters.insert(
+            "atlas/worst_max_permille".into(),
+            atlas.tightest().map_or(0, |row| row.max_permille),
+        );
+        if let Some((_, median, _)) = atlas.spread(|row| row.p99_permille) {
+            counters.insert("atlas/median_p99_permille".into(), median);
+        }
+    }
 
     // Human-readable tables plus the machine-readable artifact.
     let rows: Vec<Vec<String>> = results
@@ -316,7 +387,7 @@ fn main() {
     print_table(&["counter", "value"], &rows);
 
     let report = BenchReport {
-        schema: 2,
+        schema: 3,
         timings_ns: results,
         counters,
     };

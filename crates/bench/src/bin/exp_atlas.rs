@@ -1,0 +1,160 @@
+//! E17 — the tightness atlas: percentile-resolved bound tightness over
+//! the fuzz corpus at long horizons, on the high-throughput event core.
+//!
+//! For each fuzz scenario the atlas runs the conservative analysis and a
+//! *long* dense simulation (20× the conformance horizon), then reports
+//! the observed P50/P95/P99/max response time of every (flow, GMF frame)
+//! as integer permille of its analytical bound.  The percentile columns
+//! come from `switch-sim`'s streaming integer-nanosecond histograms, so
+//! the table costs O(1) memory per frame regardless of horizon.
+//!
+//! All stdout is deterministic: repeated runs and `--threads 1/4` must be
+//! byte-identical (CI diffs them).  Wall-clock and events/sec — the
+//! throughput half of E17, machine-dependent by nature — go to stderr.
+//!
+//! Usage: `exp_atlas [--scenarios N] [--threads N]` (default 12
+//! scenarios).  Exits non-zero if any observed maximum exceeds its bound.
+
+use gmf_bench::atlas::{tightness_atlas, AtlasConfig};
+use gmf_bench::{print_header, print_table, threads_flag};
+
+fn main() {
+    let mut config = AtlasConfig {
+        threads: threads_flag(),
+        ..AtlasConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scenarios" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config.scenarios = n.max(1),
+                None => {
+                    eprintln!("--scenarios requires a number");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => {
+                args.next(); // parsed by threads_flag()
+            }
+            other => {
+                eprintln!("unknown argument {other} (expected --scenarios N, --threads N)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    print_header(
+        "E17",
+        "Tightness atlas: observed percentiles vs bounds, long horizons",
+    );
+
+    let started = std::time::Instant::now();
+    let atlas = tightness_atlas(&config);
+    let elapsed = started.elapsed();
+
+    println!(
+        "corpus: {} scenarios requested, {} usable, {} skipped",
+        config.scenarios,
+        atlas.scenarios_ok,
+        atlas.skipped.len()
+    );
+    for (label, reason) in &atlas.skipped {
+        println!("  skipped {label}: {reason}");
+    }
+    println!(
+        "simulated: {} events, {} packets completed (deterministic)",
+        atlas.events_processed, atlas.packets_completed
+    );
+    println!(
+        "queue shape: max_pending {}, max_bucket {}, buckets_opened {}, pool_reuses {}",
+        atlas.queue.max_pending,
+        atlas.queue.max_bucket,
+        atlas.queue.buckets_opened,
+        atlas.queue.pool_reuses
+    );
+    println!();
+
+    // The per-frame atlas, worst rows first in print (full row order is
+    // deterministic; the table keeps the 16 largest maxima readable).
+    let mut by_tightness: Vec<usize> = (0..atlas.rows.len()).collect();
+    by_tightness.sort_by_key(|&i| {
+        let r = &atlas.rows[i];
+        (std::cmp::Reverse(r.max_permille), i)
+    });
+    let rows: Vec<Vec<String>> = by_tightness
+        .iter()
+        .take(16)
+        .map(|&i| {
+            let r = &atlas.rows[i];
+            vec![
+                r.scenario.clone(),
+                r.flow.clone(),
+                format!("{}", r.frame),
+                format!("{}", r.samples),
+                format!("{}", r.p50_permille),
+                format!("{}", r.p95_permille),
+                format!("{}", r.p99_permille),
+                format!("{}", r.max_permille),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "scenario", "flow", "frame", "samples", "p50‰", "p95‰", "p99‰", "max‰",
+        ],
+        &rows,
+    );
+    println!();
+
+    // Corpus-level spread of each percentile column over all rows.
+    let spreads = [
+        ("p50", atlas.spread(|r| r.p50_permille)),
+        ("p95", atlas.spread(|r| r.p95_permille)),
+        ("p99", atlas.spread(|r| r.p99_permille)),
+        ("max", atlas.spread(|r| r.max_permille)),
+    ];
+    let rows: Vec<Vec<String>> = spreads
+        .iter()
+        .filter_map(|(name, spread)| {
+            spread.map(|(min, median, max)| {
+                vec![
+                    name.to_string(),
+                    format!("{min}"),
+                    format!("{median}"),
+                    format!("{max}"),
+                ]
+            })
+        })
+        .collect();
+    print_table(
+        &["percentile", "min ‰ of bound", "median ‰", "max ‰"],
+        &rows,
+    );
+    println!();
+    println!(
+        "atlas rows: {} (every one with max ≤ 1000‰ of its bound)",
+        atlas.rows.len()
+    );
+
+    // Throughput (machine-dependent): stderr only, never in the diffed
+    // stdout.
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        eprintln!(
+            "wall: {:.1} ms, {:.0} events/sec",
+            secs * 1e3,
+            atlas.events_processed as f64 / secs
+        );
+    }
+
+    if !atlas.violations.is_empty() {
+        eprintln!("BOUND VIOLATIONS:");
+        for row in &atlas.violations {
+            eprintln!(
+                "  {}/{} frame {}: max {}‰ of bound",
+                row.scenario, row.flow, row.frame, row.max_permille
+            );
+        }
+        std::process::exit(1);
+    }
+}

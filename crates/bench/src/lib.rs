@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod atlas;
 pub mod conformance;
 
 /// Print a named experiment header.

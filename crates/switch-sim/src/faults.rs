@@ -101,18 +101,17 @@ impl FaultScript {
     }
 
     /// Check the script against a topology: every event references
-    /// existing hardware, times are non-negative, degrade factors are ≥ 1,
-    /// and cable state toggles consistently (no `LinkDown` of an
-    /// already-down cable, no `LinkUp` of a cable that is up).
+    /// existing hardware, degrade factors are ≥ 1, and cable state toggles
+    /// consistently (no `LinkDown` of an already-down cable, no `LinkUp`
+    /// of a cable that is up).
+    ///
+    /// Firing times are *not* checked here: an event before the simulation
+    /// starts (negative `at`) is rejected by the event queue itself when
+    /// the script is scheduled, surfacing as a hard
+    /// [`SimError::EventInPast`] in every build profile.
     pub fn validate(&self, topology: &Topology) -> Result<(), SimError> {
         let mut down: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         for event in &self.events {
-            if event.at.is_negative() {
-                return Err(SimError::InvalidFaultScript(format!(
-                    "event at {} fires before the simulation starts",
-                    event.at
-                )));
-            }
             match event.kind {
                 FaultKind::LinkDown { a, b } => {
                     if !topology.has_link(a, b) && !topology.has_link(b, a) {

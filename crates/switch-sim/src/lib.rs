@@ -49,19 +49,20 @@ pub mod stats;
 pub mod stride;
 
 pub use config::{ArrivalPolicy, JitterSpread, SimConfig};
-pub use event::{Event, EventKind, EventQueue};
+pub use event::{Event, EventInPast, EventKind, EventQueue, QueueShape, ReferenceEventQueue};
 pub use faults::{FaultKind, FaultScript, TransientEvent};
 pub use nodes::{EndpointState, PriorityQueue, SwitchState, SwitchTask};
 pub use packet::{EthFrame, PacketId};
 pub use sim::{SimError, SimulationResult, Simulator};
-pub use stats::{PacketSample, ResponseStats, SimStats};
+pub use stats::{PacketSample, ResponseHistogram, ResponseStats, SimStats, MAX_KEPT_SAMPLES};
 pub use stride::StrideScheduler;
 
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
     pub use crate::config::{ArrivalPolicy, JitterSpread, SimConfig};
+    pub use crate::event::QueueShape;
     pub use crate::faults::{FaultKind, FaultScript, TransientEvent};
     pub use crate::sim::{SimError, SimulationResult, Simulator};
-    pub use crate::stats::{PacketSample, ResponseStats, SimStats};
+    pub use crate::stats::{PacketSample, ResponseHistogram, ResponseStats, SimStats};
     pub use crate::stride::StrideScheduler;
 }

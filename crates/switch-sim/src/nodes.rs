@@ -1,10 +1,17 @@
 //! Per-node simulation state: end hosts / routers and software switches.
+//!
+//! Node state is **port-indexed**: each node resolves its sorted neighbour
+//! list to a dense port index once, and every queue, NIC slot and CPU task
+//! is a flat array indexed by that port.  The event loop touches these
+//! structures millions of times per simulated second, so flat arrays (one
+//! binary search over a small sorted `Vec<NodeId>` at the boundary, plain
+//! indexing after that) beat per-access `BTreeMap` walks by a wide margin.
 
 use crate::packet::EthFrame;
 use crate::stride::StrideScheduler;
 use gmf_model::Time;
 use gmf_net::{NodeId, Priority, SwitchConfig};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Number of 802.1p priority levels of an output queue.
 pub const N_PRIORITY_LEVELS: usize = 8;
@@ -13,6 +20,12 @@ pub const N_PRIORITY_LEVELS: usize = 8;
 #[derive(Debug, Clone, Default)]
 pub struct PriorityQueue {
     levels: [VecDeque<EthFrame>; N_PRIORITY_LEVELS],
+    /// Bit `i` set iff `levels[i]` is non-empty; the highest set bit is the
+    /// level `pop_highest` serves, so emptiness checks and pops are O(1)
+    /// instead of an eight-FIFO scan on the dispatch hot path.
+    occupied: u8,
+    /// Total queued frames.
+    len: usize,
 }
 
 impl PriorityQueue {
@@ -25,26 +38,33 @@ impl PriorityQueue {
     pub fn push(&mut self, frame: EthFrame) {
         let level = (frame.priority.0 as usize).min(N_PRIORITY_LEVELS - 1);
         self.levels[level].push_back(frame);
+        self.occupied |= 1 << level;
+        self.len += 1;
     }
 
     /// Dequeue the oldest frame of the highest non-empty priority level.
     pub fn pop_highest(&mut self) -> Option<EthFrame> {
-        for level in (0..N_PRIORITY_LEVELS).rev() {
-            if let Some(frame) = self.levels[level].pop_front() {
-                return Some(frame);
-            }
+        if self.occupied == 0 {
+            return None;
         }
-        None
+        let level = (7 - self.occupied.leading_zeros()) as usize;
+        let frame = self.levels[level].pop_front();
+        debug_assert!(frame.is_some(), "occupied bit set on an empty level");
+        if self.levels[level].is_empty() {
+            self.occupied &= !(1 << level);
+        }
+        self.len -= frame.is_some() as usize;
+        frame
     }
 
     /// Total number of queued frames.
     pub fn len(&self) -> usize {
-        self.levels.iter().map(|q| q.len()).sum()
+        self.len
     }
 
     /// `true` if no frames are queued.
     pub fn is_empty(&self) -> bool {
-        self.levels.iter().all(|q| q.is_empty())
+        self.occupied == 0
     }
 
     /// Number of frames queued at priorities strictly above `priority`.
@@ -58,34 +78,60 @@ impl PriorityQueue {
     }
 }
 
+/// Resolve a neighbour to its port index in a sorted port table.
+fn port_of(ports: &[NodeId], neighbour: NodeId) -> Option<usize> {
+    ports.binary_search(&neighbour).ok()
+}
+
 /// State of an end host or IP router (a traffic endpoint).
 #[derive(Debug, Clone, Default)]
 pub struct EndpointState {
-    /// Work-conserving FIFO output queue per outgoing neighbour.
-    pub out_queues: BTreeMap<NodeId, VecDeque<EthFrame>>,
-    /// Frame currently being serialised towards each neighbour.
-    pub tx_in_flight: BTreeMap<NodeId, Option<EthFrame>>,
+    /// Sorted outgoing neighbours; the index is the port number.
+    ports: Vec<NodeId>,
+    /// Work-conserving FIFO output queue per port.
+    pub out_queues: Vec<VecDeque<EthFrame>>,
+    /// Frame currently being serialised towards each port's neighbour.
+    pub tx_in_flight: Vec<Option<EthFrame>>,
 }
 
 impl EndpointState {
-    /// `true` if the NIC towards `to` is currently transmitting.
-    pub fn is_transmitting(&self, to: NodeId) -> bool {
-        matches!(self.tx_in_flight.get(&to), Some(Some(_)))
+    /// Build the state of an endpoint with the given outgoing neighbours.
+    pub fn new(neighbours: &[NodeId]) -> Self {
+        let mut ports = neighbours.to_vec();
+        ports.sort_unstable();
+        ports.dedup();
+        let n = ports.len();
+        EndpointState {
+            ports,
+            out_queues: vec![VecDeque::new(); n],
+            tx_in_flight: vec![None; n],
+        }
+    }
+
+    /// Port index of the given neighbour.
+    pub fn port_of(&self, neighbour: NodeId) -> Option<usize> {
+        port_of(&self.ports, neighbour)
+    }
+
+    /// `true` if the NIC of `port` is currently transmitting.
+    pub fn is_transmitting(&self, port: usize) -> bool {
+        self.tx_in_flight[port].is_some()
     }
 }
 
-/// A task of the switch CPU.
+/// A task of the switch CPU, referencing the interface it serves by port
+/// index (see [`SwitchState::neighbour`] for the reverse mapping).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SwitchTask {
-    /// The routing task of the input interface facing `from`.
+    /// The routing task of the input interface at `port`.
     Route {
-        /// The neighbour whose incoming frames this task processes.
-        from: NodeId,
+        /// Port whose incoming frames this task processes.
+        port: usize,
     },
-    /// The send task of the output interface facing `to`.
+    /// The send task of the output interface at `port`.
     Send {
-        /// The neighbour this task feeds frames towards.
-        to: NodeId,
+        /// Port this task feeds frames towards.
+        port: usize,
     },
 }
 
@@ -95,18 +141,18 @@ pub enum SwitchTask {
 #[derive(Debug, Clone)]
 pub enum PendingCompletion {
     /// A routing task finished classifying `frame`; it goes to the priority
-    /// queue of the interface facing `to`.
+    /// queue of the output interface at `port`.
     RouteDone {
-        /// Output interface.
-        to: NodeId,
+        /// Output port.
+        port: usize,
         /// The classified frame.
         frame: EthFrame,
     },
-    /// A send task finished handing `frame` to the NIC facing `to`;
+    /// A send task finished handing `frame` to the NIC at `port`;
     /// transmission starts now.
     SendDone {
-        /// Output interface.
-        to: NodeId,
+        /// Output port.
+        port: usize,
         /// The frame to transmit.
         frame: EthFrame,
     },
@@ -115,12 +161,14 @@ pub enum PendingCompletion {
 /// State of a software Ethernet switch.
 #[derive(Debug, Clone)]
 pub struct SwitchState {
-    /// Input FIFO of each interface, keyed by the neighbour it faces.
-    pub inputs: BTreeMap<NodeId, VecDeque<EthFrame>>,
-    /// Prioritized output queue of each interface.
-    pub outputs: BTreeMap<NodeId, PriorityQueue>,
-    /// Frame currently being serialised by each output NIC.
-    pub nic_in_flight: BTreeMap<NodeId, Option<EthFrame>>,
+    /// Sorted neighbour list; the index is the port number.
+    pub(crate) ports: Vec<NodeId>,
+    /// Input FIFO of each port.
+    pub inputs: Vec<VecDeque<EthFrame>>,
+    /// Prioritized output queue of each port.
+    pub outputs: Vec<PriorityQueue>,
+    /// Frame currently being serialised by each port's output NIC.
+    pub nic_in_flight: Vec<Option<EthFrame>>,
     /// The stride scheduler over `tasks`.
     pub scheduler: StrideScheduler,
     /// Task table, index-aligned with the scheduler.
@@ -133,6 +181,13 @@ pub struct SwitchState {
     pub croute: Time,
     /// `CSEND(N)` of this switch.
     pub csend: Time,
+    /// Total frames across all input FIFOs.  Maintained by the
+    /// enqueue/dequeue helpers so `has_any_work` is O(1).
+    pub(crate) input_frames: usize,
+    /// Number of ports whose NIC is idle and whose output queue is
+    /// non-empty (downed cables are not subtracted, matching the
+    /// wake-on-any-buffered-frame behaviour `has_any_work` always had).
+    pub(crate) sendable_ports: usize,
 }
 
 impl SwitchState {
@@ -143,62 +198,123 @@ impl SwitchState {
     /// `CIRC(N) = NINTERFACES × (CROUTE + CSEND)` round length when every
     /// task is busy.
     pub fn new(config: &SwitchConfig, neighbours: &[NodeId]) -> Self {
-        let mut sorted = neighbours.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
+        let mut ports = neighbours.to_vec();
+        ports.sort_unstable();
+        ports.dedup();
 
+        let n = ports.len();
         let mut scheduler = StrideScheduler::new();
-        let mut tasks = Vec::new();
-        let mut inputs = BTreeMap::new();
-        let mut outputs = BTreeMap::new();
-        let mut nic_in_flight = BTreeMap::new();
-        for &n in &sorted {
+        let mut tasks = Vec::with_capacity(2 * n);
+        for port in 0..n {
             scheduler.add_task(1);
-            tasks.push(SwitchTask::Route { from: n });
+            tasks.push(SwitchTask::Route { port });
             scheduler.add_task(1);
-            tasks.push(SwitchTask::Send { to: n });
-            inputs.insert(n, VecDeque::new());
-            outputs.insert(n, PriorityQueue::new());
-            nic_in_flight.insert(n, None);
+            tasks.push(SwitchTask::Send { port });
         }
         SwitchState {
-            inputs,
-            outputs,
-            nic_in_flight,
+            ports,
+            inputs: vec![VecDeque::new(); n],
+            outputs: vec![PriorityQueue::new(); n],
+            nic_in_flight: vec![None; n],
             scheduler,
             tasks,
             cpu_busy: false,
             pending: None,
             croute: config.croute,
             csend: config.csend,
+            input_frames: 0,
+            sendable_ports: 0,
         }
     }
 
-    /// `true` if the NIC towards `to` is currently transmitting.
-    pub fn nic_busy(&self, to: NodeId) -> bool {
-        matches!(self.nic_in_flight.get(&to), Some(Some(_)))
+    /// Append a frame to a port's input FIFO.
+    pub fn enqueue_input(&mut self, port: usize, frame: EthFrame) {
+        self.inputs[port].push_back(frame);
+        self.input_frames += 1;
+    }
+
+    /// Push a classified frame onto a port's output queue.
+    pub fn enqueue_output(&mut self, port: usize, frame: EthFrame) {
+        if self.nic_in_flight[port].is_none() && self.outputs[port].is_empty() {
+            self.sendable_ports += 1;
+        }
+        self.outputs[port].push(frame);
+    }
+
+    /// Hand a frame to a port's NIC; the NIC must be idle.
+    pub fn nic_load(&mut self, port: usize, frame: EthFrame) {
+        debug_assert!(
+            self.nic_in_flight[port].is_none(),
+            "send task only runs when the NIC is idle"
+        );
+        if !self.outputs[port].is_empty() {
+            self.sendable_ports -= 1;
+        }
+        self.nic_in_flight[port] = Some(frame);
+    }
+
+    /// Take the frame a port's NIC just finished transmitting.
+    pub fn nic_unload(&mut self, port: usize) -> Option<EthFrame> {
+        let frame = self.nic_in_flight[port].take();
+        if frame.is_some() && !self.outputs[port].is_empty() {
+            self.sendable_ports += 1;
+        }
+        frame
+    }
+
+    /// Number of interfaces (ports).
+    pub fn n_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Port index of the given neighbour.
+    pub fn port_of(&self, neighbour: NodeId) -> Option<usize> {
+        port_of(&self.ports, neighbour)
+    }
+
+    /// The neighbour an interface port faces.
+    pub fn neighbour(&self, port: usize) -> NodeId {
+        self.ports[port]
+    }
+
+    /// `true` if the NIC of `port` is currently transmitting.
+    pub fn nic_busy(&self, port: usize) -> bool {
+        self.nic_in_flight[port].is_some()
     }
 
     /// `true` if the given task currently has useful work to do.
     pub fn task_has_work(&self, task: SwitchTask) -> bool {
         match task {
-            SwitchTask::Route { from } => self.inputs.get(&from).is_some_and(|q| !q.is_empty()),
-            SwitchTask::Send { to } => {
-                !self.nic_busy(to) && self.outputs.get(&to).is_some_and(|q| !q.is_empty())
-            }
+            SwitchTask::Route { port } => !self.inputs[port].is_empty(),
+            SwitchTask::Send { port } => !self.nic_busy(port) && !self.outputs[port].is_empty(),
         }
     }
 
-    /// `true` if any task has useful work to do.
+    /// `true` if any task has useful work to do.  O(1): reads the counters
+    /// the mutation helpers maintain instead of scanning every port.
     pub fn has_any_work(&self) -> bool {
-        self.tasks.iter().any(|&t| self.task_has_work(t))
+        debug_assert_eq!(
+            self.input_frames,
+            self.inputs.iter().map(|q| q.len()).sum::<usize>(),
+            "input_frames counter out of sync"
+        );
+        debug_assert_eq!(
+            self.sendable_ports,
+            self.outputs
+                .iter()
+                .zip(&self.nic_in_flight)
+                .filter(|(q, nic)| nic.is_none() && !q.is_empty())
+                .count(),
+            "sendable_ports counter out of sync"
+        );
+        self.input_frames > 0 || self.sendable_ports > 0
     }
 
     /// Total number of frames buffered anywhere in the switch.
     pub fn buffered_frames(&self) -> usize {
-        self.inputs.values().map(|q| q.len()).sum::<usize>()
-            + self.outputs.values().map(|q| q.len()).sum::<usize>()
-            + self.nic_in_flight.values().filter(|f| f.is_some()).count()
+        self.inputs.iter().map(|q| q.len()).sum::<usize>()
+            + self.outputs.iter().map(|q| q.len()).sum::<usize>()
+            + self.nic_in_flight.iter().filter(|f| f.is_some()).count()
     }
 }
 
@@ -258,44 +374,53 @@ mod tests {
         // Duplicates removed: 3 interfaces => 6 tasks.
         assert_eq!(s.tasks.len(), 6);
         assert_eq!(s.scheduler.n_tasks(), 6);
-        assert_eq!(s.inputs.len(), 3);
-        assert_eq!(s.outputs.len(), 3);
+        assert_eq!(s.n_ports(), 3);
         assert!(!s.cpu_busy);
         assert!(!s.has_any_work());
         assert_eq!(s.buffered_frames(), 0);
         // Interfaces come in sorted order, route task before send task.
-        assert_eq!(s.tasks[0], SwitchTask::Route { from: NodeId(1) });
-        assert_eq!(s.tasks[1], SwitchTask::Send { to: NodeId(1) });
-        assert_eq!(s.tasks[4], SwitchTask::Route { from: NodeId(5) });
+        assert_eq!(s.neighbour(0), NodeId(1));
+        assert_eq!(s.neighbour(2), NodeId(5));
+        assert_eq!(s.port_of(NodeId(3)), Some(1));
+        assert_eq!(s.port_of(NodeId(4)), None);
+        assert_eq!(s.tasks[0], SwitchTask::Route { port: 0 });
+        assert_eq!(s.tasks[1], SwitchTask::Send { port: 0 });
+        assert_eq!(s.tasks[4], SwitchTask::Route { port: 2 });
     }
 
     #[test]
     fn task_work_detection() {
         let cfg = SwitchConfig::paper();
         let mut s = SwitchState::new(&cfg, &[NodeId(1), NodeId(2)]);
-        assert!(!s.task_has_work(SwitchTask::Route { from: NodeId(1) }));
-        s.inputs.get_mut(&NodeId(1)).unwrap().push_back(frame(5, 0));
-        assert!(s.task_has_work(SwitchTask::Route { from: NodeId(1) }));
+        assert!(!s.task_has_work(SwitchTask::Route { port: 0 }));
+        s.enqueue_input(0, frame(5, 0));
+        assert!(s.task_has_work(SwitchTask::Route { port: 0 }));
         assert!(s.has_any_work());
         assert_eq!(s.buffered_frames(), 1);
 
-        assert!(!s.task_has_work(SwitchTask::Send { to: NodeId(2) }));
-        s.outputs.get_mut(&NodeId(2)).unwrap().push(frame(5, 1));
-        assert!(s.task_has_work(SwitchTask::Send { to: NodeId(2) }));
+        assert!(!s.task_has_work(SwitchTask::Send { port: 1 }));
+        s.enqueue_output(1, frame(5, 1));
+        assert!(s.task_has_work(SwitchTask::Send { port: 1 }));
         // A busy NIC suppresses the send task's work.
-        *s.nic_in_flight.get_mut(&NodeId(2)).unwrap() = Some(frame(5, 2));
-        assert!(!s.task_has_work(SwitchTask::Send { to: NodeId(2) }));
-        assert!(s.nic_busy(NodeId(2)));
+        s.nic_load(1, frame(5, 2));
+        assert!(!s.task_has_work(SwitchTask::Send { port: 1 }));
+        assert!(s.nic_busy(1));
         assert_eq!(s.buffered_frames(), 3);
+        // Unloading the NIC makes the queued frame sendable again.
+        assert!(s.nic_unload(1).is_some());
+        assert!(s.task_has_work(SwitchTask::Send { port: 1 }));
+        assert!(s.has_any_work());
     }
 
     #[test]
     fn endpoint_state_transmission_flag() {
-        let mut e = EndpointState::default();
-        assert!(!e.is_transmitting(NodeId(1)));
-        e.tx_in_flight.insert(NodeId(1), Some(frame(5, 0)));
-        assert!(e.is_transmitting(NodeId(1)));
-        e.tx_in_flight.insert(NodeId(1), None);
-        assert!(!e.is_transmitting(NodeId(1)));
+        let mut e = EndpointState::new(&[NodeId(1)]);
+        let port = e.port_of(NodeId(1)).unwrap();
+        assert!(!e.is_transmitting(port));
+        e.tx_in_flight[port] = Some(frame(5, 0));
+        assert!(e.is_transmitting(port));
+        e.tx_in_flight[port] = None;
+        assert!(!e.is_transmitting(port));
+        assert_eq!(e.port_of(NodeId(9)), None);
     }
 }

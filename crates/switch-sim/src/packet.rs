@@ -16,18 +16,21 @@ pub struct PacketId {
 
 /// One Ethernet frame in flight.
 ///
-/// The simulator clones frames as they move between queues; they are small
-/// plain-old-data values.
+/// The simulator clones frames as they move between queues and embeds them
+/// in events, so they are small plain-old-data values: the index fields
+/// use narrow integers (a flow cycle has far fewer than 2³² frames, a
+/// packet far fewer than 2¹⁶ fragments) to keep the event queue's working
+/// set compact.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EthFrame {
     /// The UDP packet this frame is a fragment of.
     pub packet: PacketId,
     /// Index of the GMF frame (of the flow's cycle) the packet instantiates.
-    pub gmf_frame: usize,
+    pub gmf_frame: u32,
     /// Fragment index within the packet (0-based).
-    pub fragment: usize,
+    pub fragment: u16,
     /// Total number of fragments of the packet.
-    pub n_fragments: usize,
+    pub n_fragments: u16,
     /// Size on the wire (including all per-frame overhead).
     pub wire_bits: Bits,
     /// 802.1p priority of the flow.

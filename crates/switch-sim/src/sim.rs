@@ -20,27 +20,43 @@
 //!   time of each one (arrival at the source → reception of the last
 //!   Ethernet frame).
 //!
-//! The simulator is fully deterministic for a given [`SimConfig`] (all
-//! randomness flows from the seed, and simultaneous events fire in
-//! insertion order), which makes the analysis-validation experiments
-//! reproducible.
+//! Traffic is generated **lazily**: each flow keeps a cursor holding only
+//! its next packet's release time, and packets materialise into the event
+//! queue just before the simulation clock reaches them.  The pending event
+//! set therefore stays proportional to the *in-flight* traffic, not the
+//! whole horizon — the upfront O(horizon) heap of the original engine is
+//! gone, which is what makes long-horizon percentile telemetry (E17)
+//! affordable.  Arrival cursors are merged with the event queue through a
+//! small (release, flow) min-heap, so materialisation order — and with it
+//! the (time, insertion-sequence) pop order — is fully deterministic.
+//!
+//! The simulator is deterministic for a given [`SimConfig`]: every random
+//! policy draws from a per-flow `ChaCha8` stream derived from the master
+//! seed (`gmf_par::derive_seed`), and simultaneous events fire in
+//! insertion order.  Runs are exactly reproducible for a given seed.
 
 use crate::config::{ArrivalPolicy, JitterSpread, SimConfig};
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventInPast, EventKind, EventQueue, QueueShape};
 use crate::faults::{cable, FaultKind, FaultScript};
 use crate::nodes::{EndpointState, PendingCompletion, SwitchState, SwitchTask};
 use crate::packet::{EthFrame, PacketId};
 use crate::stats::{PacketSample, SimStats};
-use gmf_model::{packetize, FlowId, Time};
-use gmf_net::{FlowSet, NetError, NodeId, Topology};
+use gmf_model::{packetize, BitRate, Bits, FlowId, Time};
+use gmf_net::{FlowSet, NetError, NodeId, Priority, Topology};
+use gmf_par::derive_seed;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt;
 
 /// Hard cap on processed events, protecting against configuration mistakes
 /// (e.g. an overloaded network simulated for a very long horizon).
 const MAX_EVENTS: u64 = 200_000_000;
+
+/// Sentinel in the flat forwarding tables: this switch does not route the
+/// flow.
+const NO_PORT: u32 = u32::MAX;
 
 /// Errors raised while setting up or running a simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +70,14 @@ pub enum SimError {
     /// A fault script references missing hardware or toggles link state
     /// inconsistently.
     InvalidFaultScript(String),
+    /// An event was scheduled before the simulation clock (negative times
+    /// included) — the deterministic pop order could not be honoured.
+    EventInPast {
+        /// The requested (invalid) firing time.
+        at: Time,
+        /// The simulation clock at the attempt.
+        now: Time,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -67,6 +91,12 @@ impl fmt::Display for SimError {
             SimError::InvalidFaultScript(detail) => {
                 write!(f, "invalid fault script: {detail}")
             }
+            SimError::EventInPast { at, now } => {
+                write!(
+                    f,
+                    "event scheduled in the past: at {at} with simulation time already at {now}"
+                )
+            }
         }
     }
 }
@@ -79,6 +109,15 @@ impl From<NetError> for SimError {
     }
 }
 
+impl From<EventInPast> for SimError {
+    fn from(e: EventInPast) -> Self {
+        SimError::EventInPast {
+            at: e.at,
+            now: e.now,
+        }
+    }
+}
+
 /// The outcome of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimulationResult {
@@ -88,6 +127,10 @@ pub struct SimulationResult {
     pub events_processed: u64,
     /// Simulated time of the last event (all traffic drained).
     pub final_time: Time,
+    /// Shape counters of the event queue (see [`QueueShape`]): with lazy
+    /// generation, `max_pending` tracks in-flight traffic, not horizon
+    /// length.
+    pub queue: QueueShape,
 }
 
 /// A configured simulator, ready to run.
@@ -136,214 +179,421 @@ impl<'a> Simulator<'a> {
     /// Run the simulation to completion (all generated traffic drained).
     pub fn run(&self) -> Result<SimulationResult, SimError> {
         let mut engine = Engine::new(self.topology, self.flows, self.config)?;
-        engine.schedule_faults(&self.faults);
-        engine.generate_traffic();
+        engine.schedule_faults(&self.faults)?;
         engine.run()
     }
 }
 
-/// Mutable state of one simulation run.
-struct Engine<'a> {
-    topology: &'a Topology,
-    flows: &'a FlowSet,
-    config: SimConfig,
-    queue: EventQueue,
-    endpoints: BTreeMap<NodeId, EndpointState>,
-    switches: BTreeMap<NodeId, SwitchState>,
-    /// (switch, flow) → next hop.
-    forwarding: BTreeMap<(NodeId, FlowId), NodeId>,
-    /// flow → destination node.
-    destinations: BTreeMap<FlowId, NodeId>,
-    /// Packet reassembly progress at destinations.
-    reassembly: BTreeMap<PacketId, usize>,
-    /// Cables currently down (unordered `(min, max)` endpoint pairs).
-    downed: BTreeSet<(NodeId, NodeId)>,
-    stats: SimStats,
+/// One simulated node, indexed densely by [`NodeId`].
+enum NodeSlot {
+    /// An end host or IP router (traffic endpoint).
+    Endpoint(EndpointState),
+    /// A software Ethernet switch.
+    Switch(Box<SwitchState>),
+}
+
+/// Cached outgoing link parameters of one node, sorted by neighbour.
+#[derive(Clone, Copy)]
+struct LinkOut {
+    to: NodeId,
+    speed: BitRate,
+    propagation: Time,
+    /// The receiver's input-port index for frames sent over this link
+    /// (precomputed so arrivals never search the receiver's port table;
+    /// unused when the receiver is an endpoint).
+    dst_port: u32,
+}
+
+/// Pre-packetized generation data of one GMF frame of a flow.
+struct FrameGen {
+    jitter: Time,
+    min_interarrival: Time,
+    /// Wire bits of each Ethernet fragment of the packet.
+    wire_bits: Box<[Bits]>,
+}
+
+/// Lazy arrival state of one flow: only the *next* packet's release time
+/// is known; the packet materialises into the event queue just before the
+/// clock reaches it.
+struct FlowCursor {
+    id: FlowId,
+    source: NodeId,
+    /// The source's output port towards the first hop.
+    out_port: usize,
+    priority: Priority,
+    frames: Box<[FrameGen]>,
+    tsum: Time,
+    /// Release (source arrival) time of the next packet.
+    release: Time,
+    /// Sequence number of the next packet.
+    sequence: u64,
+    /// Per-flow random stream (arrival slack, GOP pauses, initial phase).
     rng: ChaCha8Rng,
 }
 
-impl<'a> Engine<'a> {
-    fn new(
-        topology: &'a Topology,
-        flows: &'a FlowSet,
-        config: SimConfig,
-    ) -> Result<Self, SimError> {
-        let mut endpoints = BTreeMap::new();
-        let mut switches = BTreeMap::new();
-        let mut forwarding = BTreeMap::new();
-        let mut destinations = BTreeMap::new();
+/// Mutable state of one simulation run.
+struct Engine {
+    config: SimConfig,
+    queue: EventQueue,
+    /// Node state, indexed by `NodeId.0` (node ids are dense).
+    nodes: Vec<NodeSlot>,
+    /// Outgoing link parameters per node, sorted by neighbour.  For
+    /// endpoints the index is also the node's port number.
+    links: Vec<Vec<LinkOut>>,
+    /// Per switch: interface port → index into `links` of its out-link,
+    /// `NO_PORT` for in-only ports (one-way topologies).  Lets the tx hot
+    /// path go port → link parameters without a binary search.
+    port_to_link: Vec<Vec<u32>>,
+    /// Per switch (indexed by `NodeId.0`): flow (by `FlowId.0`) → output
+    /// port, `NO_PORT` where the switch does not route the flow.  A flat
+    /// table, so the per-frame routing step is one indexed load.
+    forwarding: Vec<Vec<u32>>,
+    /// flow (by `FlowId.0`) → destination node, for delivery assertions.
+    destinations: Vec<Option<NodeId>>,
+    /// Lazy per-flow arrival cursors.
+    cursors: Vec<FlowCursor>,
+    /// Pending arrivals: min-heap of (next release, cursor index).  Ties
+    /// materialise in cursor (flow) order, keeping generation
+    /// deterministic.
+    arrivals: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Packet reassembly progress at destinations (multi-fragment packets
+    /// only; single-fragment packets complete without touching the map).
+    reassembly: BTreeMap<PacketId, u16>,
+    /// Cables currently down (unordered `(min, max)` endpoint pairs).
+    downed: BTreeSet<(NodeId, NodeId)>,
+    stats: SimStats,
+}
+
+/// Fragment release offset within the packet's generalized-jitter window.
+fn fragment_offset(
+    config: &SimConfig,
+    sequence: u64,
+    fragment: u16,
+    n_fragments: u16,
+    jitter: Time,
+) -> Time {
+    if jitter.is_zero() {
+        return Time::ZERO;
+    }
+    if matches!(config.arrival, ArrivalPolicy::MaxReleaseJitter) {
+        // Adversarial release: the flow's first packet is held to the
+        // very end of its jitter window (every fragment, including the
+        // first), all later packets release immediately — the network
+        // sees the first two packets almost `GJ` closer together than
+        // their nominal minimum inter-arrival time.
+        return if sequence == 0 {
+            jitter * 0.999
+        } else {
+            Time::ZERO
+        };
+    }
+    if fragment == 0 {
+        return Time::ZERO;
+    }
+    match config.jitter_spread {
+        JitterSpread::AtStart => Time::ZERO,
+        JitterSpread::Uniform => jitter * (f64::from(fragment) / f64::from(n_fragments)),
+        JitterSpread::AtEnd => jitter * 0.999,
+    }
+}
+
+impl Engine {
+    fn new(topology: &Topology, flows: &FlowSet, config: SimConfig) -> Result<Self, SimError> {
+        let n_nodes = topology.n_nodes();
+        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut links: Vec<Vec<LinkOut>> = vec![Vec::new(); n_nodes];
+        let n_flows = flows
+            .bindings()
+            .iter()
+            .map(|b| b.id.0 + 1)
+            .max()
+            .unwrap_or(0);
+        let mut forwarding: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
 
         for node in topology.nodes() {
+            // Cache outgoing link parameters so the hot path never walks
+            // the topology again.  The sorted order makes the index of an
+            // entry the node's *port number* for endpoints.
+            let outs = &mut links[node.id.0];
+            for &to in topology.out_neighbours(node.id) {
+                let link = topology.link_between(node.id, to)?;
+                outs.push(LinkOut {
+                    to,
+                    speed: link.speed,
+                    propagation: link.propagation,
+                    dst_port: 0, // filled below, once every node exists
+                });
+            }
+            outs.sort_unstable_by_key(|l| l.to);
             if let Some(cfg) = node.kind.switch_config() {
-                let mut neighbours: Vec<NodeId> = topology
+                let neighbours: Vec<NodeId> = topology
                     .out_neighbours(node.id)
                     .iter()
                     .chain(topology.in_neighbours(node.id))
                     .copied()
                     .collect();
-                neighbours.sort_unstable();
-                neighbours.dedup();
-                switches.insert(node.id, SwitchState::new(cfg, &neighbours));
+                nodes.push(NodeSlot::Switch(Box::new(SwitchState::new(
+                    cfg,
+                    &neighbours,
+                ))));
             } else {
-                endpoints.insert(node.id, EndpointState::default());
+                let targets: Vec<NodeId> = outs.iter().map(|l| l.to).collect();
+                nodes.push(NodeSlot::Endpoint(EndpointState::new(&targets)));
             }
         }
 
-        for binding in flows.bindings() {
-            destinations.insert(binding.id, binding.route.destination());
+        // Second pass, now that every receiver's port table exists:
+        // precompute each link's destination input port, and each switch's
+        // port → out-link index map.
+        for (from, from_links) in links.iter_mut().enumerate() {
+            for link in from_links {
+                link.dst_port = match &nodes[link.to.0] {
+                    NodeSlot::Switch(s) => {
+                        let port = s
+                            .port_of(NodeId(from))
+                            // tidy-allow: unwrap invariant: an out-link makes `from` a neighbour of its receiver
+                            .expect("an out-link makes `from` a neighbour of its receiver");
+                        port as u32
+                    }
+                    // Endpoints take delivery directly; no input port.
+                    NodeSlot::Endpoint(_) => 0,
+                };
+            }
+        }
+        let mut port_to_link: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
+        for (id, slot) in nodes.iter().enumerate() {
+            if let NodeSlot::Switch(s) = slot {
+                port_to_link[id] = (0..s.n_ports())
+                    .map(|port| {
+                        links[id]
+                            .binary_search_by_key(&s.neighbour(port), |l| l.to)
+                            .map_or(NO_PORT, |i| i as u32)
+                    })
+                    .collect();
+            }
+        }
+
+        let max_flow_id = flows.bindings().iter().map(|b| b.id.0).max();
+        let mut destinations = vec![None; max_flow_id.map_or(0, |m| m + 1)];
+        let mut cursors = Vec::new();
+        let mut arrivals = BinaryHeap::new();
+        for (slot, binding) in flows.bindings().iter().enumerate() {
+            destinations[binding.id.0] = Some(binding.route.destination());
             for &switch in binding.route.switches() {
                 let next = binding.route.successor(switch)?;
-                forwarding.insert((switch, binding.id), next);
+                let port = match &nodes[switch.0] {
+                    NodeSlot::Switch(s) => s
+                        .port_of(next)
+                        .ok_or(SimError::Net(NetError::NoSuchLink(switch, next)))?,
+                    // tidy-allow: unwrap invariant: route interiors are switches, validated above
+                    NodeSlot::Endpoint(_) => unreachable!("route interiors are switches"),
+                };
+                let table = &mut forwarding[switch.0];
+                if table.is_empty() {
+                    table.resize(n_flows, NO_PORT);
+                }
+                table[binding.id.0] = port as u32;
             }
-        }
 
-        Ok(Engine {
-            topology,
-            flows,
-            config,
-            queue: EventQueue::new(),
-            endpoints,
-            switches,
-            forwarding,
-            destinations,
-            reassembly: BTreeMap::new(),
-            downed: BTreeSet::new(),
-            // Debug knob: `GMF_SIM_KEEP_SAMPLES=1` retains every per-packet
-            // sample on `SimStats` (memory-heavy; used to reconstruct the
-            // critical window of a conformance violation).  Unset, empty or
-            // `0` keeps retention off.
-            stats: SimStats::new(
-                std::env::var("GMF_SIM_KEEP_SAMPLES")
-                    .map(|v| !v.is_empty() && v != "0")
-                    .unwrap_or(false),
-            ),
-            rng: ChaCha8Rng::seed_from_u64(config.seed),
-        })
-    }
-
-    /// Schedule the scripted faults.  Called before traffic generation so
-    /// that a fault firing at the same instant as a frame release is
-    /// applied first (the event queue breaks ties by insertion order).
-    fn schedule_faults(&mut self, faults: &FaultScript) {
-        for event in faults.events() {
-            self.queue
-                .schedule(event.at, EventKind::Fault { kind: event.kind });
-        }
-    }
-
-    /// Generate all packet arrivals up to the horizon and schedule the
-    /// release of their Ethernet frames.
-    fn generate_traffic(&mut self) {
-        for binding in self.flows.bindings() {
             let source = binding.route.source();
             let next_hop = binding
                 .route
                 .successor(source)
                 // tidy-allow: unwrap invariant: routes have at least one hop
                 .expect("routes have at least one hop");
+            let out_port = links[source.0]
+                .binary_search_by_key(&next_hop, |l| l.to)
+                .map_err(|_| SimError::Net(NetError::NoSuchLink(source, next_hop)))?;
             let flow = &binding.flow;
+            let frames: Box<[FrameGen]> = (0..flow.n_frames())
+                .map(|k| {
+                    let spec = flow.frame_cyclic(k);
+                    let packetization = packetize(spec.payload, &binding.encapsulation);
+                    FrameGen {
+                        jitter: spec.jitter,
+                        min_interarrival: spec.min_interarrival,
+                        wire_bits: packetization.frame_wire_bits.into_boxed_slice(),
+                    }
+                })
+                .collect();
 
-            let phase = if self.config.aligned_start || self.config.arrival.forces_aligned_start() {
+            // Each flow draws from its own seed-derived random stream, so
+            // lazy interleaved generation stays deterministic regardless
+            // of materialisation order.
+            let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(config.seed, slot as u64));
+            let phase = if config.aligned_start || config.arrival.forces_aligned_start() {
                 Time::ZERO
             } else {
-                let first = flow.frame_cyclic(0).min_interarrival;
-                first * self.rng.gen_range(0.0..1.0)
+                flow.frame_cyclic(0).min_interarrival * rng.gen_range(0.0..1.0)
             };
 
-            let mut release = phase;
-            let mut sequence: u64 = 0;
-            while release < self.config.horizon {
-                let gmf_frame = (sequence as usize) % flow.n_frames();
-                let spec = flow.frame_cyclic(gmf_frame);
-
-                let packetization = packetize(spec.payload, &binding.encapsulation);
-                let n_fragments = packetization.frame_wire_bits.len();
-                self.stats.packets_released += 1;
-
-                for (fragment, &wire_bits) in packetization.frame_wire_bits.iter().enumerate() {
-                    let offset = self.fragment_offset(sequence, fragment, n_fragments, spec.jitter);
-                    let frame = EthFrame {
-                        packet: PacketId {
-                            flow: binding.id,
-                            sequence,
-                        },
-                        gmf_frame,
-                        fragment,
-                        n_fragments,
-                        wire_bits,
-                        priority: binding.priority,
-                        packet_arrival: release,
-                    };
-                    self.queue.schedule(
-                        release + offset,
-                        EventKind::SourceFrameRelease {
-                            host: source,
-                            next_hop,
-                            frame,
-                        },
-                    );
-                }
-
-                let gap = match self.config.arrival {
-                    ArrivalPolicy::Dense
-                    | ArrivalPolicy::CriticalInstant
-                    | ArrivalPolicy::MaxReleaseJitter => spec.min_interarrival,
-                    ArrivalPolicy::RandomSlack { slack } => {
-                        spec.min_interarrival * (1.0 + self.rng.gen_range(0.0..=slack.max(0.0)))
-                    }
-                    ArrivalPolicy::BurstyGops { max_pause } => {
-                        // Dense inside the cycle; a random pause before the
-                        // next GOP re-randomises the flows' relative phasing
-                        // (gaps only ever grow, so arrivals stay legal).
-                        let mut gap = spec.min_interarrival;
-                        if gmf_frame + 1 == flow.n_frames() {
-                            gap += flow.tsum() * self.rng.gen_range(0.0..=max_pause.max(0.0));
-                        }
-                        gap
-                    }
-                };
-                release += gap;
-                sequence += 1;
+            if phase < config.horizon {
+                arrivals.push(Reverse((phase, slot)));
             }
+            cursors.push(FlowCursor {
+                id: binding.id,
+                source,
+                out_port,
+                priority: binding.priority,
+                frames,
+                tsum: flow.tsum(),
+                release: phase,
+                sequence: 0,
+                rng,
+            });
+        }
+        Ok(Engine {
+            config,
+            queue: EventQueue::new(),
+            nodes,
+            links,
+            port_to_link,
+            forwarding,
+            destinations,
+            cursors,
+            arrivals,
+            reassembly: BTreeMap::new(),
+            downed: BTreeSet::new(),
+            // Sample retention is a debug knob (see
+            // `SimConfig::keep_samples`): on via the config field or the
+            // `GMF_SIM_KEEP_SAMPLES` env var (unset, empty or `0` = off).
+            stats: SimStats::new(
+                config.keep_samples
+                    || std::env::var("GMF_SIM_KEEP_SAMPLES")
+                        .map(|v| !v.is_empty() && v != "0")
+                        .unwrap_or(false),
+            ),
+        })
+    }
+
+    /// Schedule the scripted faults.  Called before any traffic
+    /// materialises so that a fault firing at the same instant as a frame
+    /// release is applied first (the event queue breaks ties by insertion
+    /// order, and lazy arrivals always enqueue after already-pending
+    /// same-instant events).
+    fn schedule_faults(&mut self, faults: &FaultScript) -> Result<(), SimError> {
+        for event in faults.events() {
+            self.queue
+                .schedule(event.at, EventKind::Fault { kind: event.kind })?;
+        }
+        Ok(())
+    }
+
+    /// Materialise the next packet of flow cursor `slot`: schedule the
+    /// release of its Ethernet fragments and advance the cursor to the
+    /// packet after it.
+    fn emit_packet(&mut self, slot: usize) -> Result<(), SimError> {
+        let cursor = &mut self.cursors[slot];
+        let release = cursor.release;
+        let sequence = cursor.sequence;
+        let gmf_frame = (sequence as usize) % cursor.frames.len();
+        let gen = &cursor.frames[gmf_frame];
+        let n_fragments = gen.wire_bits.len() as u16;
+        debug_assert_eq!(usize::from(n_fragments), gen.wire_bits.len());
+
+        self.stats.packets_released += 1;
+        for (fragment, &wire_bits) in gen.wire_bits.iter().enumerate() {
+            let fragment = fragment as u16;
+            let offset = fragment_offset(&self.config, sequence, fragment, n_fragments, gen.jitter);
+            let frame = EthFrame {
+                packet: PacketId {
+                    flow: cursor.id,
+                    sequence,
+                },
+                gmf_frame: gmf_frame as u32,
+                fragment,
+                n_fragments,
+                wire_bits,
+                priority: cursor.priority,
+                packet_arrival: release,
+            };
+            self.queue.schedule(
+                release + offset,
+                EventKind::SourceFrameRelease {
+                    host: cursor.source,
+                    port: cursor.out_port,
+                    frame,
+                },
+            )?;
+        }
+
+        let gap = match self.config.arrival {
+            ArrivalPolicy::Dense
+            | ArrivalPolicy::CriticalInstant
+            | ArrivalPolicy::MaxReleaseJitter => gen.min_interarrival,
+            ArrivalPolicy::RandomSlack { slack } => {
+                gen.min_interarrival * (1.0 + cursor.rng.gen_range(0.0..=slack.max(0.0)))
+            }
+            ArrivalPolicy::BurstyGops { max_pause } => {
+                // Dense inside the cycle; a random pause before the next
+                // GOP re-randomises the flows' relative phasing (gaps
+                // only ever grow, so arrivals stay legal).
+                let mut gap = gen.min_interarrival;
+                if gmf_frame + 1 == cursor.frames.len() {
+                    gap += cursor.tsum * cursor.rng.gen_range(0.0..=max_pause.max(0.0));
+                }
+                gap
+            }
+        };
+        cursor.sequence += 1;
+        cursor.release = release + gap;
+        if cursor.release < self.config.horizon {
+            self.arrivals.push(Reverse((cursor.release, slot)));
+        }
+        Ok(())
+    }
+
+    /// Materialise every flow arrival due at or before the next event.
+    /// Fragments enter the queue at times `>= release`, and releases are
+    /// popped in (time, flow) order, so materialisation never schedules
+    /// behind the clock.
+    fn materialise_due_arrivals(&mut self) -> Result<(), SimError> {
+        while let Some(&Reverse((release, slot))) = self.arrivals.peek() {
+            if let Some(head) = self.queue.peek_time() {
+                if head < release {
+                    break;
+                }
+            }
+            self.arrivals.pop();
+            debug_assert_eq!(self.cursors[slot].release, release);
+            self.emit_packet(slot)?;
+        }
+        Ok(())
+    }
+
+    fn endpoint_mut(&mut self, id: NodeId) -> &mut EndpointState {
+        match &mut self.nodes[id.0] {
+            NodeSlot::Endpoint(e) => e,
+            // tidy-allow: unwrap invariant: callers address endpoints only
+            NodeSlot::Switch(_) => unreachable!("node is an endpoint"),
         }
     }
 
-    fn fragment_offset(
-        &mut self,
-        sequence: u64,
-        fragment: usize,
-        n_fragments: usize,
-        jitter: Time,
-    ) -> Time {
-        if jitter.is_zero() {
-            return Time::ZERO;
+    fn switch_mut(&mut self, id: NodeId) -> &mut SwitchState {
+        match &mut self.nodes[id.0] {
+            NodeSlot::Switch(s) => s,
+            // tidy-allow: unwrap invariant: callers address switches only
+            NodeSlot::Endpoint(_) => unreachable!("node is a switch"),
         }
-        if matches!(self.config.arrival, ArrivalPolicy::MaxReleaseJitter) {
-            // Adversarial release: the flow's first packet is held to the
-            // very end of its jitter window (every fragment, including the
-            // first), all later packets release immediately — the network
-            // sees the first two packets almost `GJ` closer together than
-            // their nominal minimum inter-arrival time.
-            return if sequence == 0 {
-                jitter * 0.999
-            } else {
-                Time::ZERO
-            };
-        }
-        if fragment == 0 {
-            return Time::ZERO;
-        }
-        match self.config.jitter_spread {
-            JitterSpread::AtStart => Time::ZERO,
-            JitterSpread::Uniform => jitter * (fragment as f64 / n_fragments as f64),
-            JitterSpread::AtEnd => jitter * 0.999,
-        }
+    }
+
+    /// Output port of the link from `from` towards `to`.  For endpoints
+    /// the index agrees with [`EndpointState`]'s port numbering (both are
+    /// the sorted out-neighbour order).
+    fn port_out(&self, from: NodeId, to: NodeId) -> Result<usize, SimError> {
+        self.links[from.0]
+            .binary_search_by_key(&to, |l| l.to)
+            .map_err(|_| SimError::Net(NetError::NoSuchLink(from, to)))
     }
 
     fn run(mut self) -> Result<SimulationResult, SimError> {
         let mut events_processed: u64 = 0;
         let mut final_time = Time::ZERO;
-        while let Some(event) = self.queue.pop() {
+        loop {
+            self.materialise_due_arrivals()?;
+            let Some(event) = self.queue.pop() else {
+                break;
+            };
             events_processed += 1;
             if events_processed > MAX_EVENTS {
                 return Err(SimError::EventLimitExceeded);
@@ -351,82 +601,63 @@ impl<'a> Engine<'a> {
             final_time = event.time;
             let now = event.time;
             match event.kind {
-                EventKind::SourceFrameRelease {
-                    host,
-                    next_hop,
-                    frame,
-                } => {
-                    let endpoint = self
-                        .endpoints
-                        .get_mut(&host)
-                        // tidy-allow: unwrap invariant: source is an endpoint
-                        .expect("source is an endpoint");
-                    endpoint
-                        .out_queues
-                        .entry(next_hop)
-                        .or_default()
-                        .push_back(frame);
-                    self.try_start_endpoint_tx(host, next_hop, now)?;
+                EventKind::SourceFrameRelease { host, port, frame } => {
+                    self.endpoint_mut(host).out_queues[port].push_back(frame);
+                    self.try_start_endpoint_tx(host, port, now)?;
                 }
-                EventKind::HostTxComplete { host, to } => {
+                EventKind::HostTxComplete { host, port } => {
                     self.stats.frames_transmitted += 1;
-                    // tidy-allow: unwrap invariant: host exists
-                    let endpoint = self.endpoints.get_mut(&host).expect("host exists");
-                    let frame = endpoint
-                        .tx_in_flight
-                        .insert(to, None)
-                        .flatten()
+                    let link = self.links[host.0][port];
+                    let frame = self.endpoint_mut(host).tx_in_flight[port]
+                        .take()
                         // tidy-allow: unwrap invariant: a frame was in flight
                         .expect("a frame was in flight");
-                    let link = self.topology.link_between(host, to)?;
                     self.queue.schedule(
                         now + link.propagation,
                         EventKind::FrameArrival {
-                            node: to,
-                            from: host,
+                            node: link.to,
+                            in_port: link.dst_port as usize,
                             frame,
                         },
-                    );
-                    self.try_start_endpoint_tx(host, to, now)?;
+                    )?;
+                    self.try_start_endpoint_tx(host, port, now)?;
                 }
-                EventKind::FrameArrival { node, from, frame } => {
-                    if self.switches.contains_key(&node) {
-                        // tidy-allow: unwrap invariant: checked above
-                        let sw = self.switches.get_mut(&node).expect("checked above");
-                        sw.inputs
-                            .get_mut(&from)
-                            // tidy-allow: unwrap invariant: frames only arrive on existing interfaces
-                            .expect("frames only arrive on existing interfaces")
-                            .push_back(frame);
-                        self.wake_cpu(node, now);
-                    } else {
+                EventKind::FrameArrival {
+                    node,
+                    in_port,
+                    frame,
+                } => match &mut self.nodes[node.0] {
+                    NodeSlot::Switch(sw) => {
+                        sw.enqueue_input(in_port, frame);
+                        self.wake_cpu(node, now)?;
+                    }
+                    NodeSlot::Endpoint(_) => {
                         self.deliver_to_destination(node, frame, now);
                     }
-                }
+                },
                 EventKind::CpuDispatch { switch } => {
                     self.cpu_dispatch(switch, now)?;
                 }
-                EventKind::SwitchTxComplete { switch, to } => {
+                EventKind::SwitchTxComplete { switch, port } => {
                     self.stats.frames_transmitted += 1;
-                    // tidy-allow: unwrap invariant: switch exists
-                    let sw = self.switches.get_mut(&switch).expect("switch exists");
-                    let frame = sw
-                        .nic_in_flight
-                        .insert(to, None)
-                        .flatten()
+                    let link_idx = self.port_to_link[switch.0][port];
+                    debug_assert_ne!(link_idx, NO_PORT, "transmissions complete on out-links");
+                    let link = self.links[switch.0][link_idx as usize];
+                    let frame = self
+                        .switch_mut(switch)
+                        .nic_unload(port)
                         // tidy-allow: unwrap invariant: a frame was in flight
                         .expect("a frame was in flight");
-                    let link = self.topology.link_between(switch, to)?;
                     self.queue.schedule(
                         now + link.propagation,
                         EventKind::FrameArrival {
-                            node: to,
-                            from: switch,
+                            node: link.to,
+                            in_port: link.dst_port as usize,
                             frame,
                         },
-                    );
+                    )?;
                     // The NIC is idle again: the send task may have work.
-                    self.wake_cpu(switch, now);
+                    self.wake_cpu(switch, now)?;
                 }
                 EventKind::Fault { kind } => self.apply_fault(kind, now)?,
             }
@@ -435,6 +666,7 @@ impl<'a> Engine<'a> {
             stats: self.stats,
             events_processed,
             final_time,
+            queue: self.queue.shape(),
         })
     }
 
@@ -450,20 +682,18 @@ impl<'a> Engine<'a> {
                 self.downed.remove(&cable(a, b));
                 // Blocked senders on both ends may resume immediately.
                 for (from, to) in [(a, b), (b, a)] {
-                    if self.endpoints.contains_key(&from) {
-                        self.try_start_endpoint_tx(from, to, now)?;
-                    } else {
-                        self.wake_cpu(from, now);
+                    match &self.nodes[from.0] {
+                        NodeSlot::Endpoint(_) => {
+                            let port = self.port_out(from, to)?;
+                            self.try_start_endpoint_tx(from, port, now)?;
+                        }
+                        NodeSlot::Switch(_) => self.wake_cpu(from, now)?,
                     }
                 }
             }
             FaultKind::CpuDegrade { switch, factor } => {
                 // Validated against the topology before the run started.
-                let sw = self
-                    .switches
-                    .get_mut(&switch)
-                    // tidy-allow: unwrap invariant: script was validated
-                    .expect("script was validated");
+                let sw = self.switch_mut(switch);
                 sw.croute = sw.croute * factor;
                 sw.csend = sw.csend * factor;
             }
@@ -476,28 +706,24 @@ impl<'a> Engine<'a> {
     fn try_start_endpoint_tx(
         &mut self,
         host: NodeId,
-        to: NodeId,
+        port: usize,
         now: Time,
     ) -> Result<(), SimError> {
-        if self.downed.contains(&cable(host, to)) {
+        let link = self.links[host.0][port];
+        if self.downed.contains(&cable(host, link.to)) {
             return Ok(());
         }
-        // tidy-allow: unwrap invariant: host exists
-        let endpoint = self.endpoints.get_mut(&host).expect("host exists");
-        if endpoint.is_transmitting(to) {
+        let endpoint = self.endpoint_mut(host);
+        if endpoint.tx_in_flight[port].is_some() {
             return Ok(());
         }
-        let Some(queue) = endpoint.out_queues.get_mut(&to) else {
+        let Some(frame) = endpoint.out_queues[port].pop_front() else {
             return Ok(());
         };
-        let Some(frame) = queue.pop_front() else {
-            return Ok(());
-        };
-        let link = self.topology.link_between(host, to)?;
         let tx_time = link.speed.transmission_time(frame.wire_bits);
-        endpoint.tx_in_flight.insert(to, Some(frame));
+        endpoint.tx_in_flight[port] = Some(frame);
         self.queue
-            .schedule(now + tx_time, EventKind::HostTxComplete { host, to });
+            .schedule(now + tx_time, EventKind::HostTxComplete { host, port })?;
         Ok(())
     }
 
@@ -505,19 +731,33 @@ impl<'a> Engine<'a> {
     /// packet when all fragments are there.
     fn deliver_to_destination(&mut self, node: NodeId, frame: EthFrame, now: Time) {
         debug_assert_eq!(
-            self.destinations.get(&frame.packet.flow),
-            Some(&node),
+            self.destinations
+                .get(frame.packet.flow.0)
+                .copied()
+                .flatten(),
+            Some(node),
             "frame delivered to a node that is not its flow's destination"
         );
-        let received = self.reassembly.entry(frame.packet).or_insert(0);
-        *received += 1;
-        if *received == frame.n_fragments {
-            self.reassembly.remove(&frame.packet);
+        let complete = if frame.n_fragments == 1 {
+            // Single-fragment packets complete on arrival; the common
+            // (voice) case never touches the reassembly map.
+            true
+        } else {
+            let received = self.reassembly.entry(frame.packet).or_insert(0);
+            *received += 1;
+            if *received == frame.n_fragments {
+                self.reassembly.remove(&frame.packet);
+                true
+            } else {
+                false
+            }
+        };
+        if complete {
             if frame.packet_arrival >= self.config.measure_from {
                 self.stats.record(PacketSample {
                     flow: frame.packet.flow,
                     sequence: frame.packet.sequence,
-                    gmf_frame: frame.gmf_frame,
+                    gmf_frame: frame.gmf_frame as usize,
                     arrival: frame.packet_arrival,
                     completion: now,
                 });
@@ -530,120 +770,119 @@ impl<'a> Engine<'a> {
     }
 
     /// Wake a sleeping switch CPU if it has work.
-    fn wake_cpu(&mut self, switch: NodeId, now: Time) {
-        // tidy-allow: unwrap invariant: switch exists
-        let sw = self.switches.get_mut(&switch).expect("switch exists");
+    fn wake_cpu(&mut self, switch: NodeId, now: Time) -> Result<(), SimError> {
+        let sw = self.switch_mut(switch);
         if !sw.cpu_busy && sw.has_any_work() {
             sw.cpu_busy = true;
-            self.queue.schedule(now, EventKind::CpuDispatch { switch });
+            self.queue
+                .schedule(now, EventKind::CpuDispatch { switch })?;
         }
+        Ok(())
     }
 
     /// One CPU dispatch: finish the previous task's effect, then pick and
     /// start the next task (skipping idle tasks at the idle-poll cost).
     fn cpu_dispatch(&mut self, switch: NodeId, now: Time) -> Result<(), SimError> {
         // 1. Apply the effect of the task that just finished.
-        let pending = {
-            // tidy-allow: unwrap invariant: switch exists
-            let sw = self.switches.get_mut(&switch).expect("switch exists");
-            sw.pending.take()
-        };
+        let pending = self.switch_mut(switch).pending.take();
         if let Some(pending) = pending {
             match pending {
-                PendingCompletion::RouteDone { to, frame } => {
-                    // tidy-allow: unwrap invariant: switch exists
-                    let sw = self.switches.get_mut(&switch).expect("switch exists");
-                    sw.outputs
-                        .get_mut(&to)
-                        // tidy-allow: unwrap invariant: forwarding only targets existing interfaces
-                        .expect("forwarding only targets existing interfaces")
-                        .push(frame);
+                PendingCompletion::RouteDone { port, frame } => {
+                    self.switch_mut(switch).enqueue_output(port, frame);
                 }
-                PendingCompletion::SendDone { to, frame } => {
-                    let link = self.topology.link_between(switch, to)?;
+                PendingCompletion::SendDone { port, frame } => {
+                    let link_idx = self.port_to_link[switch.0][port];
+                    debug_assert_ne!(link_idx, NO_PORT, "send tasks only feed out-links");
+                    let link = self.links[switch.0][link_idx as usize];
                     let tx_time = link.speed.transmission_time(frame.wire_bits);
-                    // tidy-allow: unwrap invariant: switch exists
-                    let sw = self.switches.get_mut(&switch).expect("switch exists");
-                    debug_assert!(!sw.nic_busy(to), "send task only runs when the NIC is idle");
-                    sw.nic_in_flight.insert(to, Some(frame));
+                    self.switch_mut(switch).nic_load(port, frame);
                     self.queue
-                        .schedule(now + tx_time, EventKind::SwitchTxComplete { switch, to });
+                        .schedule(now + tx_time, EventKind::SwitchTxComplete { switch, port })?;
                 }
             }
         }
 
         // 2. Select the next task with work, charging idle polls for the
         //    tasks that are offered a turn but have nothing to do.  Send
-        //    tasks towards a downed cable have no useful work: their frames
-        //    stay queued until the cable comes back.
-        let downed_neighbours: Vec<NodeId> = self
-            .downed
-            .iter()
-            .filter_map(|&(x, y)| match switch {
-                s if s == x => Some(y),
-                s if s == y => Some(x),
-                _ => None,
-            })
-            .collect();
-        // tidy-allow: unwrap invariant: switch exists
-        let sw = self.switches.get_mut(&switch).expect("switch exists");
-        let work: Vec<bool> = sw
-            .tasks
-            .iter()
-            .map(|&t| {
-                sw.task_has_work(t)
-                    && match t {
-                        SwitchTask::Send { to } => !downed_neighbours.contains(&to),
-                        SwitchTask::Route { .. } => true,
-                    }
-            })
-            .collect();
-        if !work.iter().any(|&w| w) {
-            sw.cpu_busy = false;
+        //    tasks towards a downed cable have no useful work: their
+        //    frames stay queued until the cable comes back.  Field-level
+        //    borrows keep the scan allocation-free: the scheduler advances
+        //    while the work predicate reads the queues directly.
+        let downed = &self.downed;
+        let forwarding = &self.forwarding;
+        let SwitchState {
+            ports,
+            inputs,
+            outputs,
+            nic_in_flight,
+            scheduler,
+            tasks,
+            cpu_busy,
+            pending: pending_slot,
+            croute,
+            csend,
+            input_frames,
+            sendable_ports,
+        } = match &mut self.nodes[switch.0] {
+            NodeSlot::Switch(s) => s.as_mut(),
+            // tidy-allow: unwrap invariant: dispatch events address switches
+            NodeSlot::Endpoint(_) => unreachable!("node is a switch"),
+        };
+        let (croute, csend) = (*croute, *csend);
+        let task_ready = |task: SwitchTask| match task {
+            SwitchTask::Route { port } => !inputs[port].is_empty(),
+            SwitchTask::Send { port } => {
+                nic_in_flight[port].is_none()
+                    && !outputs[port].is_empty()
+                    && !downed.contains(&cable(switch, ports[port]))
+            }
+        };
+        let Some((selected, idle_polls)) = scheduler.dispatch_scan(|idx| task_ready(tasks[idx]))
+        else {
+            // Nothing ready anywhere: the CPU sleeps until new work
+            // arrives (the scan consumed no turns).
+            *cpu_busy = false;
             return Ok(());
-        }
-        let dispatched = sw.scheduler.dispatch_until(|idx| work[idx]);
-        // tidy-allow: unwrap invariant: at least one task exists
-        let selected = *dispatched.last().expect("at least one task exists");
-        debug_assert!(
-            work[selected],
-            "dispatch_until must end on a task with work"
-        );
-        let idle_polls = (dispatched.len() - 1) as u64;
+        };
 
-        let (cost, pending) = match sw.tasks[selected] {
-            SwitchTask::Route { from } => {
-                let frame = sw
-                    .inputs
-                    .get_mut(&from)
-                    // tidy-allow: unwrap invariant: interface exists
-                    .expect("interface exists")
+        let (cost, pending) = match tasks[selected] {
+            SwitchTask::Route { port } => {
+                let frame = inputs[port]
                     .pop_front()
                     // tidy-allow: unwrap invariant: task had work
                     .expect("task had work");
-                let to = self.forwarding[&(switch, frame.packet.flow)];
-                (sw.croute, PendingCompletion::RouteDone { to, frame })
+                *input_frames -= 1;
+                let out_port = forwarding[switch.0][frame.packet.flow.0];
+                debug_assert_ne!(out_port, NO_PORT, "routed flows have forwarding entries");
+                let out_port = out_port as usize;
+                (
+                    croute,
+                    PendingCompletion::RouteDone {
+                        port: out_port,
+                        frame,
+                    },
+                )
             }
-            SwitchTask::Send { to } => {
-                let frame = sw
-                    .outputs
-                    .get_mut(&to)
-                    // tidy-allow: unwrap invariant: interface exists
-                    .expect("interface exists")
+            SwitchTask::Send { port } => {
+                let frame = outputs[port]
                     .pop_highest()
                     // tidy-allow: unwrap invariant: task had work
                     .expect("task had work");
-                (sw.csend, PendingCompletion::SendDone { to, frame })
+                // The NIC is idle here (the task was ready), so the port
+                // stops being sendable exactly when its queue drains.
+                if outputs[port].is_empty() {
+                    *sendable_ports -= 1;
+                }
+                (csend, PendingCompletion::SendDone { port, frame })
             }
         };
-        sw.pending = Some(pending);
+        *pending_slot = Some(pending);
         let busy_time = self.config.idle_poll_cost * idle_polls + cost;
         self.queue
-            .schedule(now + busy_time, EventKind::CpuDispatch { switch });
+            .schedule(now + busy_time, EventKind::CpuDispatch { switch })?;
         Ok(())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -959,6 +1198,25 @@ mod tests {
     }
 
     #[test]
+    fn keep_samples_config_retains_per_packet_samples() {
+        let (t, fs) = direct_link_with(three_frame_flow(Time::ZERO));
+        let off = Simulator::new(&t, &fs, SimConfig::quick())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(off.stats.samples().is_empty());
+        let on_cfg = SimConfig {
+            keep_samples: true,
+            ..SimConfig::quick()
+        };
+        let on = Simulator::new(&t, &fs, on_cfg).unwrap().run().unwrap();
+        assert_eq!(on.stats.samples().len() as u64, on.stats.packets_completed);
+        // Retention is observability only: the aggregates are untouched.
+        assert_eq!(on.stats.packets_completed, off.stats.packets_completed);
+        assert_eq!(on.events_processed, off.events_processed);
+    }
+
+    #[test]
     fn adversarial_policies_are_deterministic_across_repeat_runs() {
         let (t, net) = paper_figure1();
         let mut fs = FlowSet::new();
@@ -1073,6 +1331,38 @@ mod tests {
         assert!(SimError::EventLimitExceeded.to_string().contains("limit"));
         let e: SimError = NetError::UnknownNode(NodeId(1)).into();
         assert!(e.to_string().contains("network"));
+        let e = SimError::EventInPast {
+            at: Time::from_millis(-1.0),
+            now: Time::ZERO,
+        };
+        assert!(e.to_string().contains("in the past"));
+    }
+
+    #[test]
+    fn negative_fault_time_is_a_hard_error_in_every_profile() {
+        // The realistic trigger for a past-time event: a fault scripted
+        // before t = 0.  The event queue rejects it with a hard error (not
+        // a `debug_assert!`), so this test also passes under
+        // `--release`.
+        let (t, fs) = direct_link_scenario();
+        let script = crate::faults::FaultScript::new(vec![crate::faults::TransientEvent {
+            at: Time::from_millis(-5.0),
+            kind: crate::faults::FaultKind::LinkDown {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+        }]);
+        let err = Simulator::with_faults(&t, &fs, SimConfig::quick(), script)
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::EventInPast {
+                at: Time::from_millis(-5.0),
+                now: Time::ZERO,
+            }
+        );
     }
 
     #[test]

@@ -24,15 +24,31 @@ struct TaskState {
 
 /// A stride scheduler over a fixed set of tasks, identified by their index
 /// at registration time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StrideScheduler {
     tasks: Vec<TaskState>,
+    /// Cached next-dispatch index, valid only while the pass counters are
+    /// in the canonical round-robin profile (see `round_robin_front`).
+    /// Purely an acceleration: never part of equality or serialization.
+    #[serde(skip)]
+    rr_front: Option<usize>,
 }
+
+impl PartialEq for StrideScheduler {
+    fn eq(&self, other: &Self) -> bool {
+        self.tasks == other.tasks
+    }
+}
+
+impl Eq for StrideScheduler {}
 
 impl StrideScheduler {
     /// Create an empty scheduler.
     pub fn new() -> Self {
-        StrideScheduler { tasks: Vec::new() }
+        StrideScheduler {
+            tasks: Vec::new(),
+            rr_front: None,
+        }
     }
 
     /// Create a round-robin scheduler over `n` tasks (one ticket each).
@@ -47,6 +63,7 @@ impl StrideScheduler {
     /// Register a task with the given ticket count; returns its index.
     pub fn add_task(&mut self, tickets: u64) -> usize {
         assert!(tickets >= 1, "a task needs at least one ticket");
+        self.rr_front = None;
         let stride = STRIDE1 / tickets;
         self.tasks.push(TaskState {
             tickets,
@@ -81,10 +98,91 @@ impl StrideScheduler {
     /// Dispatch the next task: returns its index and advances its pass by
     /// its stride.
     pub fn dispatch(&mut self) -> Option<usize> {
+        self.rr_front = None;
         let idx = self.peek()?;
         let task = &mut self.tasks[idx];
         task.pass += task.stride;
         Some(idx)
+    }
+
+    /// Allocation-free variant of [`dispatch_until`](Self::dispatch_until)
+    /// for the simulator's hot path: dispatch until a task satisfying
+    /// `wanted` is selected and return `(selected, skipped)`, where
+    /// `skipped` counts the idle tasks whose turns were consumed along the
+    /// way.  Returns `None` — with the scheduler left untouched — if no
+    /// task satisfies the predicate, so an idle CPU can go back to sleep
+    /// without consuming anyone's turn.
+    pub fn dispatch_scan(&mut self, mut wanted: impl FnMut(usize) -> bool) -> Option<(usize, u64)> {
+        let start = match self.rr_front {
+            Some(front) => Some(front),
+            None => self.round_robin_front(),
+        };
+        if let Some(start) = start {
+            // Fast path: uniform strides in the canonical round-robin
+            // profile dispatch cyclically, so each step is O(1) instead
+            // of `dispatch`'s O(n) min-scan.
+            let n = self.tasks.len();
+            for step in 0..n {
+                let idx = (start + step) % n;
+                let task = &mut self.tasks[idx];
+                task.pass += task.stride;
+                if wanted(idx) {
+                    // The walk preserved the canonical profile; the next
+                    // dispatch continues right after the selected task.
+                    // `step` tasks were offered a turn and declined.
+                    self.rr_front = Some((idx + 1) % n);
+                    return Some((idx, step as u64));
+                }
+            }
+            // Nothing ready: undo the advances (each task was offered
+            // exactly one turn above) so the scan had no effect.
+            for task in &mut self.tasks {
+                task.pass -= task.stride;
+            }
+            self.rr_front = Some(start);
+            return None;
+        }
+        // General strides: probe the predicate first so an all-idle scan
+        // leaves the pass counters untouched, then dispatch for real.
+        if !(0..self.tasks.len()).any(&mut wanted) {
+            return None;
+        }
+        for skipped in 0..self.tasks.len() {
+            let idx = self.dispatch()?;
+            if wanted(idx) {
+                return Some((idx, skipped as u64));
+            }
+        }
+        None
+    }
+
+    /// If every task has the same stride and the pass counters form the
+    /// canonical round-robin profile — a (possibly empty) high prefix one
+    /// stride above a low suffix, which is invariant under dispatching —
+    /// return the index of the next task to dispatch (the first task of
+    /// the low suffix).  Any other profile returns `None` and callers use
+    /// the general min-scan.
+    fn round_robin_front(&self) -> Option<usize> {
+        let first = self.tasks.first()?;
+        let (stride, high) = (first.stride, first.pass);
+        let mut front = 0;
+        let mut low = high;
+        for (idx, t) in self.tasks.iter().enumerate().skip(1) {
+            if t.stride != stride {
+                return None;
+            }
+            if t.pass == low {
+                continue;
+            }
+            if low == high && t.pass + stride == low {
+                // The single step down from the high prefix.
+                low = t.pass;
+                front = idx;
+            } else {
+                return None;
+            }
+        }
+        Some(front)
     }
 
     /// Dispatch repeatedly until a task satisfying `wanted` is selected, or
@@ -169,6 +267,26 @@ mod tests {
         assert_eq!(dispatched, vec![0, 1, 2]);
         // The next dispatch continues the round-robin cycle after task 2.
         assert_eq!(s.dispatch(), Some(0));
+    }
+
+    #[test]
+    fn dispatch_scan_matches_dispatch_until() {
+        let mut a = StrideScheduler::round_robin(3);
+        let mut b = StrideScheduler::round_robin(3);
+        // Same predicate: dispatch_scan's (selected, skipped) must agree
+        // with dispatch_until's trace, and both advance the round
+        // identically.
+        let trace = a.dispatch_until(|idx| idx == 2);
+        let (selected, skipped) = b.dispatch_scan(|idx| idx == 2).unwrap();
+        assert_eq!(*trace.last().unwrap(), selected);
+        assert_eq!(trace.len() as u64 - 1, skipped);
+        assert_eq!(a.dispatch(), b.dispatch());
+        // No wanted task: the scan reports None and leaves the scheduler
+        // exactly as it was (no turns consumed).
+        let before = b.clone();
+        assert!(b.dispatch_scan(|_| false).is_none());
+        assert_eq!(b, before);
+        assert!(StrideScheduler::new().dispatch_scan(|_| true).is_none());
     }
 
     #[test]

@@ -209,6 +209,7 @@ const BOUND_SCOPE: &[&str] = &[
     "crates/gmf-model/src/demand.rs",
     "crates/gmf-model/src/encapsulation.rs",
     "crates/gmf-model/src/arrival.rs",
+    "crates/switch-sim/src/stats.rs",
 ];
 
 /// Index-heavy engine modules where bare `as` casts are banned (rule
@@ -697,8 +698,15 @@ mod tests {
     fn float_rule_scoped_to_bound_modules() {
         let bad = "pub fn f(x: f64) -> f64 { x }\n";
         assert_eq!(rules_fired(&check(LIB, bad)), ["float"]);
-        // Out of scope: the simulator statistics module may use floats.
-        assert!(check("crates/switch-sim/src/stats.rs", bad).is_empty());
+        // In scope since the histogram rework: the simulator statistics
+        // module computes bound-comparable percentiles, so raw floats must
+        // carry a telemetry tag there too.
+        assert_eq!(
+            rules_fired(&check("crates/switch-sim/src/stats.rs", bad)),
+            ["float"]
+        );
+        // Still out of scope: the rest of the simulator.
+        assert!(check("crates/switch-sim/src/sim.rs", bad).is_empty());
         // Substrings of identifiers do not count.
         assert!(check(LIB, "let f64ish_name = time;\n").is_empty());
     }

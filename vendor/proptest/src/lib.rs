@@ -1,6 +1,6 @@
 //! Offline stand-in for the subset of `proptest` this workspace uses:
-//! the [`Strategy`] trait with range / tuple / collection strategies and
-//! `prop_map`, plus the [`proptest!`] / [`prop_assert!`] /
+//! the [`Strategy`] trait with range / tuple / collection / [`prop_oneof!`]
+//! strategies and `prop_map`, plus the [`proptest!`] / [`prop_assert!`] /
 //! [`prop_assert_eq!`] macros and [`ProptestConfig::with_cases`].
 //!
 //! Differences from the real crate, chosen deliberately for an offline
@@ -96,6 +96,53 @@ impl<T: rand::SampleUniform> Strategy for RangeInclusive<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         rand::Rng::gen_range(rng, self.clone())
     }
+}
+
+/// Strategy picking uniformly among boxed alternatives; built by
+/// [`prop_oneof!`].  Unlike the real crate this shim does not support the
+/// `weight => strategy` form — every alternative is equally likely.
+pub struct OneOf<T> {
+    choices: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// An empty choice set ([`prop_oneof!`] fills it).
+    pub fn new() -> Self {
+        OneOf {
+            choices: Vec::new(),
+        }
+    }
+
+    /// Add one alternative.
+    pub fn add(&mut self, strategy: impl Strategy<Value = T> + 'static) {
+        self.choices.push(Box::new(strategy));
+    }
+}
+
+impl<T> Default for OneOf<T> {
+    fn default() -> Self {
+        OneOf::new()
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.choices.is_empty(), "prop_oneof! needs an alternative");
+        let pick = rand::Rng::gen_range(rng, 0..self.choices.len());
+        self.choices[pick].generate(rng)
+    }
+}
+
+/// Build a [`OneOf`] strategy from a list of alternatives, all generating
+/// the same value type.  Uniform choice only (no `weight =>` form).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let mut __one_of = $crate::OneOf::new();
+        $(__one_of.add($strategy);)+
+        __one_of
+    }};
 }
 
 /// A strategy producing one constant value (useful with `prop_map`).
@@ -199,7 +246,8 @@ pub mod prop {
 pub mod prelude {
     pub use crate::prop;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, OneOf,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -309,6 +357,19 @@ mod tests {
             prop_assert!(!v.is_empty() && v.len() <= 5);
             for x in &v {
                 prop_assert!((1.0..11.0).contains(x));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn oneof_draws_from_every_alternative(
+            v in prop::collection::vec(prop_oneof![Just(0u64), 1u64..10, 100u64..200], 32..=32)
+        ) {
+            for &x in &v {
+                prop_assert!(x == 0 || (1..10).contains(&x) || (100..200).contains(&x));
             }
         }
     }
